@@ -1,0 +1,72 @@
+// Shared harness utilities for the figure/table reproduction benches.
+//
+// Every bench accepts:
+//   --full    paper-scale networks (filter scale 1) and corpus sizes;
+//             without it the CI profile runs the same topologies at
+//             reduced width so each figure regenerates in minutes on
+//             one core (see DESIGN.md "Scale").
+//   --seed N  experiment seed (default 42).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace caltrain::bench {
+
+struct BenchProfile {
+  bool full = false;
+  std::uint64_t seed = 42;
+
+  // CIFAR-style experiments.
+  int net_scale = 16;            ///< divides conv filter counts
+  std::size_t train_size = 1200;
+  std::size_t test_size = 300;
+  int epochs = 12;
+  int batch_size = 32;
+
+  // Face / trojan experiments.
+  int identities = 8;
+  std::size_t faces_per_identity_train = 40;
+  std::size_t faces_per_identity_test = 10;
+  int face_scale = 8;
+  int embedding_dim = 64;
+};
+
+inline BenchProfile ParseArgs(int argc, char** argv) {
+  BenchProfile profile;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      profile.full = true;
+      profile.net_scale = 1;
+      profile.train_size = 50000;
+      profile.test_size = 10000;
+      profile.identities = 20;
+      profile.faces_per_identity_train = 200;
+      profile.faces_per_identity_test = 25;
+      profile.face_scale = 1;
+      profile.embedding_dim = 256;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      profile.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      profile.net_scale = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      profile.epochs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--train") == 0 && i + 1 < argc) {
+      profile.train_size = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return profile;
+}
+
+inline void PrintHeader(const char* artifact, const BenchProfile& profile) {
+  std::printf("==================================================\n");
+  std::printf("CalTrain reproduction: %s\n", artifact);
+  std::printf("profile: %s (net_scale=%d, train=%zu, epochs=%d, seed=%llu)\n",
+              profile.full ? "FULL (paper scale)" : "CI (reduced width)",
+              profile.net_scale, profile.train_size, profile.epochs,
+              static_cast<unsigned long long>(profile.seed));
+  std::printf("==================================================\n");
+}
+
+}  // namespace caltrain::bench

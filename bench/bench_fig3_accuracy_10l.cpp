@@ -1,0 +1,19 @@
+// Reproduces Fig. 3: prediction accuracy of the 10-layer (Table I)
+// network trained with and without CalTrain protection, Top-1 and
+// Top-2, over twelve epochs.
+//
+// Paper result shape: the two environments track each other epoch for
+// epoch; accuracy fluctuates for the first ~6 epochs and stabilizes,
+// with no loss from CalTrain.  (Absolute numbers differ: this harness
+// trains on the synthetic offline corpus, see DESIGN.md.)
+#include "bench_accuracy_common.hpp"
+#include "nn/presets.hpp"
+
+using namespace caltrain;
+
+int main(int argc, char** argv) {
+  const bench::BenchProfile profile = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Figure 3 — accuracy, 10-layer network", profile);
+  return bench::RunAccuracyExperiment(
+      "Fig. 3", nn::Table1Spec(profile.net_scale), profile);
+}

@@ -1,0 +1,232 @@
+// Substrate micro-benchmarks (google-benchmark): crypto throughput,
+// enclave transition and EPC paging costs, secure-channel overhead,
+// GEMM fast vs strict-FP (the Fig. 6 mechanism in isolation), k-NN
+// query latency, and fingerprint extraction.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/group.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "enclave/attestation.hpp"
+#include "enclave/enclave.hpp"
+#include "linkage/vptree.hpp"
+#include "nn/kernels.hpp"
+#include "securechannel/handshake.hpp"
+#include "securechannel/record.hpp"
+#include "util/rng.hpp"
+
+namespace caltrain {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AesCtr(benchmark::State& state) {
+  const crypto::Aes aes(Bytes(16, 0x42));
+  Bytes buffer(static_cast<std::size_t>(state.range(0)), 0x17);
+  crypto::AesBlock counter{};
+  for (auto _ : state) {
+    crypto::AesCtrXor(aes, counter, buffer, buffer.data());
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(4096)->Arg(65536);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  const crypto::AesGcm gcm(Bytes(32, 0x42));
+  const Bytes plaintext(static_cast<std::size_t>(state.range(0)), 0x17);
+  const Bytes iv(12, 0x01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.Seal(iv, {}, plaintext));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(4096)->Arg(9408);  // 9408 = one 28x28x3 record
+
+void BM_DhHandshakeLeg(benchmark::State& state) {
+  crypto::HmacDrbg drbg(BytesOf("bench"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::DhGenerate(drbg));
+  }
+}
+BENCHMARK(BM_DhHandshakeLeg);
+
+void BM_SchnorrSignVerify(benchmark::State& state) {
+  crypto::HmacDrbg drbg(BytesOf("bench"));
+  const crypto::SchnorrKeyPair key = crypto::SchnorrGenerate(drbg);
+  const Bytes msg = BytesOf("quote body");
+  for (auto _ : state) {
+    const auto sig = crypto::SchnorrSign(key, msg, drbg);
+    benchmark::DoNotOptimize(
+        crypto::SchnorrVerify(key.public_value, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrSignVerify);
+
+void BM_EnclaveTransition(benchmark::State& state) {
+  enclave::EnclaveConfig config;
+  config.code_identity = BytesOf("bench");
+  enclave::Enclave enclave(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enclave.Ecall([] { return 1; }));
+  }
+}
+BENCHMARK(BM_EnclaveTransition);
+
+void BM_EpcThrash(benchmark::State& state) {
+  // Working set twice the EPC: every touch re-encrypts half the pages.
+  enclave::EpcConfig config;
+  config.capacity_bytes = 64 * 4096;
+  enclave::EpcManager epc(config);
+  const auto a = epc.Allocate("a", 64 * 4096);
+  const auto b = epc.Allocate("b", 64 * 4096);
+  for (auto _ : state) {
+    epc.Touch(a);
+    epc.Touch(b);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(epc.stats().bytes_encrypted));
+}
+BENCHMARK(BM_EpcThrash);
+
+void BM_FullAttestedHandshake(benchmark::State& state) {
+  enclave::EnclaveConfig config;
+  config.code_identity = BytesOf("bench");
+  enclave::Enclave enclave(config);
+  enclave::AttestationService service(1);
+  crypto::HmacDrbg drbg(BytesOf("client"));
+  for (auto _ : state) {
+    securechannel::ServerHandshake server(enclave, service);
+    securechannel::ClientHandshake client(service.public_key(),
+                                          enclave.measurement(), drbg);
+    const Bytes sh = server.OnClientHello(client.Hello());
+    benchmark::DoNotOptimize(server.OnClientFinished(client.OnServerHello(sh)));
+  }
+}
+BENCHMARK(BM_FullAttestedHandshake);
+
+void BM_RecordRoundTrip(benchmark::State& state) {
+  securechannel::RecordWriter writer(Bytes(32, 0x7e));
+  securechannel::RecordReader reader(Bytes(32, 0x7e));
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reader.Unprotect(writer.Protect(payload)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RecordRoundTrip)->Arg(1024)->Arg(16384);
+
+// The Fig. 6 mechanism in isolation: strict-FP vs fast-math GEMM.
+void BM_GemmFast(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0F);
+  for (float& x : a) x = rng.Gaussian();
+  for (float& x : b) x = rng.Gaussian();
+  for (auto _ : state) {
+    nn::GemmFast(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmFast)->Arg(64)->Arg(128);
+
+void BM_GemmPrecise(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0F);
+  for (float& x : a) x = rng.Gaussian();
+  for (float& x : b) x = rng.Gaussian();
+  for (auto _ : state) {
+    nn::GemmPrecise(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmPrecise)->Arg(64)->Arg(128);
+
+// The reduction kernel (weight-gradient GEMM): its inner dot product
+// only vectorizes under fast-math reassociation, so this pair shows the
+// actual in-enclave penalty mechanism (the plain AXPY GEMM above
+// vectorizes either way).
+void BM_GemmTransBFast(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0F);
+  for (float& x : a) x = rng.Gaussian();
+  for (float& x : b) x = rng.Gaussian();
+  for (auto _ : state) {
+    nn::GemmTransBFast(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmTransBFast)->Arg(64)->Arg(128);
+
+void BM_GemmTransBPrecise(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0F);
+  for (float& x : a) x = rng.Gaussian();
+  for (float& x : b) x = rng.Gaussian();
+  for (auto _ : state) {
+    nn::GemmTransBPrecise(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmTransBPrecise)->Arg(64)->Arg(128);
+
+void BM_VpTreeQuery(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> points(count, std::vector<float>(64));
+  for (auto& p : points) {
+    for (float& x : p) x = rng.Gaussian();
+  }
+  const linkage::VpTree tree(points);
+  std::vector<float> query(64);
+  for (float& x : query) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Search(query, 9));
+  }
+}
+BENCHMARK(BM_VpTreeQuery)->Arg(1000)->Arg(10000);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> points(count, std::vector<float>(64));
+  for (auto& p : points) {
+    for (float& x : p) x = rng.Gaussian();
+  }
+  std::vector<float> query(64);
+  for (float& x : query) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linkage::BruteForceKnn(points, query, 9));
+  }
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace caltrain
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Reproduces Table I: the 10-layer CIFAR-10 network architecture.
+// Prints the layer table at paper scale and verifies every row's
+// input/output tensor shape against the paper's Appendix A.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nn/presets.hpp"
+
+using namespace caltrain;
+
+int main(int argc, char** argv) {
+  const bench::BenchProfile profile = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table I — 10-layer DNN for CIFAR-10", profile);
+
+  Rng rng(profile.seed);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(/*scale=*/1), rng);
+  std::printf("%s\n", net.ArchitectureTable().c_str());
+
+  // Paper rows (layer -> output shape).
+  struct Row { int layer; nn::Shape out; };
+  const Row expected[] = {
+      {1, {28, 28, 128}}, {2, {28, 28, 128}}, {3, {14, 14, 128}},
+      {4, {14, 14, 64}},  {5, {7, 7, 64}},    {6, {7, 7, 128}},
+      {7, {7, 7, 10}},    {8, {1, 1, 10}},    {9, {1, 1, 10}},
+      {10, {1, 1, 10}},
+  };
+  bool all_match = true;
+  for (const Row& row : expected) {
+    const nn::Shape got = net.layer(row.layer - 1).out_shape();
+    const bool match = got == row.out;
+    all_match = all_match && match;
+    std::printf("layer %-2d output %-12s paper %-12s %s\n", row.layer,
+                got.ToString().c_str(), row.out.ToString().c_str(),
+                match ? "OK" : "MISMATCH");
+  }
+  std::printf("\nTable I shape check: %s\n", all_match ? "PASS" : "FAIL");
+  std::printf("total forward FLOPs/sample: %.1f M\n",
+              static_cast<double>(net.FlopsPerSample(0, net.NumLayers())) /
+                  1e6);
+  std::printf("total weight bytes: %.2f MB\n",
+              static_cast<double>(net.WeightBytes(0, net.NumLayers())) /
+                  (1024.0 * 1024.0));
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table II: the 18-layer CIFAR-10 network architecture
+// (three dropout layers, p = 0.5), with per-row shape verification.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nn/presets.hpp"
+
+using namespace caltrain;
+
+int main(int argc, char** argv) {
+  const bench::BenchProfile profile = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table II — 18-layer DNN for CIFAR-10", profile);
+
+  Rng rng(profile.seed);
+  nn::Network net = nn::BuildNetwork(nn::Table2Spec(/*scale=*/1), rng);
+  std::printf("%s\n", net.ArchitectureTable().c_str());
+
+  struct Row { int layer; nn::Shape out; };
+  const Row expected[] = {
+      {1, {28, 28, 128}},  {2, {28, 28, 128}},  {3, {28, 28, 128}},
+      {4, {14, 14, 128}},  {5, {14, 14, 128}},  {6, {14, 14, 256}},
+      {7, {14, 14, 256}},  {8, {14, 14, 256}},  {9, {7, 7, 256}},
+      {10, {7, 7, 256}},   {11, {7, 7, 512}},   {12, {7, 7, 512}},
+      {13, {7, 7, 512}},   {14, {7, 7, 512}},   {15, {7, 7, 10}},
+      {16, {1, 1, 10}},    {17, {1, 1, 10}},    {18, {1, 1, 10}},
+  };
+  bool all_match = true;
+  for (const Row& row : expected) {
+    const nn::Shape got = net.layer(row.layer - 1).out_shape();
+    const bool match = got == row.out;
+    all_match = all_match && match;
+    std::printf("layer %-2d output %-12s paper %-12s %s\n", row.layer,
+                got.ToString().c_str(), row.out.ToString().c_str(),
+                match ? "OK" : "MISMATCH");
+  }
+  // Dropout probability check (paper: p = 0.5 at layers 5, 10, 14).
+  for (int l : {5, 10, 14}) {
+    const auto& spec = net.spec().layers[static_cast<std::size_t>(l - 1)];
+    const bool ok = spec.kind == nn::LayerKind::kDropout &&
+                    spec.dropout_p == 0.5F;
+    all_match = all_match && ok;
+    std::printf("layer %-2d dropout p=0.5: %s\n", l, ok ? "OK" : "MISMATCH");
+  }
+  std::printf("\nTable II shape check: %s\n", all_match ? "PASS" : "FAIL");
+  std::printf("total forward FLOPs/sample: %.1f M\n",
+              static_cast<double>(net.FlopsPerSample(0, net.NumLayers())) /
+                  1e6);
+  std::printf("total weight bytes: %.2f MB\n",
+              static_cast<double>(net.WeightBytes(0, net.NumLayers())) /
+                  (1024.0 * 1024.0));
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Hierarchical learning hubs (paper Sec. IV-B "Performance").
+//
+// To exploit SGD's parallelism beyond one enclave, CalTrain can form
+// multiple learning hubs — each an enclave training a sub-model on the
+// encrypted data of its downstream participant subgroup — with a root
+// aggregation server periodically merging the sub-models by weight
+// averaging, as in Federated Learning.  This module implements that
+// extension: K hubs, each with its own enclave and data shard, merged
+// every `merge_every` epochs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/partitioned.hpp"
+#include "data/dataset.hpp"
+#include "enclave/enclave.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+
+namespace caltrain::core {
+
+struct HubOptions {
+  nn::SgdConfig sgd;
+  int batch_size = 32;
+  int epochs = 4;
+  int merge_every = 1;   ///< epochs between weight merges
+  int front_layers = 2;
+  bool augment = false;
+  nn::AugmentOptions augment_options;
+  std::uint64_t seed = 1;
+};
+
+struct HubReport {
+  std::vector<nn::EpochStats> epochs;  ///< stats of the merged model
+  std::size_t hubs = 0;
+  std::size_t merges = 0;
+};
+
+/// Averages the weights of `models` into each of them (all must share
+/// the same spec).  Exposed for testing.
+void AverageWeights(std::vector<nn::Network*>& models);
+
+class HubAggregator {
+ public:
+  /// One hub per shard; every hub trains the same topology.
+  HubAggregator(const nn::NetworkSpec& spec,
+                std::vector<data::LabeledDataset> shards,
+                const HubOptions& options);
+
+  /// Runs the hub training schedule; evaluation uses the merged model.
+  HubReport Train(const std::vector<nn::Image>& test_images,
+                  const std::vector<int>& test_labels);
+
+  /// The merged global model (valid after Train).
+  [[nodiscard]] nn::Network& global_model();
+
+ private:
+  void TrainHubEpoch(std::size_t hub, Rng& rng);
+
+  HubOptions options_;
+  std::vector<data::LabeledDataset> shards_;
+  std::vector<std::unique_ptr<nn::Network>> models_;
+  std::vector<std::unique_ptr<enclave::Enclave>> enclaves_;
+  std::vector<std::unique_ptr<PartitionedTrainer>> trainers_;
+  bool trained_ = false;
+};
+
+}  // namespace caltrain::core

@@ -1,0 +1,80 @@
+#include "core/participant.hpp"
+
+#include "securechannel/handshake.hpp"
+#include "securechannel/record.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace caltrain::core {
+
+namespace {
+Bytes SeedBytes(std::uint64_t seed) {
+  Bytes out(8);
+  StoreLe64(out.data(), seed);
+  return out;
+}
+}  // namespace
+
+Participant::Participant(std::string id, data::LabeledDataset local_data,
+                         std::uint64_t seed)
+    : id_(std::move(id)),
+      local_data_(std::move(local_data)),
+      seed_(seed),
+      drbg_(SeedBytes(seed), BytesOf(id_)) {
+  data_key_ = drbg_.Generate(32);
+  data::AssignSource(local_data_, id_);
+}
+
+std::size_t Participant::ProvisionAndUpload(
+    TrainingServer& server,
+    const crypto::Sha256Digest& expected_measurement) {
+  // 1. Attested handshake into the training enclave.
+  securechannel::ClientHandshake handshake(server.attestation_public_key(),
+                                           expected_measurement, drbg_);
+  const Bytes server_hello =
+      server.HandleClientHello(id_, handshake.Hello());
+  const Bytes finished = handshake.OnServerHello(server_hello);
+  if (!server.HandleClientFinished(id_, finished)) {
+    ThrowError(ErrorKind::kAuthFailure, "server rejected handshake");
+  }
+
+  // 2. Provision the symmetric data key over the channel.
+  securechannel::RecordWriter writer(handshake.keys().client_write_key);
+  if (!server.HandleKeyProvision(id_, writer.Protect(data_key_,
+                                                     BytesOf(id_)))) {
+    ThrowError(ErrorKind::kAuthFailure, "key provisioning rejected");
+  }
+
+  // 3. Seal every local record with the key and upload.
+  data::DataPackager packager(id_, data_key_, seed_ ^ 0x9c0ffee);
+  const std::vector<data::EncryptedRecord> records =
+      packager.PackAll(local_data_);
+  const std::size_t accepted = server.UploadRecords(records);
+  CALTRAIN_LOG(kInfo) << id_ << " uploaded " << accepted << "/"
+                      << records.size() << " records";
+  return accepted;
+}
+
+int Participant::AssessSemiTrainedModel(nn::Network& semi_trained,
+                                        nn::Network& validator,
+                                        std::size_t probe_count) const {
+  CALTRAIN_REQUIRE(!local_data_.images.empty(), "no local data to probe with");
+  std::vector<nn::Image> probes;
+  probes.reserve(probe_count);
+  for (std::size_t i = 0; i < probe_count && i < local_data_.images.size();
+       ++i) {
+    probes.push_back(local_data_.images[i]);
+  }
+  const assess::ExposureReport report =
+      assess::AssessExposure(semi_trained, validator, probes);
+  return assess::RecommendFrontNetLayers(report);
+}
+
+std::pair<nn::Image, int> Participant::TurnInInstance(
+    std::size_t local_index) const {
+  CALTRAIN_REQUIRE(local_index < local_data_.size(),
+                   "no such local instance");
+  return {local_data_.images[local_index], local_data_.labels[local_index]};
+}
+
+}  // namespace caltrain::core

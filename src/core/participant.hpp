@@ -1,0 +1,61 @@
+// A training participant (paper Fig. 1: participants A-D).
+//
+// Owns a private local dataset and a symmetric data key.  The
+// participant attests the server's training enclave, provisions its key
+// over the secure channel, uploads encrypted records, and — after each
+// epoch — can run the information-exposure assessment on the released
+// semi-trained model to vote on the FrontNet depth.
+#pragma once
+
+#include <string>
+
+#include "assess/exposure.hpp"
+#include "core/server.hpp"
+#include "data/dataset.hpp"
+#include "data/packaging.hpp"
+
+namespace caltrain::core {
+
+class Participant {
+ public:
+  /// `seed` derives the key and all client-side randomness.
+  Participant(std::string id, data::LabeledDataset local_data,
+              std::uint64_t seed);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const data::LabeledDataset& local_data() const noexcept {
+    return local_data_;
+  }
+  [[nodiscard]] BytesView data_key() const noexcept { return data_key_; }
+
+  /// Full provisioning flow against `server`: attest (verifying the
+  /// expected measurement against the published attestation key),
+  /// provision the data key, upload encrypted records.  Throws
+  /// Error(kAuthFailure) if attestation fails.  Returns accepted count.
+  std::size_t ProvisionAndUpload(
+      TrainingServer& server,
+      const crypto::Sha256Digest& expected_measurement);
+
+  /// Participant-side dynamic re-assessment (paper Sec. IV-B): runs the
+  /// exposure framework on the semi-trained model with `probes` drawn
+  /// from the participant's own private data, against the participant's
+  /// IRValNet oracle.  Returns the recommended FrontNet depth.
+  [[nodiscard]] int AssessSemiTrainedModel(nn::Network& semi_trained,
+                                           nn::Network& validator,
+                                           std::size_t probe_count) const;
+
+  /// Forensic cooperation (paper Sec. IV-C): asked for the original data
+  /// of training instance `local_index`, turn it in for hash
+  /// verification.
+  [[nodiscard]] std::pair<nn::Image, int> TurnInInstance(
+      std::size_t local_index) const;
+
+ private:
+  std::string id_;
+  data::LabeledDataset local_data_;
+  Bytes data_key_;
+  std::uint64_t seed_;
+  crypto::HmacDrbg drbg_;
+};
+
+}  // namespace caltrain::core

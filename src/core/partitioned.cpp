@@ -1,0 +1,155 @@
+#include "core/partitioned.hpp"
+
+#include "util/error.hpp"
+
+namespace caltrain::core {
+
+PartitionedTrainer::PartitionedTrainer(nn::Network& net,
+                                       enclave::Enclave& enclave,
+                                       int front_layers)
+    : net_(net), enclave_(enclave), front_layers_(front_layers) {
+  CALTRAIN_REQUIRE(front_layers >= 0 && front_layers <= net.NumLayers(),
+                   "front_layers out of range");
+  AllocateEpcRegions();
+}
+
+PartitionedTrainer::~PartitionedTrainer() { ReleaseEpcRegions(); }
+
+void PartitionedTrainer::ReleaseEpcRegions() {
+  if (!regions_allocated_) return;
+  enclave_.epc().Free(weights_region_);
+  enclave_.epc().Free(activation_region_);
+  regions_allocated_ = false;
+}
+
+void PartitionedTrainer::AllocateEpcRegions() {
+  ReleaseEpcRegions();
+  last_batch_size_ = 0;
+  if (front_layers_ == 0) return;
+  weights_region_ = enclave_.epc().Allocate(
+      "frontnet-weights", net_.WeightBytes(0, front_layers_));
+  // Activation region is sized on first batch (depends on batch size).
+  activation_region_ = enclave_.epc().Allocate("frontnet-activations", 0);
+  regions_allocated_ = true;
+}
+
+void PartitionedTrainer::SetFrontLayers(int front_layers) {
+  CALTRAIN_REQUIRE(front_layers >= 0 && front_layers <= net_.NumLayers(),
+                   "front_layers out of range");
+  if (front_layers == front_layers_) return;
+  front_layers_ = front_layers;
+  AllocateEpcRegions();
+}
+
+void PartitionedTrainer::TouchFrontNet(int batch_size) {
+  if (front_layers_ == 0) return;
+  if (batch_size != last_batch_size_) {
+    // Activations + deltas for every front layer, plus the input batch:
+    // this is the in-enclave working set beyond the weights.
+    std::size_t activation_bytes =
+        static_cast<std::size_t>(batch_size) * net_.input_shape().Flat() *
+        sizeof(float);
+    for (int i = 0; i < front_layers_; ++i) {
+      activation_bytes += 2 *
+                          static_cast<std::size_t>(batch_size) *
+                          net_.layer(i).out_shape().Flat() * sizeof(float);
+    }
+    enclave_.epc().Resize(activation_region_, activation_bytes);
+    last_batch_size_ = batch_size;
+  }
+  enclave_.epc().Touch(weights_region_);
+  enclave_.epc().Touch(activation_region_);
+}
+
+float PartitionedTrainer::TrainBatch(const nn::Batch& input,
+                                     const std::vector<int>& labels,
+                                     const nn::SgdConfig& sgd, Rng& rng) {
+  const int total = net_.NumLayers();
+  const int k = front_layers_;
+
+  nn::LayerContext enclave_ctx;
+  enclave_ctx.training = true;
+  enclave_ctx.rng = &rng;
+  enclave_ctx.profile = nn::KernelProfile::kPrecise;
+  enclave_ctx.labels = &labels;
+
+  nn::LayerContext host_ctx = enclave_ctx;
+  host_ctx.profile = nn::KernelProfile::kFast;
+
+  if (k > 0) {
+    // FrontNet forward inside the enclave.
+    enclave_.Ecall([&] {
+      TouchFrontNet(input.n);
+      net_.ForwardRange(&input, 0, k, enclave_ctx);
+    });
+    // IRs cross the boundary outward.
+    enclave_.Ocall([&] {
+      stats_.ir_bytes_out += net_.ActivationAt(k - 1).TotalBytes();
+    });
+  }
+  if (k < total) {
+    if (k == 0) {
+      net_.ForwardRange(&input, 0, total, host_ctx);
+    } else {
+      net_.ForwardRange(nullptr, k, total, host_ctx);
+    }
+    // BackNet backward outside.
+    net_.BackwardRange(k, total, host_ctx);
+  }
+  if (k > 0) {
+    if (k < total) {
+      // Deltas cross the boundary inward.
+      stats_.delta_bytes_in += net_.DeltaAt(k - 1).TotalBytes();
+    }
+    enclave_.Ecall([&] {
+      TouchFrontNet(input.n);
+      if (k == total) {
+        net_.BackwardRange(0, total, enclave_ctx);
+      } else {
+        net_.BackwardRange(0, k, enclave_ctx);
+      }
+      net_.UpdateRange(0, k, sgd, input.n);
+    });
+  }
+  if (k < total) {
+    net_.UpdateRange(k, total, sgd, input.n);
+  }
+
+  ++stats_.batches;
+  return net_.LastLoss();
+}
+
+std::vector<std::vector<float>> PartitionedTrainer::Predict(
+    const nn::Batch& input) {
+  const int k = front_layers_;
+  nn::LayerContext enclave_ctx;
+  enclave_ctx.profile = nn::KernelProfile::kPrecise;
+  nn::LayerContext host_ctx;
+  host_ctx.profile = nn::KernelProfile::kFast;
+
+  const int out_layer =
+      net_.SoftmaxIndex() >= 0 ? net_.SoftmaxIndex() + 1 : net_.NumLayers();
+  const int front = std::min(k, out_layer);
+  if (front > 0) {
+    enclave_.Ecall([&] {
+      TouchFrontNet(input.n);
+      net_.ForwardRange(&input, 0, front, enclave_ctx);
+    });
+    enclave_.Ocall([&] {
+      stats_.ir_bytes_out += net_.ActivationAt(front - 1).TotalBytes();
+    });
+  }
+  if (front < out_layer) {
+    net_.ForwardRange(front == 0 ? &input : nullptr, front, out_layer,
+                      host_ctx);
+  }
+  const nn::Batch& out = net_.ActivationAt(out_layer - 1);
+  std::vector<std::vector<float>> result(static_cast<std::size_t>(input.n));
+  for (int s = 0; s < input.n; ++s) {
+    result[static_cast<std::size_t>(s)].assign(
+        out.Sample(s), out.Sample(s) + out.SampleSize());
+  }
+  return result;
+}
+
+}  // namespace caltrain::core

@@ -1,0 +1,74 @@
+// Partitioned training (paper Sec. IV-B).
+//
+// The network stack is split at `front_layers`: the FrontNet runs
+// inside the training enclave (strict-FP kernels, EPC residency charged
+// for its weights, activations and deltas), the BackNet runs outside on
+// the fast path.  Per batch:
+//
+//   ECALL  { FrontNet forward }            — data never leaves plaintext
+//   OCALL  { IRs out }  -> BackNet forward/backward outside
+//   ECALL  { deltas in; FrontNet backward; FrontNet update }
+//
+// The boundary traffic (intermediate representations outward, deltas
+// inward) is exactly the paper's full-training-lifecycle partitioning.
+#pragma once
+
+#include "enclave/enclave.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+
+namespace caltrain::core {
+
+struct PartitionStats {
+  std::uint64_t batches = 0;
+  std::uint64_t ir_bytes_out = 0;     ///< IR traffic across the boundary
+  std::uint64_t delta_bytes_in = 0;   ///< gradient traffic back in
+};
+
+/// Drives one network through partitioned forward/backward/update.
+/// front_layers == 0 degenerates to fully-outside training;
+/// front_layers == NumLayers() runs everything in the enclave.
+class PartitionedTrainer {
+ public:
+  PartitionedTrainer(nn::Network& net, enclave::Enclave& enclave,
+                     int front_layers);
+  ~PartitionedTrainer();
+
+  PartitionedTrainer(const PartitionedTrainer&) = delete;
+  PartitionedTrainer& operator=(const PartitionedTrainer&) = delete;
+
+  /// Moves the split point (dynamic re-assessment between epochs).
+  void SetFrontLayers(int front_layers);
+  [[nodiscard]] int front_layers() const noexcept { return front_layers_; }
+
+  /// One SGD step on a decrypted batch already inside the enclave.
+  /// Returns the batch loss.
+  float TrainBatch(const nn::Batch& input, const std::vector<int>& labels,
+                   const nn::SgdConfig& sgd, Rng& rng);
+
+  /// Eval-mode forward returning class probabilities (FrontNet still
+  /// runs enclaved — inference inputs get the same protection).
+  [[nodiscard]] std::vector<std::vector<float>> Predict(
+      const nn::Batch& input);
+
+  [[nodiscard]] const PartitionStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] nn::Network& network() noexcept { return net_; }
+
+ private:
+  void AllocateEpcRegions();
+  void ReleaseEpcRegions();
+  void TouchFrontNet(int batch_size);
+
+  nn::Network& net_;
+  enclave::Enclave& enclave_;
+  int front_layers_;
+  enclave::RegionId weights_region_ = 0;
+  enclave::RegionId activation_region_ = 0;
+  bool regions_allocated_ = false;
+  int last_batch_size_ = 0;
+  PartitionStats stats_;
+};
+
+}  // namespace caltrain::core

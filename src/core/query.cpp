@@ -1,0 +1,34 @@
+#include "core/query.hpp"
+
+#include "linkage/fingerprint.hpp"
+#include "util/mathx.hpp"
+
+namespace caltrain::core {
+
+QueryService::QueryService(nn::Network model,
+                           linkage::LinkageDatabase database,
+                           int fingerprint_layer)
+    : model_(std::move(model)),
+      database_(std::move(database)),
+      fingerprint_layer_(fingerprint_layer < 0 ? model_.PenultimateIndex()
+                                               : fingerprint_layer) {}
+
+MispredictionReport QueryService::Investigate(const nn::Image& input,
+                                              std::size_t k) {
+  MispredictionReport report;
+  const std::vector<float> probs = model_.PredictOne(input);
+  report.predicted_label = static_cast<int>(ArgMax(probs));
+  report.fingerprint =
+      linkage::ExtractFingerprintAt(model_, input, fingerprint_layer_);
+  report.neighbors =
+      database_.QueryNearest(report.fingerprint, report.predicted_label, k);
+  return report;
+}
+
+bool QueryService::VerifyTurnedInData(std::uint64_t tuple_id,
+                                      const nn::Image& image,
+                                      int label) const {
+  return database_.VerifySubmission(tuple_id, image, label);
+}
+
+}  // namespace caltrain::core

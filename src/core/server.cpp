@@ -1,0 +1,321 @@
+#include "core/server.hpp"
+
+#include <numeric>
+
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace caltrain::core {
+
+namespace {
+
+enclave::EnclaveConfig MakeEnclaveConfig(const std::string& name,
+                                         const Bytes& code_identity,
+                                         const enclave::EpcConfig& epc,
+                                         std::uint64_t seed) {
+  enclave::EnclaveConfig config;
+  config.name = name;
+  config.code_identity = code_identity;
+  config.epc = epc;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+TrainingServer::TrainingServer(ServerConfig config)
+    : config_(std::move(config)),
+      attestation_(config_.seed ^ 0xa77e57),
+      training_enclave_(std::make_unique<enclave::Enclave>(
+          MakeEnclaveConfig("training-enclave", config_.training_code_identity,
+                            config_.epc, config_.seed))),
+      fingerprint_enclave_(std::make_unique<enclave::Enclave>(
+          MakeEnclaveConfig("fingerprint-enclave",
+                            config_.fingerprint_code_identity, config_.epc,
+                            config_.seed + 1))) {}
+
+crypto::U128 TrainingServer::attestation_public_key() const noexcept {
+  return attestation_.public_key();
+}
+
+const crypto::Sha256Digest& TrainingServer::training_measurement()
+    const noexcept {
+  return training_enclave_->measurement();
+}
+
+TrainingServer::ParticipantState& TrainingServer::StateOf(
+    const std::string& participant_id) {
+  return participants_[participant_id];
+}
+
+const Bytes* TrainingServer::KeyOf(const std::string& participant_id) const {
+  const auto it = participants_.find(participant_id);
+  if (it == participants_.end() || !it->second.provisioned) return nullptr;
+  return &it->second.data_key;
+}
+
+const crypto::AesGcm* TrainingServer::CipherOf(
+    const std::string& participant_id) const {
+  const auto it = participants_.find(participant_id);
+  if (it == participants_.end() || !it->second.provisioned) return nullptr;
+  return it->second.cipher.get();
+}
+
+Bytes TrainingServer::HandleClientHello(const std::string& participant_id,
+                                        BytesView client_hello) {
+  ParticipantState& state = StateOf(participant_id);
+  state.handshake = std::make_unique<securechannel::ServerHandshake>(
+      *training_enclave_, attestation_);
+  return state.handshake->OnClientHello(client_hello);
+}
+
+bool TrainingServer::HandleClientFinished(const std::string& participant_id,
+                                          BytesView client_finished) {
+  ParticipantState& state = StateOf(participant_id);
+  if (state.handshake == nullptr) return false;
+  if (!state.handshake->OnClientFinished(client_finished)) return false;
+  state.reader = std::make_unique<securechannel::RecordReader>(
+      state.handshake->keys().client_write_key);
+  return true;
+}
+
+bool TrainingServer::HandleKeyProvision(const std::string& participant_id,
+                                        BytesView record) {
+  ParticipantState& state = StateOf(participant_id);
+  if (state.reader == nullptr) return false;
+  return training_enclave_->Ecall([&]() -> bool {
+    const auto key = state.reader->Unprotect(record, BytesOf(participant_id));
+    if (!key.has_value() || (key->size() != 16 && key->size() != 32)) {
+      return false;
+    }
+    state.data_key = *key;
+    state.cipher = std::make_unique<crypto::AesGcm>(state.data_key);
+    state.provisioned = true;
+    CALTRAIN_LOG(kInfo) << "provisioned data key for " << participant_id;
+    return true;
+  });
+}
+
+bool TrainingServer::IsProvisioned(const std::string& participant_id) const {
+  const auto it = participants_.find(participant_id);
+  return it != participants_.end() && it->second.provisioned;
+}
+
+std::size_t TrainingServer::UploadRecords(
+    const std::vector<data::EncryptedRecord>& records) {
+  std::size_t accepted = 0;
+  for (const data::EncryptedRecord& record : records) {
+    const bool ok = training_enclave_->Ecall([&]() -> bool {
+      const crypto::AesGcm* cipher = CipherOf(record.participant_id);
+      if (cipher == nullptr) return false;  // unregistered source
+      // Full authenticity + integrity check; the plaintext is discarded
+      // here — training re-decrypts per batch inside the enclave.
+      return data::OpenRecord(record, *cipher).has_value();
+    });
+    if (ok) {
+      records_.push_back(record);
+      ++accepted;
+    } else {
+      ++rejected_;
+    }
+  }
+  return accepted;
+}
+
+TrainReport TrainingServer::Train(const nn::NetworkSpec& spec,
+                                  const PartitionedTrainOptions& options) {
+  CALTRAIN_REQUIRE(!records_.empty(), "no accepted training records");
+  Rng rng(options.seed);
+  if (options.resume) {
+    CALTRAIN_REQUIRE(model_.has_value(), "resume requested without a model");
+  } else {
+    model_.emplace(spec);
+    model_->InitWeights(rng);
+    if (!options.initial_weights.empty()) {
+      model_->DeserializeWeightRange(0, model_->NumLayers(),
+                                     options.initial_weights);
+    }
+  }
+  released_front_layers_ = options.front_layers;
+
+  PartitionedTrainer trainer(*model_, *training_enclave_,
+                             options.front_layers);
+  TrainReport report;
+
+  std::vector<std::size_t> order(records_.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 1; epoch <= options.epochs; ++epoch) {
+    Stopwatch timer;
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t first = 0; first < order.size();
+         first += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t count =
+          std::min<std::size_t>(static_cast<std::size_t>(options.batch_size),
+                                order.size() - first);
+      // In-enclave: authenticate, decrypt, augment, pack (paper Fig. 2).
+      nn::Batch batch;
+      std::vector<int> labels(count);
+      training_enclave_->Ecall([&] {
+        for (std::size_t i = 0; i < count; ++i) {
+          const data::EncryptedRecord& record = records_[order[first + i]];
+          const crypto::AesGcm* cipher = CipherOf(record.participant_id);
+          CALTRAIN_CHECK(cipher != nullptr,
+                         "record from deprovisioned source");
+          auto verified = data::OpenRecord(record, *cipher);
+          CALTRAIN_CHECK(verified.has_value(),
+                         "stored record failed re-authentication");
+          nn::Image image = std::move(verified->image);
+          if (options.augment) {
+            image = nn::Augment(image, options.augment_options, rng);
+          }
+          if (batch.n == 0) {
+            batch = nn::Batch(static_cast<int>(count), image.shape);
+          }
+          std::copy(image.pixels.begin(), image.pixels.end(),
+                    batch.Sample(static_cast<int>(i)));
+          labels[i] = verified->label;
+        }
+      });
+      loss_sum += trainer.TrainBatch(batch, labels, options.sgd, rng);
+      ++batches;
+    }
+
+    nn::EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss =
+        static_cast<float>(loss_sum / std::max<std::size_t>(1, batches));
+    stats.seconds = timer.ElapsedSeconds();
+    if (options.test_images != nullptr && options.test_labels != nullptr) {
+      stats.top1 = nn::EvaluateTopK(*model_, *options.test_images,
+                                    *options.test_labels, 1);
+      stats.top2 = nn::EvaluateTopK(*model_, *options.test_images,
+                                    *options.test_labels, 2);
+    }
+    CALTRAIN_LOG(kInfo) << "[server] epoch " << epoch << " loss "
+                        << stats.mean_loss << " top1 " << stats.top1
+                        << " front=" << trainer.front_layers() << " ("
+                        << stats.seconds << "s)";
+    report.epochs.push_back(stats);
+    report.front_layers_per_epoch.push_back(trainer.front_layers());
+
+    // Dynamic re-assessment: participants inspect the semi-trained model
+    // and may move the partition for the next epoch.
+    if (options.reassess) {
+      const auto new_front = options.reassess(*model_, epoch);
+      if (new_front.has_value()) {
+        trainer.SetFrontLayers(*new_front);
+        released_front_layers_ = *new_front;
+      }
+    }
+  }
+
+  report.partition = trainer.stats();
+  report.epc = training_enclave_->epc().stats();
+  report.transitions = training_enclave_->transitions();
+  report.records_trained = records_.size();
+  report.records_rejected = rejected_;
+  return report;
+}
+
+nn::Network& TrainingServer::model() {
+  CALTRAIN_REQUIRE(model_.has_value(), "no trained model yet");
+  return *model_;
+}
+
+linkage::LinkageDatabase TrainingServer::FingerprintAll(
+    int fingerprint_layer) {
+  CALTRAIN_REQUIRE(model_.has_value(), "no trained model yet");
+  const int layer =
+      fingerprint_layer < 0 ? model_->PenultimateIndex() : fingerprint_layer;
+  linkage::LinkageDatabase db;
+  // Fingerprinting is a one-time pass, so the *entire* network is
+  // enclosed in the fingerprinting enclave (paper Sec. IV-C).
+  const enclave::RegionId model_region = fingerprint_enclave_->epc().Allocate(
+      "full-model", model_->WeightBytes(0, model_->NumLayers()));
+  for (const data::EncryptedRecord& record : records_) {
+    fingerprint_enclave_->Ecall([&] {
+      fingerprint_enclave_->epc().Touch(model_region);
+      const crypto::AesGcm* cipher = CipherOf(record.participant_id);
+      CALTRAIN_CHECK(cipher != nullptr, "record from deprovisioned source");
+      auto verified = data::OpenRecord(record, *cipher);
+      CALTRAIN_CHECK(verified.has_value(),
+                     "stored record failed re-authentication");
+      linkage::Fingerprint fp = linkage::ExtractFingerprintAt(
+          *model_, verified->image, layer);
+      (void)db.Insert(std::move(fp), verified->label,
+                      verified->participant_id, verified->content_hash);
+    });
+  }
+  fingerprint_enclave_->epc().Free(model_region);
+  return db;
+}
+
+TrainingServer::ReleasedModel TrainingServer::ReleaseModelFor(
+    const std::string& participant_id) {
+  CALTRAIN_REQUIRE(model_.has_value(), "no trained model yet");
+  const Bytes* key = KeyOf(participant_id);
+  CALTRAIN_REQUIRE(key != nullptr, "participant not provisioned");
+
+  ReleasedModel released;
+  released.participant_id = participant_id;
+  released.front_layers = released_front_layers_;
+  ByteWriter spec_writer;
+  model_->spec().Serialize(spec_writer);
+  released.spec_blob = spec_writer.Take();
+  released.backnet_weights = model_->SerializeWeightRange(
+      released_front_layers_, model_->NumLayers());
+
+  // FrontNet weights leave the enclave only under the participant's key
+  // (paper Sec. IV-B: "the learned model is delivered ... with the
+  // FrontNet encrypted with symmetric keys provisioned by different
+  // training participants").
+  const Bytes frontnet =
+      released_front_layers_ > 0
+          ? model_->SerializeWeightRange(0, released_front_layers_)
+          : Bytes{};
+  training_enclave_->Ecall([&] {
+    const crypto::AesGcm cipher(*key);
+    released.frontnet_iv = training_enclave_->drbg().Generate(
+        crypto::kGcmIvSize);
+    const crypto::GcmSealed sealed = cipher.Seal(
+        released.frontnet_iv, BytesOf("frontnet:" + participant_id),
+        frontnet);
+    released.frontnet_ciphertext = sealed.ciphertext;
+    released.frontnet_tag.assign(sealed.tag.begin(), sealed.tag.end());
+  });
+  return released;
+}
+
+nn::Network TrainingServer::AssembleReleasedModel(const ReleasedModel& released,
+                                                  BytesView participant_key) {
+  ByteReader spec_reader(released.spec_blob);
+  const nn::NetworkSpec spec = nn::NetworkSpec::Deserialize(spec_reader);
+  nn::Network net(spec);
+
+  const crypto::AesGcm cipher(participant_key);
+  CALTRAIN_REQUIRE(released.frontnet_tag.size() == crypto::kGcmTagSize,
+                   "bad released-model tag");
+  std::array<std::uint8_t, crypto::kGcmTagSize> tag{};
+  std::copy(released.frontnet_tag.begin(), released.frontnet_tag.end(),
+            tag.begin());
+  const std::optional<Bytes> frontnet =
+      cipher.Open(released.frontnet_iv,
+                  BytesOf("frontnet:" + released.participant_id),
+                  released.frontnet_ciphertext, tag);
+  if (!frontnet.has_value()) {
+    ThrowError(ErrorKind::kAuthFailure,
+               "FrontNet decryption failed (wrong participant key?)");
+  }
+  if (released.front_layers > 0) {
+    net.DeserializeWeightRange(0, released.front_layers, *frontnet);
+  }
+  net.DeserializeWeightRange(released.front_layers, net.NumLayers(),
+                             released.backnet_weights);
+  return net;
+}
+
+}  // namespace caltrain::core

@@ -1,0 +1,182 @@
+// The CalTrain training server (paper Fig. 1 / Fig. 2).
+//
+// Owns the training enclave, the fingerprinting enclave, and the
+// per-participant state.  The pipeline:
+//
+//   1. Provisioning — participants attest the training enclave over the
+//      secure channel and provision their symmetric data keys.
+//   2. Upload — participants submit AES-GCM-encrypted records; the
+//      enclave authenticates each record with the provisioned key and
+//      discards failures (unregistered sources / tampering).
+//   3. Training — encrypted records are shuffled into mini-batches and
+//      decrypted/augmented/trained *inside* the enclave, with the
+//      FrontNet/BackNet split of PartitionedTrainer.  After each epoch
+//      the semi-trained model is released for participant re-assessment
+//      and the split can move (dynamic re-assessment, Sec. IV-B).
+//   4. Fingerprinting — a second enclave encloses the whole trained
+//      network once and emits the linkage database (Sec. IV-C).
+//   5. Release — each participant receives the model with the FrontNet
+//      encrypted under its own provisioned key.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partitioned.hpp"
+#include "data/packaging.hpp"
+#include "enclave/attestation.hpp"
+#include "enclave/enclave.hpp"
+#include "linkage/linkage_db.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+#include "securechannel/handshake.hpp"
+#include "securechannel/record.hpp"
+
+namespace caltrain::core {
+
+struct ServerConfig {
+  Bytes training_code_identity = BytesOf("caltrain training pipeline v1");
+  Bytes fingerprint_code_identity = BytesOf("caltrain fingerprint stage v1");
+  enclave::EpcConfig epc;
+  std::uint64_t seed = 1;
+};
+
+struct TrainReport {
+  std::vector<nn::EpochStats> epochs;
+  std::vector<int> front_layers_per_epoch;  ///< split after re-assessment
+  PartitionStats partition;
+  enclave::EpcStats epc;
+  enclave::TransitionStats transitions;
+  std::size_t records_trained = 0;
+  std::size_t records_rejected = 0;
+};
+
+struct PartitionedTrainOptions {
+  nn::SgdConfig sgd;
+  int batch_size = 32;
+  int epochs = 12;
+  int front_layers = 2;
+  /// Continue from the currently held model instead of re-initializing
+  /// (used when later-arriving data fine-tunes an existing model, as in
+  /// the Trojaning Attack's retraining step).
+  bool resume = false;
+  /// Optional initial weight blob (SerializeWeightRange over the whole
+  /// network).  Lets experiments start the enclave-trained model from
+  /// the same initialization as a baseline model.
+  Bytes initial_weights;
+  bool augment = true;
+  nn::AugmentOptions augment_options;
+  std::uint64_t seed = 1;
+  /// Optional dynamic re-assessment hook: called after each epoch with
+  /// the semi-trained model; the returned value (if any) becomes the
+  /// FrontNet depth for the next epoch.  This is where participants'
+  /// consensus plugs in.
+  std::function<std::optional<int>(const nn::Network&, int epoch)>
+      reassess;
+  /// Optional held-out evaluation set (accuracy per epoch).
+  const std::vector<nn::Image>* test_images = nullptr;
+  const std::vector<int>* test_labels = nullptr;
+};
+
+class TrainingServer {
+ public:
+  explicit TrainingServer(ServerConfig config = {});
+
+  // --- attestation surface (what participants see) ---------------------
+  [[nodiscard]] crypto::U128 attestation_public_key() const noexcept;
+  [[nodiscard]] const crypto::Sha256Digest& training_measurement()
+      const noexcept;
+
+  // --- phase 1: key provisioning ---------------------------------------
+  /// Handshake messages are relayed verbatim from the participant.
+  [[nodiscard]] Bytes HandleClientHello(const std::string& participant_id,
+                                        BytesView client_hello);
+  [[nodiscard]] bool HandleClientFinished(const std::string& participant_id,
+                                          BytesView client_finished);
+  /// The first record on the established channel is the participant's
+  /// 32-byte symmetric data key.  Returns false (and provisions nothing)
+  /// on any channel failure.
+  [[nodiscard]] bool HandleKeyProvision(const std::string& participant_id,
+                                        BytesView record);
+
+  [[nodiscard]] bool IsProvisioned(const std::string& participant_id) const;
+
+  // --- phase 2: encrypted data upload ----------------------------------
+  /// Authenticates each record inside the enclave; failures are counted
+  /// and discarded.  Returns the number of accepted records.
+  std::size_t UploadRecords(const std::vector<data::EncryptedRecord>& records);
+
+  [[nodiscard]] std::size_t accepted_records() const noexcept {
+    return records_.size();
+  }
+  [[nodiscard]] std::size_t rejected_records() const noexcept {
+    return rejected_;
+  }
+
+  // --- phase 3: partitioned training -----------------------------------
+  /// Trains `spec` on all accepted records; the model stays owned by the
+  /// server until released.
+  TrainReport Train(const nn::NetworkSpec& spec,
+                    const PartitionedTrainOptions& options);
+
+  [[nodiscard]] nn::Network& model();
+
+  // --- phase 4: fingerprinting stage ------------------------------------
+  /// Runs the fingerprinting enclave over every accepted record with the
+  /// trained model fully enclosed; returns the linkage database.
+  /// `fingerprint_layer` selects the embedding layer (-1 = the paper's
+  /// penultimate layer).
+  [[nodiscard]] linkage::LinkageDatabase FingerprintAll(
+      int fingerprint_layer = -1);
+
+  // --- phase 5: model release -------------------------------------------
+  /// Released model for one participant: spec + plaintext BackNet
+  /// weights + FrontNet weights sealed under the participant's key.
+  struct ReleasedModel {
+    std::string participant_id;  ///< who this release is encrypted for
+    Bytes spec_blob;
+    int front_layers = 0;
+    Bytes backnet_weights;            ///< plaintext
+    Bytes frontnet_iv, frontnet_ciphertext, frontnet_tag;  ///< AES-GCM
+  };
+  [[nodiscard]] ReleasedModel ReleaseModelFor(
+      const std::string& participant_id);
+
+  /// Participant-side: decrypt and reassemble the released model.
+  [[nodiscard]] static nn::Network AssembleReleasedModel(
+      const ReleasedModel& released, BytesView participant_key);
+
+  [[nodiscard]] enclave::Enclave& training_enclave() noexcept {
+    return *training_enclave_;
+  }
+
+ private:
+  struct ParticipantState {
+    std::unique_ptr<securechannel::ServerHandshake> handshake;
+    std::unique_ptr<securechannel::RecordReader> reader;
+    Bytes data_key;  ///< provisioned symmetric key (enclave-held)
+    std::unique_ptr<crypto::AesGcm> cipher;  ///< cached key schedule
+    bool provisioned = false;
+  };
+
+  ParticipantState& StateOf(const std::string& participant_id);
+  [[nodiscard]] const Bytes* KeyOf(const std::string& participant_id) const;
+  [[nodiscard]] const crypto::AesGcm* CipherOf(
+      const std::string& participant_id) const;
+
+  ServerConfig config_;
+  enclave::AttestationService attestation_;
+  std::unique_ptr<enclave::Enclave> training_enclave_;
+  std::unique_ptr<enclave::Enclave> fingerprint_enclave_;
+  std::map<std::string, ParticipantState> participants_;
+  std::vector<data::EncryptedRecord> records_;
+  std::size_t rejected_ = 0;
+  std::optional<nn::Network> model_;
+  int released_front_layers_ = 0;
+};
+
+}  // namespace caltrain::core

@@ -1,0 +1,44 @@
+// AES-128/256 block cipher (FIPS 197) with a CTR-mode stream.
+//
+// AES-GCM built on top of this authenticates and encrypts participant
+// training data (Sec. IV-A); raw AES-CTR models the SGX Memory
+// Encryption Engine when the enclave simulator evicts EPC pages.
+//
+// Encrypt-only T-table implementation: CTR and GCM never need the
+// inverse cipher.  Not hardened against cache-timing side channels —
+// the paper explicitly scopes side channels out (Sec. III).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace caltrain::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// AES key schedule + single-block encryption.  Key must be 16 or 32
+/// bytes (AES-128 / AES-256).
+class Aes {
+ public:
+  explicit Aes(BytesView key);
+
+  /// Encrypts one 16-byte block.
+  void EncryptBlock(const std::uint8_t* in, std::uint8_t* out) const noexcept;
+
+  [[nodiscard]] int rounds() const noexcept { return rounds_; }
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+/// AES-CTR keystream XOR: encrypt == decrypt.  `counter_block` is the
+/// initial 16-byte counter; the final 32 bits are incremented big-endian
+/// per block (the GCM convention).
+void AesCtrXor(const Aes& aes, const AesBlock& counter_block, BytesView in,
+               std::uint8_t* out) noexcept;
+
+}  // namespace caltrain::crypto

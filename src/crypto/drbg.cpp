@@ -1,0 +1,73 @@
+#include "crypto/drbg.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/error.hpp"
+
+namespace caltrain::crypto {
+
+HmacDrbg::HmacDrbg(BytesView entropy, BytesView personalization) {
+  CALTRAIN_REQUIRE(!entropy.empty(), "DRBG requires entropy");
+  key_.fill(0x00);
+  value_.fill(0x01);
+  Bytes seed(entropy.begin(), entropy.end());
+  Append(seed, personalization);
+  Update(seed);
+}
+
+void HmacDrbg::Reseed(BytesView entropy) {
+  CALTRAIN_REQUIRE(!entropy.empty(), "DRBG reseed requires entropy");
+  Update(entropy);
+}
+
+void HmacDrbg::Update(BytesView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes msg(value_.begin(), value_.end());
+  msg.push_back(0x00);
+  Append(msg, provided);
+  Sha256Digest k = HmacSha256(BytesView(key_.data(), key_.size()),
+                              BytesView(msg.data(), msg.size()));
+  std::copy(k.begin(), k.end(), key_.begin());
+  Sha256Digest v = HmacSha256(BytesView(key_.data(), key_.size()),
+                              BytesView(value_.data(), value_.size()));
+  std::copy(v.begin(), v.end(), value_.begin());
+
+  if (provided.empty()) return;
+  // Second round with 0x01 separator, as the spec requires.
+  msg.assign(value_.begin(), value_.end());
+  msg.push_back(0x01);
+  Append(msg, provided);
+  k = HmacSha256(BytesView(key_.data(), key_.size()),
+                 BytesView(msg.data(), msg.size()));
+  std::copy(k.begin(), k.end(), key_.begin());
+  v = HmacSha256(BytesView(key_.data(), key_.size()),
+                 BytesView(value_.data(), value_.size()));
+  std::copy(v.begin(), v.end(), value_.begin());
+}
+
+Bytes HmacDrbg::Generate(std::size_t length) {
+  Bytes out;
+  out.reserve(length);
+  while (out.size() < length) {
+    const Sha256Digest v = HmacSha256(BytesView(key_.data(), key_.size()),
+                                      BytesView(value_.data(), value_.size()));
+    std::copy(v.begin(), v.end(), value_.begin());
+    const std::size_t take = std::min(v.size(), length - out.size());
+    out.insert(out.end(), v.begin(), v.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  Update({});
+  return out;
+}
+
+std::array<std::uint8_t, 12> HmacDrbg::GenerateNonce() {
+  const Bytes raw = Generate(12);
+  std::array<std::uint8_t, 12> nonce{};
+  std::copy(raw.begin(), raw.end(), nonce.begin());
+  return nonce;
+}
+
+std::uint64_t HmacDrbg::GenerateU64() {
+  const Bytes raw = Generate(8);
+  return LoadLe64(raw.data());
+}
+
+}  // namespace caltrain::crypto

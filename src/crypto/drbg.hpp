@@ -1,0 +1,41 @@
+// HMAC-DRBG (NIST SP 800-90A, HMAC-SHA256 variant).
+//
+// Models the on-chip hardware random number generator the paper uses
+// inside the enclave for data augmentation and for protocol nonces.
+// Deterministic when seeded explicitly, which keeps experiments
+// reproducible while exercising the same code path as RDRAND would.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace caltrain::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiates from entropy (any length > 0) and an optional
+  /// personalization string.
+  explicit HmacDrbg(BytesView entropy, BytesView personalization = {});
+
+  /// Mixes fresh entropy into the state.
+  void Reseed(BytesView entropy);
+
+  /// Generates `length` pseudo-random bytes.
+  [[nodiscard]] Bytes Generate(std::size_t length);
+
+  /// Convenience: a fresh 12-byte GCM nonce.
+  [[nodiscard]] std::array<std::uint8_t, 12> GenerateNonce();
+
+  /// Convenience: uniform u64 (for in-enclave augmentation decisions).
+  [[nodiscard]] std::uint64_t GenerateU64();
+
+ private:
+  void Update(BytesView provided);
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 32> value_{};
+};
+
+}  // namespace caltrain::crypto

@@ -1,0 +1,152 @@
+#include "crypto/gcm.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace caltrain::crypto {
+
+namespace {
+
+AesBlock MakeJ0(BytesView iv) {
+  CALTRAIN_REQUIRE(iv.size() == kGcmIvSize, "GCM IV must be 12 bytes");
+  AesBlock j0{};
+  std::memcpy(j0.data(), iv.data(), kGcmIvSize);
+  j0[15] = 1;
+  return j0;
+}
+
+AesBlock IncrementCounter(const AesBlock& block) noexcept {
+  AesBlock out = block;
+  StoreBe32(out.data() + 12, LoadBe32(out.data() + 12) + 1);
+  return out;
+}
+
+}  // namespace
+
+AesGcm::AesGcm(BytesView key) : aes_(key) {
+  AesBlock zero{};
+  AesBlock h_block{};
+  aes_.EncryptBlock(zero.data(), h_block.data());
+  h_.hi = LoadBe64(h_block.data());
+  h_.lo = LoadBe64(h_block.data() + 8);
+
+  // Precompute (nibble << chunk) * H for every 4-bit chunk position.
+  for (int pos = 0; pos < 32; ++pos) {
+    for (std::uint64_t nibble = 0; nibble < 16; ++nibble) {
+      U128 x{};
+      // Chunk 0 is the most significant nibble of the 128-bit value.
+      const int shift_from_top = pos * 4;
+      if (shift_from_top < 64) {
+        x.hi = nibble << (60 - shift_from_top);
+      } else {
+        x.lo = nibble << (124 - shift_from_top);
+      }
+      nibble_table_[static_cast<std::size_t>(pos)][nibble] =
+          GhashMultiplySlow(x);
+    }
+  }
+}
+
+AesGcm::U128 AesGcm::GhashMultiply(U128 x) const noexcept {
+  U128 z{};
+  for (int byte_pos = 0; byte_pos < 8; ++byte_pos) {
+    const std::uint64_t byte = (x.hi >> (56 - 8 * byte_pos)) & 0xff;
+    const auto& hi_entry =
+        nibble_table_[static_cast<std::size_t>(2 * byte_pos)][byte >> 4];
+    const auto& lo_entry =
+        nibble_table_[static_cast<std::size_t>(2 * byte_pos + 1)][byte & 0xf];
+    z.hi ^= hi_entry.hi ^ lo_entry.hi;
+    z.lo ^= hi_entry.lo ^ lo_entry.lo;
+  }
+  for (int byte_pos = 0; byte_pos < 8; ++byte_pos) {
+    const std::uint64_t byte = (x.lo >> (56 - 8 * byte_pos)) & 0xff;
+    const auto& hi_entry =
+        nibble_table_[static_cast<std::size_t>(16 + 2 * byte_pos)][byte >> 4];
+    const auto& lo_entry =
+        nibble_table_[static_cast<std::size_t>(17 + 2 * byte_pos)][byte & 0xf];
+    z.hi ^= hi_entry.hi ^ lo_entry.hi;
+    z.lo ^= hi_entry.lo ^ lo_entry.lo;
+  }
+  return z;
+}
+
+AesGcm::U128 AesGcm::GhashMultiplySlow(U128 x) const noexcept {
+  // Bitwise GF(2^128) multiply, GCM bit order (bit 0 is the MSB).
+  U128 z{};
+  U128 v = h_;
+  for (int i = 0; i < 128; ++i) {
+    const bool bit = (i < 64) ? ((x.hi >> (63 - i)) & 1)
+                              : ((x.lo >> (127 - i)) & 1);
+    if (bit) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const bool lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe100000000000000ULL;
+  }
+  return z;
+}
+
+std::array<std::uint8_t, kGcmTagSize> AesGcm::ComputeTag(
+    BytesView iv, BytesView aad, BytesView ciphertext) const noexcept {
+  U128 y{};
+  const auto absorb = [&](BytesView data) noexcept {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      AesBlock block{};
+      const std::size_t take = std::min(data.size() - offset, kAesBlockSize);
+      std::memcpy(block.data(), data.data() + offset, take);
+      y.hi ^= LoadBe64(block.data());
+      y.lo ^= LoadBe64(block.data() + 8);
+      y = GhashMultiply(y);
+      offset += take;
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+
+  // Length block: bit lengths of AAD and ciphertext.
+  y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  y.lo ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  y = GhashMultiply(y);
+
+  AesBlock ghash{};
+  StoreBe64(ghash.data(), y.hi);
+  StoreBe64(ghash.data() + 8, y.lo);
+
+  AesBlock ek_j0{};
+  const AesBlock j0 = MakeJ0(iv);
+  aes_.EncryptBlock(j0.data(), ek_j0.data());
+
+  std::array<std::uint8_t, kGcmTagSize> tag{};
+  for (std::size_t i = 0; i < kGcmTagSize; ++i) tag[i] = ghash[i] ^ ek_j0[i];
+  return tag;
+}
+
+GcmSealed AesGcm::Seal(BytesView iv, BytesView aad, BytesView plaintext) const {
+  const AesBlock counter = IncrementCounter(MakeJ0(iv));
+  GcmSealed sealed;
+  sealed.ciphertext.resize(plaintext.size());
+  AesCtrXor(aes_, counter, plaintext, sealed.ciphertext.data());
+  sealed.tag = ComputeTag(iv, aad, sealed.ciphertext);
+  return sealed;
+}
+
+std::optional<Bytes> AesGcm::Open(
+    BytesView iv, BytesView aad, BytesView ciphertext,
+    std::span<const std::uint8_t, kGcmTagSize> tag) const {
+  const auto expected = ComputeTag(iv, aad, ciphertext);
+  if (!ConstantTimeEqual(BytesView(expected.data(), expected.size()),
+                         BytesView(tag.data(), tag.size()))) {
+    return std::nullopt;
+  }
+  const AesBlock counter = IncrementCounter(MakeJ0(iv));
+  Bytes plaintext(ciphertext.size());
+  AesCtrXor(aes_, counter, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace caltrain::crypto

@@ -1,0 +1,64 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// This is the cipher the paper's participants use to seal training data
+// before upload (Sec. IV-A): confidentiality from AES-CTR plus an
+// authentication tag that lets the training enclave verify the data
+// source.  Tag verification failure is how CalTrain discards injected
+// data from unregistered channels.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::crypto {
+
+inline constexpr std::size_t kGcmIvSize = 12;
+inline constexpr std::size_t kGcmTagSize = 16;
+
+struct GcmSealed {
+  Bytes ciphertext;
+  std::array<std::uint8_t, kGcmTagSize> tag{};
+};
+
+/// AES-GCM with a fixed key.  Key must be 16 or 32 bytes; IVs must be
+/// 12 bytes (the recommended GCM nonce size) and unique per key.
+class AesGcm {
+ public:
+  explicit AesGcm(BytesView key);
+
+  /// Encrypts `plaintext` and authenticates it together with the
+  /// additional authenticated data `aad`.
+  [[nodiscard]] GcmSealed Seal(BytesView iv, BytesView aad,
+                               BytesView plaintext) const;
+
+  /// Verifies the tag (constant time) and decrypts.  Returns nullopt on
+  /// authentication failure; the caller must treat that as adversarial.
+  [[nodiscard]] std::optional<Bytes> Open(
+      BytesView iv, BytesView aad, BytesView ciphertext,
+      std::span<const std::uint8_t, kGcmTagSize> tag) const;
+
+ private:
+  struct U128 {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+  };
+
+  /// Bitwise reference multiply by H (used to build the tables).
+  [[nodiscard]] U128 GhashMultiplySlow(U128 x) const noexcept;
+  /// Table-driven multiply: X*H = XOR over 4-bit chunks of X of
+  /// precomputed (chunk << position) * H — GF(2^128) multiplication is
+  /// linear, so the 32x16 table is exact.
+  [[nodiscard]] U128 GhashMultiply(U128 x) const noexcept;
+  [[nodiscard]] std::array<std::uint8_t, kGcmTagSize> ComputeTag(
+      BytesView iv, BytesView aad, BytesView ciphertext) const noexcept;
+
+  Aes aes_;
+  U128 h_{};  // GHASH subkey H = E_K(0^128)
+  // nibble_table_[pos][nibble] = (nibble placed at 4-bit chunk `pos`,
+  // counted from the most significant chunk) * H.
+  std::array<std::array<U128, 16>, 32> nibble_table_{};
+};
+
+}  // namespace caltrain::crypto

@@ -1,0 +1,81 @@
+#include "crypto/group.hpp"
+
+#include "util/error.hpp"
+
+namespace caltrain::crypto {
+
+U128 GroupPrime() noexcept { return (U128{1} << 127) - 1; }
+
+U128 GroupGenerator() noexcept { return 7; }
+
+U128 AddMod(U128 a, U128 b, U128 m) noexcept {
+  // a, b < m <= 2^127 - 1, so a + b < 2^128: no overflow.
+  const U128 s = a + b;
+  return s >= m ? s - m : s;
+}
+
+U128 MulMod(U128 a, U128 b, U128 m) noexcept {
+  U128 result = 0;
+  a %= m;
+  while (b != 0) {
+    if (b & 1) result = AddMod(result, a, m);
+    a = AddMod(a, a, m);
+    b >>= 1;
+  }
+  return result;
+}
+
+U128 PowMod(U128 base, U128 exp, U128 m) noexcept {
+  U128 result = 1;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+Bytes U128ToBytes(U128 v) {
+  Bytes out(16);
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+  return out;
+}
+
+U128 U128FromBytes(BytesView data) {
+  CALTRAIN_REQUIRE(data.size() == 16, "U128 encoding must be 16 bytes");
+  U128 v = 0;
+  for (int i = 15; i >= 0; --i) {
+    v = (v << 8) | data[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+U128 RandomScalar(HmacDrbg& drbg) {
+  const U128 p = GroupPrime();
+  for (;;) {
+    const Bytes raw = drbg.Generate(16);
+    U128 v = U128FromBytes(raw);
+    v &= (U128{1} << 127) - 1;  // clamp to 127 bits
+    if (v >= 2 && v <= p - 2) return v;
+  }
+}
+
+DhKeyPair DhGenerate(HmacDrbg& drbg) {
+  DhKeyPair kp;
+  kp.secret = RandomScalar(drbg);
+  kp.public_value = PowMod(GroupGenerator(), kp.secret, GroupPrime());
+  return kp;
+}
+
+U128 DhSharedSecret(U128 secret, U128 peer_public) {
+  const U128 p = GroupPrime();
+  CALTRAIN_REQUIRE(peer_public >= 2 && peer_public < p,
+                   "peer DH public value outside the group");
+  return PowMod(peer_public, secret, p);
+}
+
+}  // namespace caltrain::crypto

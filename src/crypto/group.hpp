@@ -1,0 +1,60 @@
+// Prime-field group arithmetic over the Mersenne prime p = 2^127 - 1,
+// plus finite-field Diffie–Hellman key agreement on top of it.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper's prototype uses
+// mbedtls-SGX (RSA/ECDHE) for key provisioning and Intel's EPID scheme
+// for attestation.  Neither is available offline, so this module
+// provides a self-contained group with the same *protocol* interface.
+// A 127-bit group is simulation-grade — large enough to be non-trivial
+// and exercise every code path (key agreement, signing, serialization),
+// but NOT production-strength cryptography.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::crypto {
+
+/// Field/scalar element; values are kept in [0, 2^127 - 1).
+using U128 = unsigned __int128;
+
+/// The group modulus p = 2^127 - 1 (a Mersenne prime).
+[[nodiscard]] U128 GroupPrime() noexcept;
+
+/// Fixed generator used by DH and Schnorr.
+[[nodiscard]] U128 GroupGenerator() noexcept;
+
+/// (a + b) mod m.  Both inputs must already be < m.
+[[nodiscard]] U128 AddMod(U128 a, U128 b, U128 m) noexcept;
+
+/// (a * b) mod m via double-and-add; works for any m < 2^127.
+[[nodiscard]] U128 MulMod(U128 a, U128 b, U128 m) noexcept;
+
+/// (base ^ exp) mod m via square-and-multiply.
+[[nodiscard]] U128 PowMod(U128 base, U128 exp, U128 m) noexcept;
+
+/// 16-byte little-endian encoding.
+[[nodiscard]] Bytes U128ToBytes(U128 v);
+
+/// Decodes 16 little-endian bytes; throws on wrong length.
+[[nodiscard]] U128 U128FromBytes(BytesView data);
+
+/// Uniform scalar in [1, p - 2] drawn from the DRBG.
+[[nodiscard]] U128 RandomScalar(HmacDrbg& drbg);
+
+/// Classic DH: keypair (x, g^x) and shared-secret computation.
+struct DhKeyPair {
+  U128 secret = 0;
+  U128 public_value = 0;
+};
+
+[[nodiscard]] DhKeyPair DhGenerate(HmacDrbg& drbg);
+
+/// shared = peer_public ^ secret mod p; throws if peer_public is not a
+/// valid group element (0, 1, or >= p), which rejects small-subgroup
+/// style garbage.
+[[nodiscard]] U128 DhSharedSecret(U128 secret, U128 peer_public);
+
+}  // namespace caltrain::crypto

@@ -1,0 +1,67 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace caltrain::crypto {
+
+Sha256Digest HmacSha256(BytesView key, BytesView data) noexcept {
+  constexpr std::size_t kBlockSize = 64;
+  std::array<std::uint8_t, kBlockSize> key_block{};
+  if (key.size() > kBlockSize) {
+    const Sha256Digest hashed = Sha256Hash(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(BytesView(ipad.data(), ipad.size()));
+  inner.Update(data);
+  const Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(BytesView(opad.data(), opad.size()));
+  outer.Update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256Digest HkdfExtract(BytesView salt, BytesView ikm) noexcept {
+  return HmacSha256(salt, ikm);
+}
+
+Bytes HkdfExpand(const Sha256Digest& prk, BytesView info, std::size_t length) {
+  CALTRAIN_REQUIRE(length <= 255 * kSha256DigestSize,
+                   "HKDF-Expand length too large");
+  Bytes out;
+  out.reserve(length);
+  Bytes previous;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block_input = previous;
+    Append(block_input, info);
+    block_input.push_back(counter++);
+    const Sha256Digest block = HmacSha256(
+        BytesView(prk.data(), prk.size()),
+        BytesView(block_input.data(), block_input.size()));
+    previous.assign(block.begin(), block.end());
+    const std::size_t take = std::min(previous.size(), length - out.size());
+    out.insert(out.end(), previous.begin(),
+               previous.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes Hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return HkdfExpand(HkdfExtract(salt, ikm), info, length);
+}
+
+}  // namespace caltrain::crypto

@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).  Used by the secure
+// channel key schedule, sealed storage, and the DRBG.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+[[nodiscard]] Sha256Digest HmacSha256(BytesView key, BytesView data) noexcept;
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+[[nodiscard]] Sha256Digest HkdfExtract(BytesView salt, BytesView ikm) noexcept;
+
+/// HKDF-Expand: derives `length` bytes from PRK with context `info`.
+/// length must be <= 255 * 32.
+[[nodiscard]] Bytes HkdfExpand(const Sha256Digest& prk, BytesView info,
+                               std::size_t length);
+
+/// Extract-then-expand convenience.
+[[nodiscard]] Bytes Hkdf(BytesView salt, BytesView ikm, BytesView info,
+                         std::size_t length);
+
+}  // namespace caltrain::crypto

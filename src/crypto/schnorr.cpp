@@ -1,0 +1,71 @@
+#include "crypto/schnorr.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace caltrain::crypto {
+
+namespace {
+
+/// Challenge e = H(R || y || m) reduced mod (p-1).
+U128 Challenge(U128 commitment, U128 public_value, BytesView message) {
+  Sha256 hasher;
+  const Bytes r_bytes = U128ToBytes(commitment);
+  const Bytes y_bytes = U128ToBytes(public_value);
+  hasher.Update(BytesView(r_bytes.data(), r_bytes.size()));
+  hasher.Update(BytesView(y_bytes.data(), y_bytes.size()));
+  hasher.Update(message);
+  const Sha256Digest digest = hasher.Finish();
+  const U128 raw = U128FromBytes(BytesView(digest.data(), 16));
+  return raw % (GroupPrime() - 1);
+}
+
+}  // namespace
+
+SchnorrKeyPair SchnorrGenerate(HmacDrbg& drbg) {
+  SchnorrKeyPair kp;
+  kp.secret = RandomScalar(drbg);
+  kp.public_value = PowMod(GroupGenerator(), kp.secret, GroupPrime());
+  return kp;
+}
+
+SchnorrSignature SchnorrSign(const SchnorrKeyPair& key, BytesView message,
+                             HmacDrbg& drbg) {
+  const U128 p = GroupPrime();
+  const U128 order = p - 1;
+  const U128 k = RandomScalar(drbg);
+  SchnorrSignature sig;
+  sig.commitment = PowMod(GroupGenerator(), k, p);
+  const U128 e = Challenge(sig.commitment, key.public_value, message);
+  sig.response = AddMod(k % order, MulMod(e, key.secret, order), order);
+  return sig;
+}
+
+bool SchnorrVerify(U128 public_value, BytesView message,
+                   const SchnorrSignature& signature) noexcept {
+  const U128 p = GroupPrime();
+  if (public_value < 2 || public_value >= p) return false;
+  if (signature.commitment < 1 || signature.commitment >= p) return false;
+  const U128 e = Challenge(signature.commitment, public_value, message);
+  const U128 lhs = PowMod(GroupGenerator(), signature.response, p);
+  const U128 rhs =
+      MulMod(signature.commitment, PowMod(public_value, e, p), p);
+  return lhs == rhs;
+}
+
+Bytes SerializeSignature(const SchnorrSignature& signature) {
+  Bytes out = U128ToBytes(signature.commitment);
+  const Bytes response = U128ToBytes(signature.response);
+  Append(out, BytesView(response.data(), response.size()));
+  return out;
+}
+
+SchnorrSignature DeserializeSignature(BytesView data) {
+  CALTRAIN_REQUIRE(data.size() == 32, "Schnorr signature must be 32 bytes");
+  SchnorrSignature sig;
+  sig.commitment = U128FromBytes(data.subspan(0, 16));
+  sig.response = U128FromBytes(data.subspan(16, 16));
+  return sig;
+}
+
+}  // namespace caltrain::crypto

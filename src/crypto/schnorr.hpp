@@ -1,0 +1,40 @@
+// Schnorr signatures over the M127 group.
+//
+// Stands in for the Intel attestation signature chain: the simulated
+// "processor" holds a Schnorr keypair and signs enclave quotes
+// (measurement + report data); participants verify against the
+// attestation service's published public key.  Same protocol shape as
+// EPID/ECDSA quotes, simulation-grade group size (see group.hpp).
+#pragma once
+
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::crypto {
+
+struct SchnorrKeyPair {
+  U128 secret = 0;          ///< x
+  U128 public_value = 0;    ///< y = g^x mod p
+};
+
+struct SchnorrSignature {
+  U128 commitment = 0;  ///< R = g^k mod p
+  U128 response = 0;    ///< s = k + e*x mod (p-1)
+};
+
+[[nodiscard]] SchnorrKeyPair SchnorrGenerate(HmacDrbg& drbg);
+
+/// Signs `message` with a fresh nonce from `drbg`.
+[[nodiscard]] SchnorrSignature SchnorrSign(const SchnorrKeyPair& key,
+                                           BytesView message, HmacDrbg& drbg);
+
+/// Verifies g^s == R * y^e, with e = H(R || y || message).
+[[nodiscard]] bool SchnorrVerify(U128 public_value, BytesView message,
+                                 const SchnorrSignature& signature) noexcept;
+
+/// Serialization for embedding signatures in quotes.
+[[nodiscard]] Bytes SerializeSignature(const SchnorrSignature& signature);
+[[nodiscard]] SchnorrSignature DeserializeSignature(BytesView data);
+
+}  // namespace caltrain::crypto

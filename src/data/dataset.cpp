@@ -1,0 +1,52 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace caltrain::data {
+
+void LabeledDataset::Append(nn::Image image, int label, std::string source) {
+  images.push_back(std::move(image));
+  labels.push_back(label);
+  sources.push_back(std::move(source));
+}
+
+void LabeledDataset::Merge(const LabeledDataset& other) {
+  images.insert(images.end(), other.images.begin(), other.images.end());
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  sources.insert(sources.end(), other.sources.begin(), other.sources.end());
+}
+
+void LabeledDataset::Shuffle(Rng& rng) {
+  CALTRAIN_CHECK(images.size() == labels.size() &&
+                     images.size() == sources.size(),
+                 "dataset arrays out of sync");
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  LabeledDataset shuffled;
+  shuffled.images.reserve(images.size());
+  for (std::size_t idx : order) {
+    shuffled.Append(std::move(images[idx]), labels[idx],
+                    std::move(sources[idx]));
+  }
+  *this = std::move(shuffled);
+}
+
+std::vector<LabeledDataset> SplitAmong(const LabeledDataset& dataset,
+                                       std::size_t parts) {
+  CALTRAIN_REQUIRE(parts > 0, "parts must be > 0");
+  std::vector<LabeledDataset> out(parts);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out[i % parts].Append(dataset.images[i], dataset.labels[i],
+                          dataset.sources[i]);
+  }
+  return out;
+}
+
+void AssignSource(LabeledDataset& dataset, const std::string& source) {
+  for (auto& s : dataset.sources) s = source;
+}
+
+}  // namespace caltrain::data

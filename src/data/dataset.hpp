@@ -1,0 +1,37 @@
+// Dataset containers and helpers shared by the synthetic generators,
+// the attack harness, and the training pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace caltrain::data {
+
+/// A labeled image set.  `sources[i]` names the contributing participant
+/// (the S component of the linkage tuple); empty when not yet assigned.
+struct LabeledDataset {
+  std::vector<nn::Image> images;
+  std::vector<int> labels;
+  std::vector<std::string> sources;
+
+  [[nodiscard]] std::size_t size() const noexcept { return images.size(); }
+
+  void Append(nn::Image image, int label, std::string source = {});
+  /// Concatenates another dataset.
+  void Merge(const LabeledDataset& other);
+  /// In-place deterministic shuffle keeping images/labels/sources aligned.
+  void Shuffle(Rng& rng);
+};
+
+/// Splits `dataset` into `parts` near-equal chunks (for distributing a
+/// corpus among training participants).
+[[nodiscard]] std::vector<LabeledDataset> SplitAmong(
+    const LabeledDataset& dataset, std::size_t parts);
+
+/// Tags every record of `dataset` with `source`.
+void AssignSource(LabeledDataset& dataset, const std::string& source);
+
+}  // namespace caltrain::data

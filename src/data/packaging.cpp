@@ -1,0 +1,136 @@
+#include "data/packaging.hpp"
+
+#include "util/error.hpp"
+#include "util/serial.hpp"
+
+namespace caltrain::data {
+
+namespace {
+
+Bytes RecordAad(const std::string& participant_id, int label) {
+  ByteWriter writer;
+  writer.WriteString(participant_id);
+  writer.WriteU32(static_cast<std::uint32_t>(label));
+  return writer.Take();
+}
+
+Bytes SeedBytes(std::uint64_t seed) {
+  Bytes out(8);
+  StoreLe64(out.data(), seed);
+  return out;
+}
+
+}  // namespace
+
+Bytes EncryptedRecord::Serialize() const {
+  ByteWriter writer;
+  writer.WriteString(participant_id);
+  writer.WriteU32(static_cast<std::uint32_t>(label));
+  writer.WriteBytes(iv);
+  writer.WriteBytes(ciphertext);
+  writer.WriteBytes(tag);
+  return writer.Take();
+}
+
+EncryptedRecord EncryptedRecord::Deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  EncryptedRecord record;
+  record.participant_id = reader.ReadString();
+  record.label = static_cast<int>(reader.ReadU32());
+  record.iv = reader.ReadBytes();
+  record.ciphertext = reader.ReadBytes();
+  record.tag = reader.ReadBytes();
+  CALTRAIN_REQUIRE(reader.AtEnd(), "trailing bytes in encrypted record");
+  return record;
+}
+
+Bytes SerializeTrainingInstance(const nn::Image& image, int label) {
+  ByteWriter writer;
+  writer.WriteU32(static_cast<std::uint32_t>(image.shape.w));
+  writer.WriteU32(static_cast<std::uint32_t>(image.shape.h));
+  writer.WriteU32(static_cast<std::uint32_t>(image.shape.c));
+  writer.WriteU32(static_cast<std::uint32_t>(label));
+  writer.WriteF32Vector(image.pixels);
+  return writer.Take();
+}
+
+std::pair<nn::Image, int> DeserializeTrainingInstance(BytesView blob) {
+  ByteReader reader(blob);
+  nn::Shape shape;
+  shape.w = static_cast<int>(reader.ReadU32());
+  shape.h = static_cast<int>(reader.ReadU32());
+  shape.c = static_cast<int>(reader.ReadU32());
+  const int label = static_cast<int>(reader.ReadU32());
+  nn::Image image(shape);
+  image.pixels = reader.ReadF32Vector();
+  CALTRAIN_REQUIRE(image.pixels.size() == shape.Flat() && reader.AtEnd(),
+                   "malformed training instance blob");
+  return {std::move(image), label};
+}
+
+crypto::Sha256Digest HashTrainingInstance(const nn::Image& image, int label) {
+  return crypto::Sha256Hash(SerializeTrainingInstance(image, label));
+}
+
+DataPackager::DataPackager(std::string participant_id, BytesView key,
+                           std::uint64_t nonce_seed)
+    : participant_id_(std::move(participant_id)),
+      cipher_(key),
+      nonce_drbg_(SeedBytes(nonce_seed), BytesOf(participant_id_)) {}
+
+EncryptedRecord DataPackager::Pack(const nn::Image& image, int label) {
+  EncryptedRecord record;
+  record.participant_id = participant_id_;
+  record.label = label;
+  record.iv = nonce_drbg_.Generate(crypto::kGcmIvSize);
+  const Bytes plaintext = SerializeTrainingInstance(image, label);
+  const crypto::GcmSealed sealed =
+      cipher_.Seal(record.iv, RecordAad(participant_id_, label), plaintext);
+  record.ciphertext = sealed.ciphertext;
+  record.tag.assign(sealed.tag.begin(), sealed.tag.end());
+  return record;
+}
+
+std::vector<EncryptedRecord> DataPackager::PackAll(
+    const LabeledDataset& dataset) {
+  std::vector<EncryptedRecord> out;
+  out.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out.push_back(Pack(dataset.images[i], dataset.labels[i]));
+  }
+  return out;
+}
+
+std::optional<VerifiedRecord> OpenRecord(const EncryptedRecord& record,
+                                         BytesView key) {
+  return OpenRecord(record, crypto::AesGcm(key));
+}
+
+std::optional<VerifiedRecord> OpenRecord(const EncryptedRecord& record,
+                                         const crypto::AesGcm& cipher) {
+  if (record.iv.size() != crypto::kGcmIvSize ||
+      record.tag.size() != crypto::kGcmTagSize) {
+    return std::nullopt;
+  }
+  std::array<std::uint8_t, crypto::kGcmTagSize> tag{};
+  std::copy(record.tag.begin(), record.tag.end(), tag.begin());
+  const auto plaintext =
+      cipher.Open(record.iv, RecordAad(record.participant_id, record.label),
+                  record.ciphertext, tag);
+  if (!plaintext.has_value()) return std::nullopt;
+
+  try {
+    auto [image, label] = DeserializeTrainingInstance(*plaintext);
+    if (label != record.label) return std::nullopt;  // inner/outer mismatch
+    VerifiedRecord verified;
+    verified.content_hash = HashTrainingInstance(image, label);
+    verified.image = std::move(image);
+    verified.label = label;
+    verified.participant_id = record.participant_id;
+    return verified;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace caltrain::data

@@ -1,0 +1,90 @@
+// Participant-side data packaging (paper Sec. IV-A).
+//
+// Each participant locally seals every training record with its own
+// symmetric key using AES-256-GCM.  Per the threat model, the class
+// label travels in the clear (participants "release the training data
+// labels attached to their corresponding (encrypted) training
+// instances") but is covered by the authentication tag via the AAD, so
+// a label cannot be flipped in transit.  The enclave verifies the tag
+// with the provisioned key — records from unregistered sources or
+// tampered channels fail authentication and are discarded.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/sha256.hpp"
+#include "data/dataset.hpp"
+#include "nn/tensor.hpp"
+
+namespace caltrain::data {
+
+/// Wire form of one encrypted training record.
+struct EncryptedRecord {
+  std::string participant_id;  ///< claimed source (authenticated via AAD)
+  int label = 0;               ///< plaintext label (authenticated via AAD)
+  Bytes iv;                    ///< 12-byte GCM nonce
+  Bytes ciphertext;            ///< encrypted serialized image
+  Bytes tag;                   ///< 16-byte GCM tag
+
+  [[nodiscard]] Bytes Serialize() const;
+  [[nodiscard]] static EncryptedRecord Deserialize(BytesView blob);
+};
+
+/// Result of in-enclave verification + decryption.
+struct VerifiedRecord {
+  nn::Image image;
+  int label = 0;
+  std::string participant_id;
+  crypto::Sha256Digest content_hash{};  ///< H of the linkage tuple
+};
+
+/// Canonical serialization of (image, label) — the bytes that are
+/// encrypted and the bytes the linkage hash H covers.
+[[nodiscard]] Bytes SerializeTrainingInstance(const nn::Image& image,
+                                              int label);
+[[nodiscard]] std::pair<nn::Image, int> DeserializeTrainingInstance(
+    BytesView blob);
+
+/// Hash digest H over the canonical instance bytes.
+[[nodiscard]] crypto::Sha256Digest HashTrainingInstance(const nn::Image& image,
+                                                        int label);
+
+/// Participant-side packer: one per participant, bound to its key.
+class DataPackager {
+ public:
+  DataPackager(std::string participant_id, BytesView key,
+               std::uint64_t nonce_seed);
+
+  [[nodiscard]] EncryptedRecord Pack(const nn::Image& image, int label);
+
+  /// Packs a whole local dataset.
+  [[nodiscard]] std::vector<EncryptedRecord> PackAll(
+      const LabeledDataset& dataset);
+
+  [[nodiscard]] const std::string& participant_id() const noexcept {
+    return participant_id_;
+  }
+
+ private:
+  std::string participant_id_;
+  crypto::AesGcm cipher_;
+  crypto::HmacDrbg nonce_drbg_;
+};
+
+/// Enclave-side opener: verifies authenticity/integrity with the
+/// provisioned key and decrypts.  Returns nullopt when the record fails
+/// authentication (forged source, bit-flips, flipped label) — the
+/// caller must discard it (paper: "injected training data from
+/// unregistered training participants will be discarded").
+[[nodiscard]] std::optional<VerifiedRecord> OpenRecord(
+    const EncryptedRecord& record, BytesView key);
+
+/// Same, with a caller-held cipher (avoids re-deriving the AES key
+/// schedule and GHASH tables per record on hot paths).
+[[nodiscard]] std::optional<VerifiedRecord> OpenRecord(
+    const EncryptedRecord& record, const crypto::AesGcm& cipher);
+
+}  // namespace caltrain::data

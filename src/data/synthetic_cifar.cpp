@@ -1,0 +1,128 @@
+#include "data/synthetic_cifar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caltrain::data {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846F;
+
+struct Rgb {
+  float r, g, b;
+};
+
+/// HSV (h in [0,1)) to RGB, s = v = 1 fixed saturation ramp.
+Rgb HueToRgb(float h) {
+  const float x = h * 6.0F;
+  const int sector = static_cast<int>(x) % 6;
+  const float f = x - std::floor(x);
+  switch (sector) {
+    case 0: return {1.0F, f, 0.0F};
+    case 1: return {1.0F - f, 1.0F, 0.0F};
+    case 2: return {0.0F, 1.0F, f};
+    case 3: return {0.0F, 1.0F - f, 1.0F};
+    case 4: return {f, 0.0F, 1.0F};
+    default: return {1.0F, 0.0F, 1.0F - f};
+  }
+}
+
+}  // namespace
+
+SyntheticCifar::SyntheticCifar(SyntheticCifarOptions options)
+    : options_(options) {
+  CALTRAIN_REQUIRE(options_.classes >= 2, "need at least two classes");
+  CALTRAIN_REQUIRE(options_.shape.c == 3, "SyntheticCifar generates RGB");
+}
+
+nn::Image SyntheticCifar::Sample(int label, Rng& rng) const {
+  CALTRAIN_REQUIRE(label >= 0 && label < options_.classes,
+                   "label out of range");
+  const nn::Shape shape = options_.shape;
+  nn::Image img(shape);
+
+  const float class_frac =
+      static_cast<float>(label) / static_cast<float>(options_.classes);
+  // Hue is sample-level nuisance, NOT class-coded: classes are defined
+  // purely by texture (orientation x frequency x pattern family).  This
+  // forces classifiers to use spatial structure — the content that IR
+  // projections (grayscale) preserve at shallow layers and pooling
+  // destroys at deep ones, which is what Experiment II measures.
+  const float hue = rng.UniformFloat();
+  const Rgb base = HueToRgb(hue);
+  const Rgb anti = HueToRgb(std::fmod(hue + 0.5F, 1.0F));
+  const int family = label % 3;
+  const float theta = class_frac * kPi + rng.UniformFloat(-0.15F, 0.15F);
+  // Class frequencies sit above the post-pooling Nyquist limit of the
+  // Table I/II networks (7x7 feature maps can hold ~3.5 cycles), so the
+  // class texture is visible at full resolution but cannot survive in
+  // any single deep feature map — the property Experiment II probes.
+  const float freq = 5.0F + 2.0F * static_cast<float>(label % 4) +
+                     rng.UniformFloat(-0.3F, 0.3F);
+  const float phase = rng.UniformFloat(0.0F, 0.9F * kPi);
+  const float cx = 0.5F + 0.15F * rng.Gaussian();
+  const float cy = 0.5F + 0.15F * rng.Gaussian();
+  const float gain = rng.UniformFloat(0.85F, 1.15F);
+
+  const float cs = std::cos(theta);
+  const float sn = std::sin(theta);
+
+  for (int y = 0; y < shape.h; ++y) {
+    for (int x = 0; x < shape.w; ++x) {
+      const float u = static_cast<float>(x) / static_cast<float>(shape.w);
+      const float v = static_cast<float>(y) / static_cast<float>(shape.h);
+      float t = 0.0F;  // pattern intensity in [0, 1]
+      switch (family) {
+        case 0: {  // oriented stripes
+          const float proj = (u * cs + v * sn) * freq * 2.0F * kPi + phase;
+          t = 0.5F + 0.5F * std::sin(proj);
+          break;
+        }
+        case 1: {  // checkerboard
+          const float a = std::sin((u * cs + v * sn) * freq * 2.0F * kPi +
+                                   phase);
+          const float b = std::sin((u * -sn + v * cs) * freq * 2.0F * kPi);
+          t = (a * b > 0.0F) ? 0.85F : 0.15F;
+          break;
+        }
+        default: {  // radial blob carrying a high-frequency ripple
+          const float dx = u - cx;
+          const float dy = v - cy;
+          const float r2 = dx * dx + dy * dy;
+          const float envelope = std::exp(-r2 * 5.0F);
+          const float ripple =
+              0.5F + 0.5F * std::sin(std::sqrt(r2) * freq * 2.0F * kPi +
+                                     phase);
+          t = 0.15F + 0.75F * envelope * ripple;
+          break;
+        }
+      }
+      const float noise = options_.noise_stddev * rng.Gaussian();
+      const auto mix = [&](float fore, float back) {
+        return std::clamp(gain * (t * fore + (1.0F - t) * back) + noise, 0.0F,
+                          1.0F);
+      };
+      img.At(0, y, x) = mix(base.r, anti.r * 0.3F);
+      img.At(1, y, x) = mix(base.g, anti.g * 0.3F);
+      img.At(2, y, x) = mix(base.b, anti.b * 0.3F);
+    }
+  }
+  return img;
+}
+
+LabeledDataset SyntheticCifar::Generate(std::size_t count, Rng& rng) const {
+  LabeledDataset out;
+  out.images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(i % static_cast<std::size_t>(
+                                               options_.classes));
+    out.Append(Sample(label, rng), label);
+  }
+  out.Shuffle(rng);
+  return out;
+}
+
+}  // namespace caltrain::data

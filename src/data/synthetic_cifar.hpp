@@ -1,0 +1,39 @@
+// SyntheticCifar: an offline stand-in for CIFAR-10 (see DESIGN.md).
+//
+// Ten procedurally generated texture/shape classes at the paper's
+// 28x28x3 input size.  Each class couples an orientation, a base hue and
+// a pattern family; per-sample jitter (phase, position, noise,
+// illumination) makes the problem non-trivial while keeping it
+// learnable by the Table I/II topologies within a few epochs — which is
+// what Experiments I-III need (accuracy convergence shape, not CIFAR's
+// absolute numbers).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace caltrain::data {
+
+struct SyntheticCifarOptions {
+  int classes = 10;
+  nn::Shape shape{28, 28, 3};
+  float noise_stddev = 0.06F;
+};
+
+class SyntheticCifar {
+ public:
+  explicit SyntheticCifar(SyntheticCifarOptions options = {});
+
+  /// Generates one sample of class `label` using `rng` for jitter.
+  [[nodiscard]] nn::Image Sample(int label, Rng& rng) const;
+
+  /// Generates a balanced labeled dataset of `count` samples.
+  [[nodiscard]] LabeledDataset Generate(std::size_t count, Rng& rng) const;
+
+  [[nodiscard]] int classes() const noexcept { return options_.classes; }
+  [[nodiscard]] nn::Shape shape() const noexcept { return options_.shape; }
+
+ private:
+  SyntheticCifarOptions options_;
+};
+
+}  // namespace caltrain::data

@@ -1,0 +1,134 @@
+#include "data/synthetic_faces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caltrain::data {
+
+SyntheticFaces::SyntheticFaces(SyntheticFacesOptions options)
+    : options_(options) {
+  CALTRAIN_REQUIRE(options_.identities >= 2 && options_.identities <= 64,
+                   "identities must be in [2, 64]");
+  CALTRAIN_REQUIRE(options_.shape.c == 3, "SyntheticFaces generates RGB");
+  Rng rng(options_.identity_seed);
+  for (int i = 0; i < options_.identities; ++i) {
+    IdentityParams& p = params_[i];
+    p.skin_r = rng.UniformFloat(0.45F, 0.95F);
+    p.skin_g = p.skin_r * rng.UniformFloat(0.70F, 0.92F);
+    p.skin_b = p.skin_g * rng.UniformFloat(0.65F, 0.95F);
+    p.face_w = rng.UniformFloat(0.28F, 0.40F);
+    p.face_h = rng.UniformFloat(0.34F, 0.46F);
+    p.eye_dx = rng.UniformFloat(0.10F, 0.18F);
+    p.eye_y = rng.UniformFloat(0.38F, 0.46F);
+    p.eye_size = rng.UniformFloat(0.025F, 0.05F);
+    p.mouth_curve = rng.UniformFloat(-0.08F, 0.08F);
+    p.mouth_y = rng.UniformFloat(0.62F, 0.70F);
+    p.hair_shade = rng.UniformFloat(0.05F, 0.5F);
+    p.brow_tilt = rng.UniformFloat(-0.04F, 0.04F);
+  }
+}
+
+nn::Image SyntheticFaces::Sample(int identity, Rng& rng) const {
+  CALTRAIN_REQUIRE(identity >= 0 && identity < options_.identities,
+                   "identity out of range");
+  const IdentityParams& p = params_[identity];
+  const nn::Shape shape = options_.shape;
+  nn::Image img(shape);
+
+  // Per-sample jitter: pose shift, illumination, expression.
+  const float shift_x = 0.03F * rng.Gaussian();
+  const float shift_y = 0.03F * rng.Gaussian();
+  const float light = rng.UniformFloat(0.85F, 1.15F);
+  const float expression = p.mouth_curve + 0.03F * rng.Gaussian();
+  const float bg = rng.UniformFloat(0.1F, 0.35F);
+
+  const float cx = 0.5F + shift_x;
+  const float cy = 0.52F + shift_y;
+
+  for (int y = 0; y < shape.h; ++y) {
+    for (int x = 0; x < shape.w; ++x) {
+      const float u = static_cast<float>(x) / static_cast<float>(shape.w);
+      const float v = static_cast<float>(y) / static_cast<float>(shape.h);
+      float r = bg, g = bg, b = bg * 1.1F;
+
+      // Hair: band above the face ellipse.
+      const float hair_extent =
+          ((u - cx) * (u - cx)) / ((p.face_w * 1.15F) * (p.face_w * 1.15F)) +
+          ((v - cy + 0.08F) * (v - cy + 0.08F)) /
+              ((p.face_h * 1.2F) * (p.face_h * 1.2F));
+      if (hair_extent < 1.0F) {
+        r = g = b = p.hair_shade;
+      }
+
+      // Face ellipse.
+      const float fe = ((u - cx) * (u - cx)) / (p.face_w * p.face_w) +
+                       ((v - cy) * (v - cy)) / (p.face_h * p.face_h);
+      if (fe < 1.0F) {
+        r = p.skin_r;
+        g = p.skin_g;
+        b = p.skin_b;
+
+        // Eyes (dark ellipses).
+        for (int side = -1; side <= 1; side += 2) {
+          const float ex = cx + static_cast<float>(side) * p.eye_dx;
+          const float ey = cy - 0.52F + p.eye_y;
+          const float de = ((u - ex) * (u - ex) + (v - ey) * (v - ey)) /
+                           (p.eye_size * p.eye_size);
+          if (de < 1.0F) {
+            r = g = b = 0.08F;
+          }
+          // Brows: thin tilted dark strip above each eye.
+          const float brow_y =
+              ey - 1.8F * p.eye_size +
+              p.brow_tilt * static_cast<float>(side) * (u - ex) * 10.0F;
+          if (std::abs(v - brow_y) < 0.012F &&
+              std::abs(u - ex) < 2.0F * p.eye_size) {
+            r = g = b = 0.15F;
+          }
+        }
+
+        // Mouth: curved dark arc.
+        const float my = cy - 0.52F + p.mouth_y +
+                         expression * (u - cx) * (u - cx) * 40.0F;
+        if (std::abs(v - my) < 0.015F && std::abs(u - cx) < 0.11F) {
+          r = 0.45F;
+          g = 0.15F;
+          b = 0.15F;
+        }
+      }
+
+      const float noise = options_.noise_stddev * rng.Gaussian();
+      img.At(0, y, x) = std::clamp(r * light + noise, 0.0F, 1.0F);
+      img.At(1, y, x) = std::clamp(g * light + noise, 0.0F, 1.0F);
+      img.At(2, y, x) = std::clamp(b * light + noise, 0.0F, 1.0F);
+    }
+  }
+  return img;
+}
+
+LabeledDataset SyntheticFaces::Generate(std::size_t count, Rng& rng) const {
+  LabeledDataset out;
+  out.images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int identity = static_cast<int>(
+        i % static_cast<std::size_t>(options_.identities));
+    out.Append(Sample(identity, rng), identity);
+  }
+  out.Shuffle(rng);
+  return out;
+}
+
+LabeledDataset SyntheticFaces::GenerateForIdentity(int identity,
+                                                   std::size_t count,
+                                                   Rng& rng) const {
+  LabeledDataset out;
+  out.images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.Append(Sample(identity, rng), identity);
+  }
+  return out;
+}
+
+}  // namespace caltrain::data

@@ -1,0 +1,59 @@
+// SyntheticFaces: an offline stand-in for VGG-Face (see DESIGN.md).
+//
+// Each identity is a fixed parameter vector (skin tone, face geometry,
+// eye spacing, mouth curvature, hair shade); samples of that identity
+// jitter pose, illumination and expression around those parameters.
+// This preserves what Experiment IV needs from VGG-Face: per-identity
+// clusters in embedding space that a conv net can separate, onto which
+// the trojaning attack grafts a trigger-conditioned cluster.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace caltrain::data {
+
+struct SyntheticFacesOptions {
+  int identities = 20;
+  nn::Shape shape{32, 32, 3};
+  std::uint64_t identity_seed = 4242;  ///< fixes who the identities are
+  float noise_stddev = 0.03F;
+};
+
+class SyntheticFaces {
+ public:
+  explicit SyntheticFaces(SyntheticFacesOptions options = {});
+
+  /// One face image of `identity` with sample-level jitter from `rng`.
+  [[nodiscard]] nn::Image Sample(int identity, Rng& rng) const;
+
+  /// Balanced dataset of `count` faces.
+  [[nodiscard]] LabeledDataset Generate(std::size_t count, Rng& rng) const;
+
+  /// Dataset for a single identity (used to build the attacker-class
+  /// corpus of Experiment IV).
+  [[nodiscard]] LabeledDataset GenerateForIdentity(int identity,
+                                                   std::size_t count,
+                                                   Rng& rng) const;
+
+  [[nodiscard]] int identities() const noexcept {
+    return options_.identities;
+  }
+  [[nodiscard]] nn::Shape shape() const noexcept { return options_.shape; }
+
+ private:
+  struct IdentityParams {
+    float skin_r, skin_g, skin_b;
+    float face_w, face_h;       ///< ellipse half-axes (fraction of image)
+    float eye_dx, eye_y;        ///< eye spacing / vertical position
+    float eye_size;
+    float mouth_curve;          ///< smile (+) / frown (-)
+    float mouth_y;
+    float hair_shade;
+    float brow_tilt;
+  };
+
+  IdentityParams params_[64];
+  SyntheticFacesOptions options_;
+};
+
+}  // namespace caltrain::data

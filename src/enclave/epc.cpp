@@ -1,0 +1,118 @@
+#include "enclave/epc.hpp"
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace caltrain::enclave {
+
+EpcManager::EpcManager(const EpcConfig& config)
+    : config_(config),
+      mee_(Bytes(16, 0x5a)),  // fixed simulation MEE key
+      page_scratch_(config.page_bytes, 0xa5) {
+  CALTRAIN_REQUIRE(config.page_bytes >= 64 && config.capacity_bytes > 0,
+                   "invalid EPC configuration");
+  capacity_pages_ = config_.capacity_bytes / config_.page_bytes;
+  CALTRAIN_REQUIRE(capacity_pages_ > 0, "EPC smaller than one page");
+}
+
+RegionId EpcManager::Allocate(std::string name, std::size_t bytes) {
+  const RegionId id = next_id_++;
+  Region region;
+  region.name = std::move(name);
+  region.bytes = bytes;
+  region.resident.assign((bytes + config_.page_bytes - 1) / config_.page_bytes,
+                         false);
+  regions_.emplace(id, std::move(region));
+  return id;
+}
+
+void EpcManager::Free(RegionId id) {
+  const auto it = regions_.find(id);
+  CALTRAIN_REQUIRE(it != regions_.end(), "unknown EPC region");
+  for (std::uint32_t p = 0; p < it->second.resident.size(); ++p) {
+    if (!it->second.resident[p]) continue;
+    const PageKey key{id, p};
+    const auto page_it = page_iters_.find(key);
+    lru_.erase(page_it->second);
+    page_iters_.erase(page_it);
+    --resident_pages_;
+  }
+  regions_.erase(it);
+}
+
+void EpcManager::Resize(RegionId id, std::size_t bytes) {
+  const auto it = regions_.find(id);
+  CALTRAIN_REQUIRE(it != regions_.end(), "unknown EPC region");
+  const std::size_t new_pages =
+      (bytes + config_.page_bytes - 1) / config_.page_bytes;
+  // Drop residency of truncated pages.
+  for (std::uint32_t p = static_cast<std::uint32_t>(new_pages);
+       p < it->second.resident.size(); ++p) {
+    if (!it->second.resident[p]) continue;
+    const PageKey key{id, p};
+    const auto page_it = page_iters_.find(key);
+    lru_.erase(page_it->second);
+    page_iters_.erase(page_it);
+    --resident_pages_;
+  }
+  it->second.bytes = bytes;
+  it->second.resident.resize(new_pages, false);
+}
+
+void EpcManager::EncryptPage() {
+  // One page of real AES-CTR traffic through the simulated MEE.
+  crypto::AesBlock counter{};
+  crypto::AesCtrXor(mee_, counter, page_scratch_, page_scratch_.data());
+  stats_.bytes_encrypted += config_.page_bytes;
+}
+
+void EpcManager::EvictOnePage() {
+  CALTRAIN_CHECK(!lru_.empty(), "EPC eviction with no resident pages");
+  const PageKey victim = lru_.back();
+  lru_.pop_back();
+  page_iters_.erase(victim);
+  regions_.at(victim.region).resident[victim.index] = false;
+  --resident_pages_;
+  ++stats_.pages_evicted;
+  EncryptPage();
+}
+
+void EpcManager::Touch(RegionId id) {
+  const auto it = regions_.find(id);
+  CALTRAIN_REQUIRE(it != regions_.end(), "unknown EPC region");
+  ++stats_.touches;
+  Stopwatch timer;
+  bool did_crypto = false;
+  Region& region = it->second;
+  for (std::uint32_t p = 0; p < region.resident.size(); ++p) {
+    const PageKey key{id, p};
+    if (region.resident[p]) {
+      // Refresh LRU position.
+      const auto page_it = page_iters_.find(key);
+      lru_.splice(lru_.begin(), lru_, page_it->second);
+      continue;
+    }
+    // Fault the page in, evicting if full.  A region bigger than the
+    // whole EPC self-evicts (thrashes), exactly like real paging.
+    while (resident_pages_ >= capacity_pages_) {
+      EvictOnePage();
+      did_crypto = true;
+    }
+    lru_.push_front(key);
+    page_iters_[key] = lru_.begin();
+    region.resident[p] = true;
+    ++resident_pages_;
+    ++stats_.page_faults;
+    EncryptPage();  // MEE decrypt on the way in (same cost as encrypt)
+    did_crypto = true;
+  }
+  if (did_crypto) stats_.mee_seconds += timer.ElapsedSeconds();
+}
+
+std::size_t EpcManager::region_bytes(RegionId id) const {
+  const auto it = regions_.find(id);
+  CALTRAIN_REQUIRE(it != regions_.end(), "unknown EPC region");
+  return it->second.bytes;
+}
+
+}  // namespace caltrain::enclave

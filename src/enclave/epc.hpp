@@ -1,0 +1,107 @@
+// Enclave Page Cache (EPC) simulator.
+//
+// Real SGX reserves a Processor Reserved Memory region (128 MB on the
+// paper's hardware); enclave pages evicted from the EPC are encrypted
+// by the Memory Encryption Engine before landing in ordinary RAM, and
+// decrypted (plus integrity-checked) on the way back in.  Swapping on
+// encrypted memory is the paper's second performance limiter
+// (Sec. IV-B).
+//
+// This simulator tracks page residency at 4 KiB granularity with an LRU
+// policy and charges *real* AES-CTR work for every eviction and reload,
+// so the paging overhead reported by the Fig. 6 benchmark is measured,
+// not modeled.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::enclave {
+
+using RegionId = std::uint64_t;
+
+struct EpcConfig {
+  std::size_t capacity_bytes = 128ULL << 20;  ///< PRM size (paper: 128 MB)
+  std::size_t page_bytes = 4096;
+};
+
+struct EpcStats {
+  std::uint64_t touches = 0;          ///< region residency requests
+  std::uint64_t page_faults = 0;      ///< pages brought (back) in
+  std::uint64_t pages_evicted = 0;
+  std::uint64_t bytes_encrypted = 0;  ///< MEE traffic (both directions)
+  double mee_seconds = 0.0;           ///< wall time spent on page crypto
+};
+
+class EpcManager {
+ public:
+  explicit EpcManager(const EpcConfig& config);
+
+  /// Registers a region of `bytes` bytes (weights, activation buffer...).
+  /// Regions larger than the whole EPC are allowed — they simply thrash.
+  [[nodiscard]] RegionId Allocate(std::string name, std::size_t bytes);
+
+  /// Releases a region; its resident pages are dropped without cost.
+  void Free(RegionId id);
+
+  /// Grows/shrinks a region (e.g. activation buffer resized for a new
+  /// batch size).
+  void Resize(RegionId id, std::size_t bytes);
+
+  /// Makes every page of the region resident, faulting pages in (AES
+  /// decrypt) and evicting LRU pages (AES encrypt) as needed.
+  void Touch(RegionId id);
+
+  [[nodiscard]] const EpcStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = EpcStats{}; }
+
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return resident_pages_ * config_.page_bytes;
+  }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return config_.capacity_bytes;
+  }
+  [[nodiscard]] std::size_t region_bytes(RegionId id) const;
+
+ private:
+  struct PageKey {
+    RegionId region;
+    std::uint32_t index;
+    [[nodiscard]] bool operator==(const PageKey&) const noexcept = default;
+  };
+  struct PageKeyHash {
+    std::size_t operator()(const PageKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.region * 0x9e3779b97f4a7c15ULL +
+                                        k.index);
+    }
+  };
+  struct Region {
+    std::string name;
+    std::size_t bytes = 0;
+    std::vector<bool> resident;  ///< per page
+  };
+
+  void EvictOnePage();
+  void EncryptPage();  // one page of MEE work
+
+  EpcConfig config_;
+  crypto::Aes mee_;             ///< memory encryption engine key
+  Bytes page_scratch_;
+  RegionId next_id_ = 1;
+  std::unordered_map<RegionId, Region> regions_;
+  // LRU list of resident pages; map gives O(1) splice-to-front.
+  std::list<PageKey> lru_;
+  std::unordered_map<PageKey, std::list<PageKey>::iterator, PageKeyHash>
+      page_iters_;
+  std::size_t resident_pages_ = 0;
+  std::size_t capacity_pages_ = 0;
+  EpcStats stats_;
+};
+
+}  // namespace caltrain::enclave

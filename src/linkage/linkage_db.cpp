@@ -1,0 +1,130 @@
+#include "linkage/linkage_db.hpp"
+
+#include <algorithm>
+
+#include "data/packaging.hpp"
+#include "util/error.hpp"
+
+namespace caltrain::linkage {
+
+std::uint64_t LinkageDatabase::Insert(Fingerprint fingerprint, int label,
+                                      std::string source,
+                                      const crypto::Sha256Digest& hash) {
+  CALTRAIN_REQUIRE(!fingerprint.empty(), "empty fingerprint");
+  LinkageTuple tuple;
+  tuple.id = tuples_.size();
+  tuple.fingerprint = std::move(fingerprint);
+  tuple.label = label;
+  tuple.source = std::move(source);
+  tuple.hash = hash;
+  tuples_.push_back(std::move(tuple));
+  indexes_dirty_ = true;
+  return tuples_.back().id;
+}
+
+const LinkageTuple& LinkageDatabase::tuple(std::uint64_t id) const {
+  CALTRAIN_REQUIRE(id < tuples_.size(), "unknown linkage tuple id");
+  return tuples_[id];
+}
+
+LinkageDatabase::ClassIndex& LinkageDatabase::EnsureIndex(int label) {
+  if (indexes_dirty_) {
+    indexes_.clear();
+    indexes_dirty_ = false;
+  }
+  auto it = indexes_.find(label);
+  if (it == indexes_.end()) {
+    ClassIndex index;
+    std::vector<std::vector<float>> points;
+    for (const LinkageTuple& t : tuples_) {
+      if (t.label != label) continue;
+      index.ids.push_back(t.id);
+      points.push_back(t.fingerprint);
+    }
+    index.tree = std::make_unique<VpTree>(std::move(points));
+    it = indexes_.emplace(label, std::move(index)).first;
+  }
+  return it->second;
+}
+
+std::vector<QueryMatch> LinkageDatabase::QueryNearest(const Fingerprint& query,
+                                                      int label,
+                                                      std::size_t k) {
+  const ClassIndex& index = EnsureIndex(label);
+  const std::vector<Neighbor> neighbors = index.tree->Search(query, k);
+  std::vector<QueryMatch> matches;
+  matches.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) {
+    const LinkageTuple& t = tuples_[index.ids[n.index]];
+    matches.push_back(QueryMatch{t.id, n.distance, t.label, t.source});
+  }
+  return matches;
+}
+
+std::vector<QueryMatch> LinkageDatabase::QueryNearestBruteForce(
+    const Fingerprint& query, int label, std::size_t k) const {
+  std::vector<QueryMatch> all;
+  for (const LinkageTuple& t : tuples_) {
+    if (t.label != label) continue;
+    all.push_back(QueryMatch{t.id, FingerprintDistance(t.fingerprint, query),
+                             t.label, t.source});
+  }
+  std::sort(all.begin(), all.end(), [](const QueryMatch& a,
+                                       const QueryMatch& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.id < b.id);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+bool LinkageDatabase::VerifySubmission(std::uint64_t id,
+                                       const nn::Image& image,
+                                       int label) const {
+  const LinkageTuple& t = tuple(id);
+  const crypto::Sha256Digest digest =
+      data::HashTrainingInstance(image, label);
+  return ConstantTimeEqual(BytesView(digest.data(), digest.size()),
+                           BytesView(t.hash.data(), t.hash.size()));
+}
+
+std::vector<std::uint64_t> LinkageDatabase::IdsForLabel(int label) const {
+  std::vector<std::uint64_t> ids;
+  for (const LinkageTuple& t : tuples_) {
+    if (t.label == label) ids.push_back(t.id);
+  }
+  return ids;
+}
+
+Bytes LinkageDatabase::Serialize() const {
+  ByteWriter writer;
+  writer.WriteU64(tuples_.size());
+  for (const LinkageTuple& t : tuples_) {
+    writer.WriteF32Vector(t.fingerprint);
+    writer.WriteU32(static_cast<std::uint32_t>(t.label));
+    writer.WriteString(t.source);
+    writer.WriteBytes(BytesView(t.hash.data(), t.hash.size()));
+  }
+  return writer.Take();
+}
+
+LinkageDatabase LinkageDatabase::Deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  LinkageDatabase db;
+  const std::uint64_t count = reader.ReadU64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Fingerprint fp = reader.ReadF32Vector();
+    const int label = static_cast<int>(reader.ReadU32());
+    std::string source = reader.ReadString();
+    const Bytes hash = reader.ReadBytes();
+    CALTRAIN_REQUIRE(hash.size() == crypto::kSha256DigestSize,
+                     "bad hash size in linkage blob");
+    crypto::Sha256Digest digest{};
+    std::copy(hash.begin(), hash.end(), digest.begin());
+    (void)db.Insert(std::move(fp), label, std::move(source), digest);
+  }
+  CALTRAIN_REQUIRE(reader.AtEnd(), "trailing bytes in linkage blob");
+  return db;
+}
+
+}  // namespace caltrain::linkage

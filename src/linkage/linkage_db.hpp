@@ -1,0 +1,92 @@
+// Linkage-structure database (paper Sec. IV-C).
+//
+// For every training instance the fingerprinting enclave records the
+// 4-tuple Omega = [F, Y, S, H]:
+//   F — one-way fingerprint (normalized penultimate-layer embedding)
+//   Y — class label, used to restrict the query search space
+//   S — data source (participant id), identifying the contributor
+//   H — SHA-256 digest of the instance, verifying turned-in data
+//
+// At query time a model user submits the fingerprint + predicted label
+// of a misprediction; the database returns the closest training
+// fingerprints in that class with their sources, and can later verify
+// that data a participant turns in is byte-identical to what was
+// trained on.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "linkage/fingerprint.hpp"
+#include "linkage/vptree.hpp"
+#include "util/serial.hpp"
+
+namespace caltrain::linkage {
+
+struct LinkageTuple {
+  std::uint64_t id = 0;          ///< database-assigned
+  Fingerprint fingerprint;       ///< F
+  int label = 0;                 ///< Y
+  std::string source;            ///< S
+  crypto::Sha256Digest hash{};   ///< H
+};
+
+struct QueryMatch {
+  std::uint64_t id = 0;
+  double distance = 0.0;
+  int label = 0;
+  std::string source;
+};
+
+class LinkageDatabase {
+ public:
+  LinkageDatabase() = default;
+
+  /// Inserts a tuple; returns the assigned id.  Invalidates indexes.
+  std::uint64_t Insert(Fingerprint fingerprint, int label, std::string source,
+                       const crypto::Sha256Digest& hash);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tuples_.size(); }
+  [[nodiscard]] const LinkageTuple& tuple(std::uint64_t id) const;
+
+  /// The k nearest training fingerprints *within class `label`*
+  /// (Y = Y_test restriction), closest first.  Uses per-class VP-tree
+  /// indexes, built lazily.
+  [[nodiscard]] std::vector<QueryMatch> QueryNearest(
+      const Fingerprint& query, int label, std::size_t k);
+
+  /// Reference brute-force query (tests assert agreement).
+  [[nodiscard]] std::vector<QueryMatch> QueryNearestBruteForce(
+      const Fingerprint& query, int label, std::size_t k) const;
+
+  /// Forensic step: a participant turns in (image, label) claimed to be
+  /// training instance `id`; verifies the hash digest H matches.
+  [[nodiscard]] bool VerifySubmission(std::uint64_t id,
+                                      const nn::Image& image,
+                                      int label) const;
+
+  /// All tuple ids for one class (e.g. to visualize a class cluster).
+  [[nodiscard]] std::vector<std::uint64_t> IdsForLabel(int label) const;
+
+  /// Persistence.
+  [[nodiscard]] Bytes Serialize() const;
+  [[nodiscard]] static LinkageDatabase Deserialize(BytesView blob);
+
+ private:
+  struct ClassIndex {
+    std::vector<std::uint64_t> ids;   ///< position -> tuple id
+    std::unique_ptr<VpTree> tree;
+  };
+
+  ClassIndex& EnsureIndex(int label);
+
+  std::vector<LinkageTuple> tuples_;  ///< id == position
+  std::unordered_map<int, ClassIndex> indexes_;
+  bool indexes_dirty_ = false;
+};
+
+}  // namespace caltrain::linkage

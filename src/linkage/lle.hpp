@@ -1,0 +1,44 @@
+// Locally Linear Embedding (Roweis & Saul), used by the Fig. 7
+// visualization: the 2622-d face fingerprints are reduced to 2-D so the
+// normal / trojaned-train / trojaned-test cluster structure is visible.
+//
+// Standard three-step LLE: k-NN graph, locally-optimal reconstruction
+// weights (regularized Gram solve), then the bottom non-constant
+// eigenvectors of (I-W)^T (I-W) via a Jacobi eigensolver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace caltrain::linkage {
+
+struct LleOptions {
+  std::size_t neighbors = 10;
+  std::size_t out_dims = 2;
+  double regularization = 1e-3;  ///< Gram conditioning (scaled by trace)
+};
+
+/// Embeds `points` (n x d) into `out_dims` dimensions; returns n rows of
+/// out_dims coordinates.  Requires n > neighbors + out_dims.
+[[nodiscard]] std::vector<std::vector<double>> LocallyLinearEmbedding(
+    const std::vector<std::vector<float>>& points, const LleOptions& options);
+
+/// Dense symmetric eigen-decomposition by cyclic Jacobi rotations.
+/// `matrix` is n*n row-major and is destroyed.  Returns eigenvalues
+/// ascending; `eigenvectors[k]` is the unit eigenvector of
+/// eigenvalue k (length n).  Exposed for testing.
+struct EigenResult {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+};
+[[nodiscard]] EigenResult JacobiEigenSymmetric(std::vector<double> matrix,
+                                               std::size_t n,
+                                               int max_sweeps = 64);
+
+/// Solves the dense linear system A x = b (n x n, row-major) by Gaussian
+/// elimination with partial pivoting.  Exposed for testing.
+[[nodiscard]] std::vector<double> SolveLinearSystem(std::vector<double> a,
+                                                    std::vector<double> b,
+                                                    std::size_t n);
+
+}  // namespace caltrain::linkage

@@ -1,0 +1,47 @@
+#include "linkage/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace caltrain::linkage {
+
+AccountabilityEval EvaluateAccountability(
+    const std::vector<std::vector<QueryMatch>>& per_probe_matches,
+    const ProvenanceMap& provenance, const std::string& malicious_source) {
+  AccountabilityEval eval;
+  eval.probes = per_probe_matches.size();
+  if (eval.probes == 0) return eval;
+
+  std::size_t bad_retrieved = 0;
+  std::size_t probes_with_poison = 0;
+  std::size_t probes_attributed = 0;
+
+  for (const auto& matches : per_probe_matches) {
+    bool saw_poison = false;
+    std::size_t malicious_hits = 0;
+    for (const QueryMatch& match : matches) {
+      ++eval.retrieved;
+      const auto it = provenance.find(match.id);
+      const ProvenanceTag tag =
+          it == provenance.end() ? ProvenanceTag::kNormal : it->second;
+      if (tag != ProvenanceTag::kNormal) ++bad_retrieved;
+      if (tag == ProvenanceTag::kPoisoned) saw_poison = true;
+      if (match.source == malicious_source) ++malicious_hits;
+    }
+    if (saw_poison) ++probes_with_poison;
+    if (!matches.empty() && malicious_hits * 2 > matches.size()) {
+      ++probes_attributed;
+    }
+  }
+
+  if (eval.retrieved > 0) {
+    eval.precision_bad =
+        static_cast<double>(bad_retrieved) / static_cast<double>(eval.retrieved);
+  }
+  eval.recall_poisoned = static_cast<double>(probes_with_poison) /
+                         static_cast<double>(eval.probes);
+  eval.source_attribution = static_cast<double>(probes_attributed) /
+                            static_cast<double>(eval.probes);
+  return eval;
+}
+
+}  // namespace caltrain::linkage

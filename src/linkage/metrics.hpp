@@ -1,0 +1,45 @@
+// Accountability evaluation metrics for Experiment IV.
+//
+// Ground truth (which training records were poisoned / mislabeled and
+// which participant contributed them) is known to the experiment
+// harness only; CalTrain itself sees just fingerprints.  The metrics
+// quantify how precisely the nearest-neighbour queries surface the bad
+// data and the responsible participant.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linkage/linkage_db.hpp"
+
+namespace caltrain::linkage {
+
+enum class ProvenanceTag {
+  kNormal = 0,
+  kPoisoned = 1,    ///< trigger-stamped, relabeled by the attacker
+  kMislabeled = 2,  ///< wrong label, no trigger
+};
+
+using ProvenanceMap = std::unordered_map<std::uint64_t, ProvenanceTag>;
+
+struct AccountabilityEval {
+  /// Fraction of all retrieved neighbours that are bad (poisoned or
+  /// mislabeled) — query precision.
+  double precision_bad = 0.0;
+  /// Fraction of probes whose top-k contains at least one poisoned
+  /// record — per-misprediction discovery rate.
+  double recall_poisoned = 0.0;
+  /// Fraction of probes for which the malicious participant is the
+  /// majority source among the top-k — contributor attribution.
+  double source_attribution = 0.0;
+  std::size_t probes = 0;
+  std::size_t retrieved = 0;
+};
+
+/// Evaluates per-probe top-k query results against ground truth.
+[[nodiscard]] AccountabilityEval EvaluateAccountability(
+    const std::vector<std::vector<QueryMatch>>& per_probe_matches,
+    const ProvenanceMap& provenance, const std::string& malicious_source);
+
+}  // namespace caltrain::linkage

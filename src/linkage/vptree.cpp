@@ -1,0 +1,130 @@
+#include "linkage/vptree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace caltrain::linkage {
+
+namespace {
+
+bool FartherFirst(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance;  // max-heap by distance
+}
+
+}  // namespace
+
+VpTree::VpTree(std::vector<std::vector<float>> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) return;
+  const std::size_t dim = points_[0].size();
+  for (const auto& p : points_) {
+    CALTRAIN_REQUIRE(p.size() == dim, "inconsistent point dimensions");
+  }
+  std::vector<std::size_t> indices(points_.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  nodes_.reserve(points_.size());
+  root_ = Build(indices, 0, indices.size());
+}
+
+int VpTree::Build(std::vector<std::size_t>& indices, std::size_t lo,
+                  std::size_t hi) {
+  if (lo >= hi) return -1;
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  // Vantage point: first element (indices arrive shuffled enough from
+  // recursive partitioning; determinism matters more than balance here).
+  const std::size_t vp = indices[lo];
+  nodes_[static_cast<std::size_t>(node_id)].point_index = vp;
+  if (hi - lo == 1) return node_id;
+
+  // Partition remaining points by median distance to the vantage point.
+  const std::size_t mid = (lo + 1 + hi) / 2;
+  std::nth_element(indices.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+                   indices.begin() + static_cast<std::ptrdiff_t>(mid),
+                   indices.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::size_t a, std::size_t b) {
+                     return L2Distance(points_[a], points_[vp]) <
+                            L2Distance(points_[b], points_[vp]);
+                   });
+  const double radius = L2Distance(points_[indices[mid]], points_[vp]);
+  const int inside = Build(indices, lo + 1, mid);
+  const int outside = Build(indices, mid, hi);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.radius = radius;
+  node.inside = inside;
+  node.outside = outside;
+  return node_id;
+}
+
+void VpTree::SearchNode(
+    int node_id, const std::vector<float>& query, std::size_t k,
+    std::priority_queue<Neighbor, std::vector<Neighbor>,
+                        bool (*)(const Neighbor&, const Neighbor&)>& best,
+    double& tau) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  const double dist = L2Distance(points_[node.point_index], query);
+
+  if (best.size() < k) {
+    best.push(Neighbor{node.point_index, dist});
+    if (best.size() == k) tau = best.top().distance;
+  } else if (dist < tau) {
+    best.pop();
+    best.push(Neighbor{node.point_index, dist});
+    tau = best.top().distance;
+  }
+
+  if (node.inside < 0 && node.outside < 0) return;
+
+  if (dist < node.radius) {
+    SearchNode(node.inside, query, k, best, tau);
+    if (dist + tau >= node.radius || best.size() < k) {
+      SearchNode(node.outside, query, k, best, tau);
+    }
+  } else {
+    SearchNode(node.outside, query, k, best, tau);
+    if (dist - tau <= node.radius || best.size() < k) {
+      SearchNode(node.inside, query, k, best, tau);
+    }
+  }
+}
+
+std::vector<Neighbor> VpTree::Search(const std::vector<float>& query,
+                                     std::size_t k) const {
+  std::vector<Neighbor> result;
+  if (points_.empty() || k == 0) return result;
+  std::priority_queue<Neighbor, std::vector<Neighbor>,
+                      bool (*)(const Neighbor&, const Neighbor&)>
+      best(FartherFirst);
+  double tau = std::numeric_limits<double>::infinity();
+  SearchNode(root_, query, k, best, tau);
+  result.resize(best.size());
+  for (std::size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+std::vector<Neighbor> BruteForceKnn(
+    const std::vector<std::vector<float>>& points,
+    const std::vector<float>& query, std::size_t k) {
+  std::vector<Neighbor> all(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    all[i] = Neighbor{i, L2Distance(points[i], query)};
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(take), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.index < b.index);
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace caltrain::linkage

@@ -1,0 +1,60 @@
+// Vantage-point tree for exact k-nearest-neighbour search in L2.
+//
+// The linkage database's per-class fingerprint indexes use this to keep
+// query cost sublinear; a brute-force scan remains available as the
+// reference implementation (tests assert they agree).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace caltrain::linkage {
+
+struct Neighbor {
+  std::size_t index = 0;  ///< index into the point set given at build time
+  double distance = 0.0;
+};
+
+class VpTree {
+ public:
+  /// Builds over `points` (all the same dimension).  Indices returned by
+  /// Search refer to positions in this vector.
+  explicit VpTree(std::vector<std::vector<float>> points);
+
+  /// The k nearest neighbours of `query`, closest first.
+  [[nodiscard]] std::vector<Neighbor> Search(const std::vector<float>& query,
+                                             std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Node {
+    std::size_t point_index = 0;
+    double radius = 0.0;
+    int inside = -1;
+    int outside = -1;
+  };
+
+  int Build(std::vector<std::size_t>& indices, std::size_t lo,
+            std::size_t hi);
+  void SearchNode(int node, const std::vector<float>& query, std::size_t k,
+                  std::priority_queue<Neighbor, std::vector<Neighbor>,
+                                      bool (*)(const Neighbor&,
+                                               const Neighbor&)>& best,
+                  double& tau) const;
+
+  std::vector<std::vector<float>> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Reference brute-force k-NN over the same contract.
+[[nodiscard]] std::vector<Neighbor> BruteForceKnn(
+    const std::vector<std::vector<float>>& points,
+    const std::vector<float>& query, std::size_t k);
+
+}  // namespace caltrain::linkage

@@ -1,0 +1,108 @@
+#include "nn/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caltrain::nn {
+
+Image FlipHorizontal(const Image& image) {
+  Image out(image.shape);
+  for (int c = 0; c < image.shape.c; ++c) {
+    for (int y = 0; y < image.shape.h; ++y) {
+      for (int x = 0; x < image.shape.w; ++x) {
+        out.At(c, y, x) = image.At(c, y, image.shape.w - 1 - x);
+      }
+    }
+  }
+  return out;
+}
+
+Image Rotate(const Image& image, float degrees) {
+  Image out(image.shape);
+  const float rad = degrees * 3.14159265358979323846F / 180.0F;
+  const float cs = std::cos(rad);
+  const float sn = std::sin(rad);
+  const float cx = static_cast<float>(image.shape.w - 1) / 2.0F;
+  const float cy = static_cast<float>(image.shape.h - 1) / 2.0F;
+  for (int y = 0; y < image.shape.h; ++y) {
+    for (int x = 0; x < image.shape.w; ++x) {
+      // Inverse mapping: rotate output coordinates back into the source.
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      const float sx = cs * dx + sn * dy + cx;
+      const float sy = -sn * dx + cs * dy + cy;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const int y0 = static_cast<int>(std::floor(sy));
+      const float fx = sx - static_cast<float>(x0);
+      const float fy = sy - static_cast<float>(y0);
+      for (int c = 0; c < image.shape.c; ++c) {
+        const auto sample = [&](int yy, int xx) -> float {
+          if (yy < 0 || yy >= image.shape.h || xx < 0 || xx >= image.shape.w) {
+            return 0.0F;
+          }
+          return image.At(c, yy, xx);
+        };
+        const float v00 = sample(y0, x0);
+        const float v01 = sample(y0, x0 + 1);
+        const float v10 = sample(y0 + 1, x0);
+        const float v11 = sample(y0 + 1, x0 + 1);
+        out.At(c, y, x) = v00 * (1 - fx) * (1 - fy) + v01 * fx * (1 - fy) +
+                          v10 * (1 - fx) * fy + v11 * fx * fy;
+      }
+    }
+  }
+  return out;
+}
+
+Image Translate(const Image& image, int dx, int dy) {
+  Image out(image.shape);
+  for (int c = 0; c < image.shape.c; ++c) {
+    for (int y = 0; y < image.shape.h; ++y) {
+      const int sy = y - dy;
+      if (sy < 0 || sy >= image.shape.h) continue;
+      for (int x = 0; x < image.shape.w; ++x) {
+        const int sx = x - dx;
+        if (sx < 0 || sx >= image.shape.w) continue;
+        out.At(c, y, x) = image.At(c, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+Image AdjustBrightnessContrast(const Image& image, float brightness,
+                               float contrast) {
+  Image out(image.shape);
+  for (std::size_t i = 0; i < image.pixels.size(); ++i) {
+    const float v = (image.pixels[i] - 0.5F) * contrast + 0.5F + brightness;
+    out.pixels[i] = std::clamp(v, 0.0F, 1.0F);
+  }
+  return out;
+}
+
+Image Augment(const Image& image, const AugmentOptions& options, Rng& rng) {
+  Image out = image;
+  if (options.flip && rng.Bernoulli(0.5F)) out = FlipHorizontal(out);
+  if (options.max_rotation_deg > 0.0F) {
+    const float deg =
+        rng.UniformFloat(-options.max_rotation_deg, options.max_rotation_deg);
+    out = Rotate(out, deg);
+  }
+  if (options.max_translate_px > 0) {
+    const int dx = rng.UniformInt(-options.max_translate_px,
+                                  options.max_translate_px);
+    const int dy = rng.UniformInt(-options.max_translate_px,
+                                  options.max_translate_px);
+    if (dx != 0 || dy != 0) out = Translate(out, dx, dy);
+  }
+  if (options.max_brightness > 0.0F || options.max_contrast > 0.0F) {
+    const float b =
+        rng.UniformFloat(-options.max_brightness, options.max_brightness);
+    const float ctr =
+        1.0F + rng.UniformFloat(-options.max_contrast, options.max_contrast);
+    out = AdjustBrightnessContrast(out, b, ctr);
+  }
+  return out;
+}
+
+}  // namespace caltrain::nn

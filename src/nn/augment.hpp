@@ -1,0 +1,38 @@
+// Data augmentation (paper Sec. IV-A): random rotation, flipping, and
+// distortion, applied inside the training enclave after decryption.
+// The randomness source is a caltrain::Rng; the enclave feeds it from
+// the simulated on-chip DRBG.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace caltrain::nn {
+
+struct AugmentOptions {
+  bool flip = true;              ///< horizontal mirror with probability 1/2
+  float max_rotation_deg = 10.0F;  ///< uniform in [-max, max]
+  int max_translate_px = 2;      ///< uniform shift in both axes
+  float max_brightness = 0.1F;   ///< additive jitter
+  float max_contrast = 0.1F;     ///< multiplicative jitter around 1.0
+};
+
+/// Returns an augmented copy of `image`.
+[[nodiscard]] Image Augment(const Image& image, const AugmentOptions& options,
+                            Rng& rng);
+
+/// Horizontal mirror.
+[[nodiscard]] Image FlipHorizontal(const Image& image);
+
+/// Rotation about the image center by `degrees` with bilinear sampling;
+/// out-of-range samples are zero.
+[[nodiscard]] Image Rotate(const Image& image, float degrees);
+
+/// Integer translation; vacated pixels are zero.
+[[nodiscard]] Image Translate(const Image& image, int dx, int dy);
+
+/// pixel' = clamp((pixel - 0.5) * contrast + 0.5 + brightness, 0, 1).
+[[nodiscard]] Image AdjustBrightnessContrast(const Image& image,
+                                             float brightness, float contrast);
+
+}  // namespace caltrain::nn

@@ -1,0 +1,241 @@
+#include "nn/config.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace caltrain::nn {
+
+namespace {
+
+struct Section {
+  std::string name;
+  int line = 0;
+  std::map<std::string, std::string> values;
+};
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void Fail(int line, const std::string& message) {
+  ThrowError(ErrorKind::kInvalidArgument,
+             "config line " + std::to_string(line) + ": " + message);
+}
+
+std::vector<Section> Tokenize(std::string_view text) {
+  std::vector<Section> sections;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    // Strip comments and whitespace.
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        Fail(line_number, "malformed section header");
+      }
+      Section section;
+      section.name = std::string(line.substr(1, line.size() - 2));
+      section.line = line_number;
+      sections.push_back(std::move(section));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      Fail(line_number, "expected key=value");
+    }
+    if (sections.empty()) {
+      Fail(line_number, "key=value before any [section]");
+    }
+    const std::string key(Trim(line.substr(0, eq)));
+    const std::string value(Trim(line.substr(eq + 1)));
+    if (key.empty() || value.empty()) {
+      Fail(line_number, "empty key or value");
+    }
+    sections.back().values[key] = value;
+  }
+  return sections;
+}
+
+int GetInt(const Section& s, const std::string& key, int fallback,
+           bool required = false) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) {
+    if (required) Fail(s.line, "[" + s.name + "] missing key '" + key + "'");
+    return fallback;
+  }
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      it->second.data(), it->second.data() + it->second.size(), value);
+  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+    Fail(s.line, "key '" + key + "' is not an integer: " + it->second);
+  }
+  return value;
+}
+
+float GetFloat(const Section& s, const std::string& key, float fallback) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const float value = std::stof(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument(key);
+    return value;
+  } catch (const std::exception&) {
+    Fail(s.line, "key '" + key + "' is not a number: " + it->second);
+  }
+}
+
+Activation GetActivation(const Section& s) {
+  const auto it = s.values.find("activation");
+  if (it == s.values.end()) return Activation::kLeakyRelu;  // Darknet default
+  if (it->second == "leaky") return Activation::kLeakyRelu;
+  if (it->second == "linear") return Activation::kLinear;
+  Fail(s.line, "unknown activation '" + it->second + "'");
+}
+
+void CheckKnownKeys(const Section& s,
+                    std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : s.values) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) Fail(s.line, "[" + s.name + "] unknown key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+NetworkSpec ParseNetworkConfig(std::string_view text) {
+  const std::vector<Section> sections = Tokenize(text);
+  CALTRAIN_REQUIRE(!sections.empty(), "empty network config");
+  const Section& net = sections.front();
+  if (net.name != "net" && net.name != "network") {
+    Fail(net.line, "first section must be [net]");
+  }
+  CheckKnownKeys(net, {"width", "height", "channels"});
+
+  NetworkSpec spec;
+  spec.input.w = GetInt(net, "width", 0, /*required=*/true);
+  spec.input.h = GetInt(net, "height", 0, /*required=*/true);
+  spec.input.c = GetInt(net, "channels", 0, /*required=*/true);
+  CALTRAIN_REQUIRE(spec.input.w > 0 && spec.input.h > 0 && spec.input.c > 0,
+                   "[net] dimensions must be positive");
+
+  for (std::size_t i = 1; i < sections.size(); ++i) {
+    const Section& s = sections[i];
+    LayerSpec layer;
+    if (s.name == "convolutional" || s.name == "conv") {
+      CheckKnownKeys(s, {"filters", "size", "stride", "activation"});
+      layer.kind = LayerKind::kConv;
+      layer.filters = GetInt(s, "filters", 1);
+      layer.ksize = GetInt(s, "size", 3);
+      layer.stride = GetInt(s, "stride", 1);
+      layer.activation = GetActivation(s);
+    } else if (s.name == "maxpool" || s.name == "max") {
+      CheckKnownKeys(s, {"size", "stride"});
+      layer.kind = LayerKind::kMaxPool;
+      layer.ksize = GetInt(s, "size", 2);
+      layer.stride = GetInt(s, "stride", layer.ksize);
+    } else if (s.name == "avgpool" || s.name == "avg") {
+      CheckKnownKeys(s, {});
+      layer.kind = LayerKind::kAvgPool;
+    } else if (s.name == "dropout") {
+      CheckKnownKeys(s, {"probability"});
+      layer.kind = LayerKind::kDropout;
+      layer.dropout_p = GetFloat(s, "probability", 0.5F);
+    } else if (s.name == "connected") {
+      CheckKnownKeys(s, {"output", "activation"});
+      layer.kind = LayerKind::kConnected;
+      layer.outputs = GetInt(s, "output", 0, /*required=*/true);
+      layer.activation = GetActivation(s);
+    } else if (s.name == "softmax") {
+      CheckKnownKeys(s, {});
+      layer.kind = LayerKind::kSoftmax;
+    } else if (s.name == "cost") {
+      CheckKnownKeys(s, {});
+      layer.kind = LayerKind::kCost;
+    } else {
+      Fail(s.line, "unknown section [" + s.name + "]");
+    }
+    spec.layers.push_back(layer);
+  }
+  CALTRAIN_REQUIRE(!spec.layers.empty(), "config declares no layers");
+  return spec;
+}
+
+std::string WriteNetworkConfig(const NetworkSpec& spec) {
+  std::ostringstream os;
+  os << "[net]\n"
+     << "width=" << spec.input.w << "\n"
+     << "height=" << spec.input.h << "\n"
+     << "channels=" << spec.input.c << "\n";
+  for (const LayerSpec& l : spec.layers) {
+    os << "\n";
+    switch (l.kind) {
+      case LayerKind::kConv:
+        os << "[convolutional]\n"
+           << "filters=" << l.filters << "\n"
+           << "size=" << l.ksize << "\n"
+           << "stride=" << l.stride << "\n"
+           << "activation="
+           << (l.activation == Activation::kLinear ? "linear" : "leaky")
+           << "\n";
+        break;
+      case LayerKind::kMaxPool:
+        os << "[maxpool]\n"
+           << "size=" << l.ksize << "\n"
+           << "stride=" << l.stride << "\n";
+        break;
+      case LayerKind::kAvgPool:
+        os << "[avgpool]\n";
+        break;
+      case LayerKind::kDropout:
+        os << "[dropout]\n"
+           << "probability=" << l.dropout_p << "\n";
+        break;
+      case LayerKind::kConnected:
+        os << "[connected]\n"
+           << "output=" << l.outputs << "\n"
+           << "activation="
+           << (l.activation == Activation::kLinear ? "linear" : "leaky")
+           << "\n";
+        break;
+      case LayerKind::kSoftmax:
+        os << "[softmax]\n";
+        break;
+      case LayerKind::kCost:
+        os << "[cost]\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace caltrain::nn

@@ -1,0 +1,50 @@
+// Darknet-style textual network configuration.
+//
+// The paper's prototype is built on Darknet, whose models are described
+// by INI-like .cfg files.  This parser accepts the same dialect for the
+// layer types CalTrain uses, so the Table I/II architectures (and user
+// models) can be expressed as data rather than code:
+//
+//   [net]
+//   width=28
+//   height=28
+//   channels=3
+//
+//   [convolutional]
+//   filters=128
+//   size=3
+//   stride=1
+//   activation=leaky
+//
+//   [maxpool]
+//   size=2
+//   stride=2
+//
+//   [dropout]
+//   probability=.5
+//
+//   [avgpool]
+//   [softmax]
+//   [cost]
+//
+// Comments start with '#' or ';'.  Unknown sections or keys are errors
+// (a config the trainer silently half-understands is worse than one it
+// rejects).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "nn/network.hpp"
+
+namespace caltrain::nn {
+
+/// Parses a Darknet-style config into a NetworkSpec; throws
+/// Error(kInvalidArgument) with a line-numbered message on any problem.
+[[nodiscard]] NetworkSpec ParseNetworkConfig(std::string_view text);
+
+/// Renders a NetworkSpec back to config text (round-trips through
+/// ParseNetworkConfig).
+[[nodiscard]] std::string WriteNetworkConfig(const NetworkSpec& spec);
+
+}  // namespace caltrain::nn

@@ -1,0 +1,129 @@
+#include "nn/connected.hpp"
+
+#include <cmath>
+
+namespace caltrain::nn {
+
+namespace {
+constexpr float kLeakySlope = 0.1F;
+}
+
+ConnectedLayer::ConnectedLayer(Shape in, int outputs, Activation activation)
+    : Layer(in, Shape{1, 1, outputs}),
+      inputs_(static_cast<int>(in.Flat())),
+      outputs_(outputs),
+      activation_(activation) {
+  CALTRAIN_REQUIRE(outputs > 0, "connected layer needs outputs > 0");
+  const std::size_t count =
+      static_cast<std::size_t>(inputs_) * static_cast<std::size_t>(outputs_);
+  weights_.assign(count, 0.0F);
+  biases_.assign(static_cast<std::size_t>(outputs_), 0.0F);
+  weight_grads_.assign(count, 0.0F);
+  bias_grads_.assign(static_cast<std::size_t>(outputs_), 0.0F);
+  weight_momentum_.assign(count, 0.0F);
+  bias_momentum_.assign(static_cast<std::size_t>(outputs_), 0.0F);
+}
+
+std::string ConnectedLayer::Describe() const {
+  return "connected " + std::to_string(inputs_) + " -> " +
+         std::to_string(outputs_);
+}
+
+void ConnectedLayer::Forward(const Batch& in, Batch& out,
+                             const LayerContext& ctx) {
+  const std::size_t m = static_cast<std::size_t>(out.n);
+  const std::size_t n = static_cast<std::size_t>(outputs_);
+  const std::size_t k = static_cast<std::size_t>(inputs_);
+  for (int s = 0; s < out.n; ++s) {
+    float* dst = out.Sample(s);
+    for (std::size_t j = 0; j < n; ++j) dst[j] = biases_[j];
+  }
+  // out[m x n] += in[m x k] * W^T (W stored [n x k]).
+  GemmTransB(ctx.profile, m, n, k, in.data.data(), weights_.data(),
+             out.data.data());
+  if (activation_ == Activation::kLeakyRelu) {
+    for (float& x : out.data) {
+      if (x < 0.0F) x *= kLeakySlope;
+    }
+  }
+}
+
+void ConnectedLayer::Backward(const Batch& in, const Batch& out,
+                              const Batch& delta_out, Batch& delta_in,
+                              const LayerContext& ctx) {
+  const std::size_t m = static_cast<std::size_t>(in.n);
+  const std::size_t n = static_cast<std::size_t>(outputs_);
+  const std::size_t k = static_cast<std::size_t>(inputs_);
+
+  std::vector<float> delta = delta_out.data;
+  if (activation_ == Activation::kLeakyRelu) {
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      if (out.data[i] < 0.0F) delta[i] *= kLeakySlope;
+    }
+  }
+
+  // Bias gradients.
+  for (std::size_t s = 0; s < m; ++s) {
+    const float* row = delta.data() + s * n;
+    for (std::size_t j = 0; j < n; ++j) bias_grads_[j] += row[j];
+  }
+
+  // Weight gradients: dW[n x k] += delta^T[n x m] * in[m x k].
+  GemmTransA(ctx.profile, n, k, m, delta.data(), in.data.data(),
+             weight_grads_.data());
+
+  // Input gradients: d_in[m x k] = delta[m x n] * W[n x k].
+  delta_in.Zero();
+  Gemm(ctx.profile, m, k, n, delta.data(), weights_.data(),
+       delta_in.data.data());
+}
+
+void ConnectedLayer::Update(const SgdConfig& config, int batch_size) {
+  detail::ApplyDpSanitization(config, weight_grads_, bias_grads_);
+  const float scale = config.learning_rate / static_cast<float>(batch_size);
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weight_momentum_[i] = config.momentum * weight_momentum_[i] -
+                          scale * weight_grads_[i] -
+                          config.learning_rate * config.weight_decay *
+                              weights_[i];
+    weights_[i] += weight_momentum_[i];
+    weight_grads_[i] = 0.0F;
+  }
+  for (std::size_t i = 0; i < biases_.size(); ++i) {
+    bias_momentum_[i] =
+        config.momentum * bias_momentum_[i] - scale * bias_grads_[i];
+    biases_[i] += bias_momentum_[i];
+    bias_grads_[i] = 0.0F;
+  }
+}
+
+void ConnectedLayer::InitWeights(Rng& rng) {
+  const float stddev = std::sqrt(2.0F / static_cast<float>(inputs_));
+  for (float& w : weights_) w = rng.Gaussian(0.0F, stddev);
+  std::fill(biases_.begin(), biases_.end(), 0.0F);
+}
+
+void ConnectedLayer::SerializeWeights(ByteWriter& writer) const {
+  writer.WriteF32Vector(weights_);
+  writer.WriteF32Vector(biases_);
+}
+
+void ConnectedLayer::DeserializeWeights(ByteReader& reader) {
+  std::vector<float> w = reader.ReadF32Vector();
+  std::vector<float> b = reader.ReadF32Vector();
+  CALTRAIN_REQUIRE(w.size() == weights_.size() && b.size() == biases_.size(),
+                   "connected weight blob shape mismatch");
+  weights_ = std::move(w);
+  biases_ = std::move(b);
+}
+
+std::uint64_t ConnectedLayer::ForwardFlopsPerSample() const noexcept {
+  return 2ULL * static_cast<std::uint64_t>(inputs_) *
+         static_cast<std::uint64_t>(outputs_);
+}
+
+std::size_t ConnectedLayer::WeightBytes() const noexcept {
+  return (weights_.size() + biases_.size()) * sizeof(float);
+}
+
+}  // namespace caltrain::nn

@@ -1,0 +1,51 @@
+// Fully-connected layer.  Not used by the Table I/II CIFAR nets, but the
+// face-recognition model of Experiment IV follows VGG-Face in ending
+// with connected layers; the penultimate connected output is the
+// fingerprint embedding.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace caltrain::nn {
+
+class ConnectedLayer final : public Layer {
+ public:
+  ConnectedLayer(Shape in, int outputs, Activation activation);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kConnected;
+  }
+  [[nodiscard]] std::string Describe() const override;
+
+  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
+                Batch& delta_in, const LayerContext& ctx) override;
+  void Update(const SgdConfig& config, int batch_size) override;
+
+  [[nodiscard]] bool HasWeights() const noexcept override { return true; }
+  void InitWeights(Rng& rng) override;
+  void SerializeWeights(ByteWriter& writer) const override;
+  void DeserializeWeights(ByteReader& reader) override;
+
+  [[nodiscard]] std::uint64_t ForwardFlopsPerSample() const noexcept override;
+  [[nodiscard]] std::size_t WeightBytes() const noexcept override;
+
+  [[nodiscard]] std::vector<float>& weights() noexcept { return weights_; }
+  [[nodiscard]] const std::vector<float>& weight_grads() const noexcept {
+    return weight_grads_;
+  }
+
+ private:
+  int inputs_;
+  int outputs_;
+  Activation activation_;
+
+  std::vector<float> weights_;  ///< [outputs][inputs]
+  std::vector<float> biases_;
+  std::vector<float> weight_grads_;
+  std::vector<float> bias_grads_;
+  std::vector<float> weight_momentum_;
+  std::vector<float> bias_momentum_;
+};
+
+}  // namespace caltrain::nn

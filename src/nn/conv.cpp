@@ -1,0 +1,182 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+namespace caltrain::nn {
+
+namespace {
+constexpr float kLeakySlope = 0.1F;
+
+Shape ConvOutShape(Shape in, int filters, int ksize, int stride, int pad) {
+  Shape out;
+  out.w = (in.w + 2 * pad - ksize) / stride + 1;
+  out.h = (in.h + 2 * pad - ksize) / stride + 1;
+  out.c = filters;
+  return out;
+}
+}  // namespace
+
+ConvLayer::ConvLayer(Shape in, int filters, int ksize, int stride,
+                     Activation activation)
+    : Layer(in, ConvOutShape(in, filters, ksize, stride,
+                             ksize == 1 ? 0 : ksize / 2)),
+      filters_(filters),
+      ksize_(ksize),
+      stride_(stride),
+      pad_(ksize == 1 ? 0 : ksize / 2),
+      activation_(activation) {
+  CALTRAIN_REQUIRE(filters > 0 && ksize > 0 && stride > 0,
+                   "invalid conv parameters");
+  const std::size_t weight_count = static_cast<std::size_t>(filters_) *
+                                   in_shape_.c * ksize_ * ksize_;
+  weights_.assign(weight_count, 0.0F);
+  biases_.assign(static_cast<std::size_t>(filters_), 0.0F);
+  weight_grads_.assign(weight_count, 0.0F);
+  bias_grads_.assign(static_cast<std::size_t>(filters_), 0.0F);
+  weight_momentum_.assign(weight_count, 0.0F);
+  bias_momentum_.assign(static_cast<std::size_t>(filters_), 0.0F);
+  col_scratch_.assign(ColSize(), 0.0F);
+}
+
+std::string ConvLayer::Describe() const {
+  return "conv " + std::to_string(filters_) + " " + std::to_string(ksize_) +
+         "x" + std::to_string(ksize_) + "/" + std::to_string(stride_) + " " +
+         in_shape_.ToString() + " -> " + out_shape_.ToString();
+}
+
+std::size_t ConvLayer::ColSize() const noexcept {
+  return static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_ *
+         out_shape_.w * out_shape_.h;
+}
+
+void ConvLayer::ApplyActivation(float* data, std::size_t n) const noexcept {
+  if (activation_ == Activation::kLinear) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i] < 0.0F) data[i] *= kLeakySlope;
+  }
+}
+
+void ConvLayer::ActivationGradient(const float* out, float* delta,
+                                   std::size_t n) const noexcept {
+  if (activation_ == Activation::kLinear) return;
+  // Leaky ReLU preserves sign, so the post-activation output determines
+  // which branch was taken.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out[i] < 0.0F) delta[i] *= kLeakySlope;
+  }
+}
+
+void ConvLayer::Forward(const Batch& in, Batch& out, const LayerContext& ctx) {
+  const std::size_t m = static_cast<std::size_t>(filters_);
+  const std::size_t k = static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_;
+  const std::size_t n = static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
+
+  for (int s = 0; s < in.n; ++s) {
+    const float* src = in.Sample(s);
+    float* dst = out.Sample(s);
+    // Initialize output with biases.
+    for (std::size_t f = 0; f < m; ++f) {
+      const float b = biases_[f];
+      float* row = dst + f * n;
+      for (std::size_t j = 0; j < n; ++j) row[j] = b;
+    }
+    Im2Col(src, in_shape_.c, in_shape_.h, in_shape_.w, ksize_, stride_, pad_,
+           col_scratch_.data());
+    Gemm(ctx.profile, m, n, k, weights_.data(), col_scratch_.data(), dst);
+    ApplyActivation(dst, m * n);
+  }
+}
+
+void ConvLayer::Backward(const Batch& in, const Batch& out,
+                         const Batch& delta_out, Batch& delta_in,
+                         const LayerContext& ctx) {
+  const std::size_t m = static_cast<std::size_t>(filters_);
+  const std::size_t k = static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_;
+  const std::size_t n = static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
+
+  std::vector<float> delta(m * n);
+  std::vector<float> col_delta(k * n);
+
+  delta_in.Zero();
+  for (int s = 0; s < in.n; ++s) {
+    // Activation gradient (in a scratch copy so delta_out stays intact).
+    const float* d_out = delta_out.Sample(s);
+    std::copy(d_out, d_out + m * n, delta.data());
+    ActivationGradient(out.Sample(s), delta.data(), m * n);
+
+    // Bias gradients: row sums of delta.
+    for (std::size_t f = 0; f < m; ++f) {
+      float acc = 0.0F;
+      const float* row = delta.data() + f * n;
+      for (std::size_t j = 0; j < n; ++j) acc += row[j];
+      bias_grads_[f] += acc;
+    }
+
+    // Weight gradients: dW[m x k] += delta[m x n] * col^T[n x k].
+    Im2Col(in.Sample(s), in_shape_.c, in_shape_.h, in_shape_.w, ksize_,
+           stride_, pad_, col_scratch_.data());
+    GemmTransB(ctx.profile, m, k, n, delta.data(), col_scratch_.data(),
+               weight_grads_.data());
+
+    // Input gradients: col_delta[k x n] = W^T[k x m] * delta[m x n].
+    std::fill(col_delta.begin(), col_delta.end(), 0.0F);
+    GemmTransA(ctx.profile, k, n, m, weights_.data(), delta.data(),
+               col_delta.data());
+    Col2Im(col_delta.data(), in_shape_.c, in_shape_.h, in_shape_.w, ksize_,
+           stride_, pad_, delta_in.Sample(s));
+  }
+}
+
+void ConvLayer::Update(const SgdConfig& config, int batch_size) {
+  detail::ApplyDpSanitization(config, weight_grads_, bias_grads_);
+  const float scale = config.learning_rate / static_cast<float>(batch_size);
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weight_momentum_[i] = config.momentum * weight_momentum_[i] -
+                          scale * weight_grads_[i] -
+                          config.learning_rate * config.weight_decay *
+                              weights_[i];
+    weights_[i] += weight_momentum_[i];
+    weight_grads_[i] = 0.0F;
+  }
+  for (std::size_t i = 0; i < biases_.size(); ++i) {
+    bias_momentum_[i] =
+        config.momentum * bias_momentum_[i] - scale * bias_grads_[i];
+    biases_[i] += bias_momentum_[i];
+    bias_grads_[i] = 0.0F;
+  }
+}
+
+void ConvLayer::InitWeights(Rng& rng) {
+  // Gaussian initialization scaled by fan-in (paper Sec. VI-A notes the
+  // weights are sampled from a Gaussian distribution).
+  const float fan_in =
+      static_cast<float>(in_shape_.c) * static_cast<float>(ksize_ * ksize_);
+  const float stddev = std::sqrt(2.0F / fan_in);
+  for (float& w : weights_) w = rng.Gaussian(0.0F, stddev);
+  std::fill(biases_.begin(), biases_.end(), 0.0F);
+}
+
+void ConvLayer::SerializeWeights(ByteWriter& writer) const {
+  writer.WriteF32Vector(weights_);
+  writer.WriteF32Vector(biases_);
+}
+
+void ConvLayer::DeserializeWeights(ByteReader& reader) {
+  std::vector<float> w = reader.ReadF32Vector();
+  std::vector<float> b = reader.ReadF32Vector();
+  CALTRAIN_REQUIRE(w.size() == weights_.size() && b.size() == biases_.size(),
+                   "conv weight blob shape mismatch");
+  weights_ = std::move(w);
+  biases_ = std::move(b);
+}
+
+std::uint64_t ConvLayer::ForwardFlopsPerSample() const noexcept {
+  return 2ULL * static_cast<std::uint64_t>(filters_) * in_shape_.c * ksize_ *
+         ksize_ * out_shape_.w * out_shape_.h;
+}
+
+std::size_t ConvLayer::WeightBytes() const noexcept {
+  return (weights_.size() + biases_.size()) * sizeof(float);
+}
+
+}  // namespace caltrain::nn

@@ -1,0 +1,67 @@
+// 2-D convolutional layer (same-padding square kernels, as in
+// Tables I/II) with optional leaky-ReLU activation, trained via
+// im2col + GEMM.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace caltrain::nn {
+
+class ConvLayer final : public Layer {
+ public:
+  /// ksize x ksize kernels, `stride`, symmetric zero padding chosen so a
+  /// 3x3/1 conv preserves spatial size and a 1x1/1 conv is unpadded.
+  ConvLayer(Shape in, int filters, int ksize, int stride,
+            Activation activation);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kConv;
+  }
+  [[nodiscard]] std::string Describe() const override;
+
+  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
+                Batch& delta_in, const LayerContext& ctx) override;
+  void Update(const SgdConfig& config, int batch_size) override;
+
+  [[nodiscard]] bool HasWeights() const noexcept override { return true; }
+  void InitWeights(Rng& rng) override;
+  void SerializeWeights(ByteWriter& writer) const override;
+  void DeserializeWeights(ByteReader& reader) override;
+
+  [[nodiscard]] std::uint64_t ForwardFlopsPerSample() const noexcept override;
+  [[nodiscard]] std::size_t WeightBytes() const noexcept override;
+
+  [[nodiscard]] std::vector<float>& weights() noexcept { return weights_; }
+  [[nodiscard]] std::vector<float>& biases() noexcept { return biases_; }
+  [[nodiscard]] const std::vector<float>& weight_grads() const noexcept {
+    return weight_grads_;
+  }
+  [[nodiscard]] const std::vector<float>& bias_grads() const noexcept {
+    return bias_grads_;
+  }
+  [[nodiscard]] int filters() const noexcept { return filters_; }
+  [[nodiscard]] int ksize() const noexcept { return ksize_; }
+
+ private:
+  [[nodiscard]] std::size_t ColSize() const noexcept;
+  void ApplyActivation(float* data, std::size_t n) const noexcept;
+  void ActivationGradient(const float* out, float* delta,
+                          std::size_t n) const noexcept;
+
+  int filters_;
+  int ksize_;
+  int stride_;
+  int pad_;
+  Activation activation_;
+
+  std::vector<float> weights_;       ///< [filters][in_c * k * k]
+  std::vector<float> biases_;        ///< [filters]
+  std::vector<float> weight_grads_;
+  std::vector<float> bias_grads_;
+  std::vector<float> weight_momentum_;
+  std::vector<float> bias_momentum_;
+  std::vector<float> col_scratch_;   ///< im2col workspace (one sample)
+};
+
+}  // namespace caltrain::nn

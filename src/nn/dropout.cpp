@@ -1,0 +1,49 @@
+#include "nn/dropout.hpp"
+
+namespace caltrain::nn {
+
+DropoutLayer::DropoutLayer(Shape in, float probability)
+    : Layer(in, in), probability_(probability) {
+  CALTRAIN_REQUIRE(probability >= 0.0F && probability < 1.0F,
+                   "dropout probability must be in [0, 1)");
+}
+
+std::string DropoutLayer::Describe() const {
+  return "dropout p=" + std::to_string(probability_) + " " +
+         std::to_string(in_shape_.Flat());
+}
+
+void DropoutLayer::Forward(const Batch& in, Batch& out,
+                           const LayerContext& ctx) {
+  if (!ctx.training || probability_ == 0.0F) {
+    out.data = in.data;
+    return;
+  }
+  CALTRAIN_CHECK(ctx.rng != nullptr, "dropout requires an RNG when training");
+  const float keep = 1.0F - probability_;
+  const float scale = 1.0F / keep;
+  mask_.assign(in.data.size(), 0);
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    if (ctx.rng->UniformFloat() < keep) {
+      mask_[i] = 1;
+      out.data[i] = in.data[i] * scale;
+    } else {
+      out.data[i] = 0.0F;
+    }
+  }
+}
+
+void DropoutLayer::Backward(const Batch& /*in*/, const Batch& /*out*/,
+                            const Batch& delta_out, Batch& delta_in,
+                            const LayerContext& ctx) {
+  if (!ctx.training || probability_ == 0.0F) {
+    delta_in.data = delta_out.data;
+    return;
+  }
+  const float scale = 1.0F / (1.0F - probability_);
+  for (std::size_t i = 0; i < delta_out.data.size(); ++i) {
+    delta_in.data[i] = mask_[i] ? delta_out.data[i] * scale : 0.0F;
+  }
+}
+
+}  // namespace caltrain::nn

@@ -1,0 +1,30 @@
+// Inverted dropout (Table II uses p = 0.5 between conv blocks).
+// Randomness comes from the LayerContext Rng — inside the training
+// enclave that stream is fed by the simulated on-chip DRBG.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace caltrain::nn {
+
+class DropoutLayer final : public Layer {
+ public:
+  DropoutLayer(Shape in, float probability);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kDropout;
+  }
+  [[nodiscard]] std::string Describe() const override;
+
+  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
+                Batch& delta_in, const LayerContext& ctx) override;
+
+  [[nodiscard]] float probability() const noexcept { return probability_; }
+
+ private:
+  float probability_;
+  std::vector<std::uint8_t> mask_;  ///< 1 = kept
+};
+
+}  // namespace caltrain::nn

@@ -1,0 +1,6 @@
+// Fast-math GEMM build; see kernels.hpp.  This translation unit is
+// compiled with -O3 -ffast-math (set in CMakeLists.txt).
+#include "nn/kernels.hpp"
+
+#define CALTRAIN_GEMM_SUFFIX Fast
+#include "nn/gemm_body.inc"

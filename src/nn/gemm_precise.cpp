@@ -1,0 +1,5 @@
+// Strict-FP GEMM build modeling in-enclave execution; see kernels.hpp.
+#include "nn/kernels.hpp"
+
+#define CALTRAIN_GEMM_SUFFIX Precise
+#include "nn/gemm_body.inc"

@@ -1,0 +1,69 @@
+// Compute kernels with two compiled variants.
+//
+// kFast is built with -O3 -ffast-math (reassociation lets the compiler
+// vectorize the reduction loops) and models the ML-accelerated path
+// available *outside* an SGX enclave.  kPrecise is built with plain -O3,
+// mirroring the paper's observation (Sec. VI-C) that -ffast-math-style
+// floating acceleration is ineffective for enclaved code.  Both compute
+// the same GEMM; the measured speed difference is what the Fig. 6
+// benchmark reports as in-enclave overhead.
+#pragma once
+
+#include <cstddef>
+
+namespace caltrain::nn {
+
+enum class KernelProfile {
+  kFast,     ///< host path (fast-math, vectorizable)
+  kPrecise,  ///< in-enclave path (strict FP semantics)
+};
+
+/// C[m x n] += A[m x k] * B[k x n], row-major, fast-math build.
+void GemmFast(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c) noexcept;
+
+/// Same contract, strict-FP build.
+void GemmPrecise(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                 const float* b, float* c) noexcept;
+
+/// C[m x n] += A^T[m x k] * B[k x n] where A is stored as [k x m].
+void GemmTransAFast(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, const float* b, float* c) noexcept;
+void GemmTransAPrecise(std::size_t m, std::size_t n, std::size_t k,
+                       const float* a, const float* b, float* c) noexcept;
+
+/// C[m x n] += A[m x k] * B^T[k x n] where B is stored as [n x k].
+void GemmTransBFast(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, const float* b, float* c) noexcept;
+void GemmTransBPrecise(std::size_t m, std::size_t n, std::size_t k,
+                       const float* a, const float* b, float* c) noexcept;
+
+/// Dispatch helpers.
+inline void Gemm(KernelProfile p, std::size_t m, std::size_t n, std::size_t k,
+                 const float* a, const float* b, float* c) noexcept {
+  (p == KernelProfile::kFast) ? GemmFast(m, n, k, a, b, c)
+                              : GemmPrecise(m, n, k, a, b, c);
+}
+inline void GemmTransA(KernelProfile p, std::size_t m, std::size_t n,
+                       std::size_t k, const float* a, const float* b,
+                       float* c) noexcept {
+  (p == KernelProfile::kFast) ? GemmTransAFast(m, n, k, a, b, c)
+                              : GemmTransAPrecise(m, n, k, a, b, c);
+}
+inline void GemmTransB(KernelProfile p, std::size_t m, std::size_t n,
+                       std::size_t k, const float* a, const float* b,
+                       float* c) noexcept {
+  (p == KernelProfile::kFast) ? GemmTransBFast(m, n, k, a, b, c)
+                              : GemmTransBPrecise(m, n, k, a, b, c);
+}
+
+/// im2col for 3x3/1x1 convolutions with `stride` and symmetric `pad`.
+/// in: [c][h][w]; col: [c*ksize*ksize][out_h*out_w].
+void Im2Col(const float* in, int channels, int height, int width, int ksize,
+            int stride, int pad, float* col) noexcept;
+
+/// Scatter-add inverse of Im2Col (for input gradients).
+void Col2Im(const float* col, int channels, int height, int width, int ksize,
+            int stride, int pad, float* in) noexcept;
+
+}  // namespace caltrain::nn

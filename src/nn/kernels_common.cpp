@@ -1,0 +1,74 @@
+// Profile-independent kernels: im2col / col2im.
+#include "nn/kernels.hpp"
+
+namespace caltrain::nn {
+
+namespace {
+constexpr bool InBounds(int v, int limit) noexcept {
+  return v >= 0 && v < limit;
+}
+}  // namespace
+
+void Im2Col(const float* in, int channels, int height, int width, int ksize,
+            int stride, int pad, float* col) noexcept {
+  const int out_h = (height + 2 * pad - ksize) / stride + 1;
+  const int out_w = (width + 2 * pad - ksize) / stride + 1;
+  const int channel_cols = ksize * ksize;
+  std::size_t row = 0;
+  for (int c = 0; c < channels; ++c) {
+    const float* in_c = in + static_cast<std::size_t>(c) * height * width;
+    for (int kidx = 0; kidx < channel_cols; ++kidx) {
+      const int ky = kidx / ksize;
+      const int kx = kidx % ksize;
+      float* col_row = col + row * static_cast<std::size_t>(out_h) * out_w;
+      std::size_t idx = 0;
+      for (int oy = 0; oy < out_h; ++oy) {
+        const int iy = oy * stride - pad + ky;
+        if (!InBounds(iy, height)) {
+          for (int ox = 0; ox < out_w; ++ox) col_row[idx++] = 0.0F;
+          continue;
+        }
+        const float* in_row = in_c + static_cast<std::size_t>(iy) * width;
+        for (int ox = 0; ox < out_w; ++ox) {
+          const int ix = ox * stride - pad + kx;
+          col_row[idx++] = InBounds(ix, width) ? in_row[ix] : 0.0F;
+        }
+      }
+      ++row;
+    }
+  }
+}
+
+void Col2Im(const float* col, int channels, int height, int width, int ksize,
+            int stride, int pad, float* in) noexcept {
+  const int out_h = (height + 2 * pad - ksize) / stride + 1;
+  const int out_w = (width + 2 * pad - ksize) / stride + 1;
+  const int channel_cols = ksize * ksize;
+  std::size_t row = 0;
+  for (int c = 0; c < channels; ++c) {
+    float* in_c = in + static_cast<std::size_t>(c) * height * width;
+    for (int kidx = 0; kidx < channel_cols; ++kidx) {
+      const int ky = kidx / ksize;
+      const int kx = kidx % ksize;
+      const float* col_row =
+          col + row * static_cast<std::size_t>(out_h) * out_w;
+      std::size_t idx = 0;
+      for (int oy = 0; oy < out_h; ++oy) {
+        const int iy = oy * stride - pad + ky;
+        if (!InBounds(iy, height)) {
+          idx += static_cast<std::size_t>(out_w);
+          continue;
+        }
+        float* in_row = in_c + static_cast<std::size_t>(iy) * width;
+        for (int ox = 0; ox < out_w; ++ox) {
+          const int ix = ox * stride - pad + kx;
+          if (InBounds(ix, width)) in_row[ix] += col_row[idx];
+          ++idx;
+        }
+      }
+      ++row;
+    }
+  }
+}
+
+}  // namespace caltrain::nn

@@ -1,0 +1,46 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+
+namespace caltrain::nn {
+
+namespace detail {
+
+void ApplyDpSanitization(const SgdConfig& config,
+                         std::vector<float>& weight_grads,
+                         std::vector<float>& bias_grads) {
+  if (config.dp_clip_norm <= 0.0F && config.dp_noise_stddev <= 0.0F) return;
+  if (config.dp_clip_norm > 0.0F) {
+    double norm_sq = 0.0;
+    for (float g : weight_grads) norm_sq += static_cast<double>(g) * g;
+    for (float g : bias_grads) norm_sq += static_cast<double>(g) * g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config.dp_clip_norm) {
+      const float scale = config.dp_clip_norm / static_cast<float>(norm);
+      for (float& g : weight_grads) g *= scale;
+      for (float& g : bias_grads) g *= scale;
+    }
+  }
+  if (config.dp_noise_stddev > 0.0F) {
+    CALTRAIN_REQUIRE(config.dp_rng != nullptr,
+                     "dp_noise_stddev > 0 requires dp_rng");
+    for (float& g : weight_grads) {
+      g += config.dp_rng->Gaussian(0.0F, config.dp_noise_stddev);
+    }
+    for (float& g : bias_grads) {
+      g += config.dp_rng->Gaussian(0.0F, config.dp_noise_stddev);
+    }
+  }
+}
+
+}  // namespace detail
+
+void Layer::Update(const SgdConfig& /*config*/, int /*batch_size*/) {}
+
+void Layer::InitWeights(Rng& /*rng*/) {}
+
+void Layer::SerializeWeights(ByteWriter& /*writer*/) const {}
+
+void Layer::DeserializeWeights(ByteReader& /*reader*/) {}
+
+}  // namespace caltrain::nn

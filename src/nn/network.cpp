@@ -1,0 +1,369 @@
+#include "nn/network.hpp"
+
+#include <sstream>
+
+#include "nn/connected.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pool.hpp"
+#include "nn/softmax.hpp"
+
+namespace caltrain::nn {
+
+const char* LayerKindName(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kMaxPool:
+      return "max";
+    case LayerKind::kAvgPool:
+      return "avg";
+    case LayerKind::kDropout:
+      return "dropout";
+    case LayerKind::kConnected:
+      return "connected";
+    case LayerKind::kSoftmax:
+      return "softmax";
+    case LayerKind::kCost:
+      return "cost";
+  }
+  return "?";
+}
+
+void NetworkSpec::Serialize(ByteWriter& writer) const {
+  writer.WriteU32(static_cast<std::uint32_t>(input.w));
+  writer.WriteU32(static_cast<std::uint32_t>(input.h));
+  writer.WriteU32(static_cast<std::uint32_t>(input.c));
+  writer.WriteU32(static_cast<std::uint32_t>(layers.size()));
+  for (const LayerSpec& l : layers) {
+    writer.WriteU8(static_cast<std::uint8_t>(l.kind));
+    writer.WriteU32(static_cast<std::uint32_t>(l.filters));
+    writer.WriteU32(static_cast<std::uint32_t>(l.ksize));
+    writer.WriteU32(static_cast<std::uint32_t>(l.stride));
+    writer.WriteU8(static_cast<std::uint8_t>(l.activation));
+    writer.WriteF32(l.dropout_p);
+    writer.WriteU32(static_cast<std::uint32_t>(l.outputs));
+  }
+}
+
+NetworkSpec NetworkSpec::Deserialize(ByteReader& reader) {
+  NetworkSpec spec;
+  spec.input.w = static_cast<int>(reader.ReadU32());
+  spec.input.h = static_cast<int>(reader.ReadU32());
+  spec.input.c = static_cast<int>(reader.ReadU32());
+  const std::uint32_t count = reader.ReadU32();
+  spec.layers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LayerSpec l;
+    l.kind = static_cast<LayerKind>(reader.ReadU8());
+    l.filters = static_cast<int>(reader.ReadU32());
+    l.ksize = static_cast<int>(reader.ReadU32());
+    l.stride = static_cast<int>(reader.ReadU32());
+    l.activation = static_cast<Activation>(reader.ReadU8());
+    l.dropout_p = reader.ReadF32();
+    l.outputs = static_cast<int>(reader.ReadU32());
+    spec.layers.push_back(l);
+  }
+  return spec;
+}
+
+Network::Network(const NetworkSpec& spec) : spec_(spec) {
+  CALTRAIN_REQUIRE(!spec.layers.empty(), "network needs at least one layer");
+  Shape current = spec.input;
+  bool saw_softmax = false;
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const LayerSpec& l = spec.layers[i];
+    switch (l.kind) {
+      case LayerKind::kConv:
+        layers_.push_back(std::make_unique<ConvLayer>(
+            current, l.filters, l.ksize, l.stride, l.activation));
+        break;
+      case LayerKind::kMaxPool:
+        layers_.push_back(
+            std::make_unique<MaxPoolLayer>(current, l.ksize, l.stride));
+        break;
+      case LayerKind::kAvgPool:
+        layers_.push_back(std::make_unique<AvgPoolLayer>(current));
+        break;
+      case LayerKind::kDropout:
+        layers_.push_back(
+            std::make_unique<DropoutLayer>(current, l.dropout_p));
+        break;
+      case LayerKind::kConnected:
+        layers_.push_back(std::make_unique<ConnectedLayer>(
+            current, l.outputs, l.activation));
+        break;
+      case LayerKind::kSoftmax:
+        layers_.push_back(std::make_unique<SoftmaxLayer>(current));
+        saw_softmax = true;
+        break;
+      case LayerKind::kCost:
+        CALTRAIN_REQUIRE(
+            i > 0 && spec.layers[i - 1].kind == LayerKind::kSoftmax,
+            "cost layer must directly follow softmax (combined gradient)");
+        layers_.push_back(std::make_unique<CostLayer>(current));
+        break;
+    }
+    current = layers_.back()->out_shape();
+  }
+  (void)saw_softmax;
+  activations_.resize(layers_.size());
+  deltas_.resize(layers_.size());
+}
+
+void Network::InitWeights(Rng& rng) {
+  for (auto& layer : layers_) layer->InitWeights(rng);
+}
+
+int Network::NumClasses() const {
+  const int idx = SoftmaxIndex();
+  CALTRAIN_REQUIRE(idx >= 0, "network has no softmax layer");
+  return layers_[static_cast<std::size_t>(idx)]->out_shape().c;
+}
+
+int Network::SoftmaxIndex() const noexcept {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i]->kind() == LayerKind::kSoftmax) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Network::PenultimateIndex() const {
+  const int idx = SoftmaxIndex();
+  CALTRAIN_REQUIRE(idx > 0, "network has no layer before softmax");
+  return idx - 1;
+}
+
+void Network::CheckRange(int from, int to) const {
+  CALTRAIN_REQUIRE(from >= 0 && to <= NumLayers() && from < to,
+                   "bad layer range");
+}
+
+void Network::ForwardRange(const Batch* input, int from, int to,
+                           const LayerContext& ctx) {
+  CheckRange(from, to);
+  const Batch* current;
+  if (from == 0) {
+    CALTRAIN_REQUIRE(input != nullptr, "ForwardRange from 0 needs an input");
+    CALTRAIN_REQUIRE(input->shape == spec_.input, "input shape mismatch");
+    input_ = *input;
+    current_batch_ = input->n;
+    current = &input_;
+  } else {
+    CALTRAIN_REQUIRE(activations_[static_cast<std::size_t>(from - 1)].n ==
+                         current_batch_,
+                     "ForwardRange continuation without prior forward");
+    current = &activations_[static_cast<std::size_t>(from - 1)];
+  }
+  for (int i = from; i < to; ++i) {
+    Layer& layer = *layers_[static_cast<std::size_t>(i)];
+    Batch& out = activations_[static_cast<std::size_t>(i)];
+    if (out.n != current_batch_ || out.shape != layer.out_shape()) {
+      out = Batch(current_batch_, layer.out_shape());
+    }
+    layer.Forward(*current, out, ctx);
+    current = &out;
+  }
+}
+
+void Network::BackwardRange(int from, int to, const LayerContext& ctx) {
+  CheckRange(from, to);
+  for (int i = to - 1; i >= from; --i) {
+    Layer& layer = *layers_[static_cast<std::size_t>(i)];
+    const Batch& in =
+        (i == 0) ? input_ : activations_[static_cast<std::size_t>(i - 1)];
+    const Batch& out = activations_[static_cast<std::size_t>(i)];
+    Batch& delta_out = deltas_[static_cast<std::size_t>(i)];
+    if (delta_out.n != current_batch_ || delta_out.shape != layer.out_shape()) {
+      delta_out = Batch(current_batch_, layer.out_shape());
+    }
+    Batch& delta_in =
+        (i == 0) ? input_delta_ : deltas_[static_cast<std::size_t>(i - 1)];
+    if (delta_in.n != current_batch_ || delta_in.shape != layer.in_shape()) {
+      delta_in = Batch(current_batch_, layer.in_shape());
+    }
+    layer.Backward(in, out, delta_out, delta_in, ctx);
+  }
+}
+
+void Network::UpdateRange(int from, int to, const SgdConfig& config,
+                          int batch_size) {
+  CheckRange(from, to);
+  for (int i = from; i < to; ++i) {
+    layers_[static_cast<std::size_t>(i)]->Update(config, batch_size);
+  }
+}
+
+const Batch& Network::ActivationAt(int i) const {
+  CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
+  return activations_[static_cast<std::size_t>(i)];
+}
+
+const Batch& Network::DeltaAt(int i) const {
+  CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
+  return deltas_[static_cast<std::size_t>(i)];
+}
+
+void Network::SetActivationAt(int i, Batch batch) {
+  CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
+  CALTRAIN_REQUIRE(batch.shape == layers_[static_cast<std::size_t>(i)]->out_shape(),
+                   "activation shape mismatch");
+  current_batch_ = batch.n;
+  activations_[static_cast<std::size_t>(i)] = std::move(batch);
+}
+
+void Network::SetDeltaAt(int i, Batch batch) {
+  CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
+  CALTRAIN_REQUIRE(batch.shape == layers_[static_cast<std::size_t>(i)]->out_shape(),
+                   "delta shape mismatch");
+  deltas_[static_cast<std::size_t>(i)] = std::move(batch);
+}
+
+float Network::TrainStep(const Batch& input, const std::vector<int>& labels,
+                         const SgdConfig& config, Rng& rng,
+                         KernelProfile profile) {
+  LayerContext ctx;
+  ctx.training = true;
+  ctx.rng = &rng;
+  ctx.profile = profile;
+  ctx.labels = &labels;
+  ForwardRange(&input, 0, NumLayers(), ctx);
+  BackwardRange(0, NumLayers(), ctx);
+  UpdateRange(0, NumLayers(), config, input.n);
+  return LastLoss();
+}
+
+std::vector<std::vector<float>> Network::Predict(const Batch& input,
+                                                 KernelProfile profile) {
+  LayerContext ctx;
+  ctx.profile = profile;
+  const int out_layer = SoftmaxIndex() >= 0 ? SoftmaxIndex() + 1 : NumLayers();
+  ForwardRange(&input, 0, out_layer, ctx);
+  const Batch& out = activations_[static_cast<std::size_t>(out_layer - 1)];
+  std::vector<std::vector<float>> result(static_cast<std::size_t>(input.n));
+  for (int s = 0; s < input.n; ++s) {
+    result[static_cast<std::size_t>(s)].assign(
+        out.Sample(s), out.Sample(s) + out.SampleSize());
+  }
+  return result;
+}
+
+std::vector<float> Network::PredictOne(const Image& image,
+                                       KernelProfile profile) {
+  Batch batch(1, image.shape);
+  batch.data = image.pixels;
+  return Predict(batch, profile).front();
+}
+
+std::vector<float> Network::EmbeddingOf(const Image& image,
+                                        KernelProfile profile) {
+  return EmbeddingAtLayer(image, PenultimateIndex(), profile);
+}
+
+std::vector<float> Network::EmbeddingAtLayer(const Image& image, int layer,
+                                             KernelProfile profile) {
+  CALTRAIN_REQUIRE(layer >= 0 && layer < NumLayers(),
+                   "embedding layer out of range");
+  LayerContext ctx;
+  ctx.profile = profile;
+  Batch batch(1, image.shape);
+  batch.data = image.pixels;
+  ForwardRange(&batch, 0, layer + 1, ctx);
+  const Batch& out = activations_[static_cast<std::size_t>(layer)];
+  return std::vector<float>(out.data.begin(), out.data.end());
+}
+
+std::vector<std::vector<float>> Network::AllActivations(
+    const Image& image, KernelProfile profile) {
+  LayerContext ctx;
+  ctx.profile = profile;
+  Batch batch(1, image.shape);
+  batch.data = image.pixels;
+  ForwardRange(&batch, 0, NumLayers(), ctx);
+  std::vector<std::vector<float>> result;
+  result.reserve(layers_.size());
+  for (const Batch& act : activations_) {
+    result.emplace_back(act.data.begin(), act.data.end());
+  }
+  return result;
+}
+
+float Network::LastLoss() const {
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    if ((*it)->kind() == LayerKind::kCost) {
+      return static_cast<const CostLayer&>(**it).last_loss();
+    }
+  }
+  ThrowError(ErrorKind::kFailedPrecondition, "network has no cost layer");
+}
+
+Bytes Network::SerializeModel() const {
+  ByteWriter writer;
+  spec_.Serialize(writer);
+  for (const auto& layer : layers_) layer->SerializeWeights(writer);
+  return writer.Take();
+}
+
+Network Network::DeserializeModel(BytesView blob) {
+  ByteReader reader(blob);
+  const NetworkSpec spec = NetworkSpec::Deserialize(reader);
+  Network net(spec);
+  for (auto& layer : net.layers_) layer->DeserializeWeights(reader);
+  CALTRAIN_REQUIRE(reader.AtEnd(), "trailing bytes after model blob");
+  return net;
+}
+
+Bytes Network::SerializeWeightRange(int from, int to) const {
+  CheckRange(from, to);
+  ByteWriter writer;
+  for (int i = from; i < to; ++i) {
+    layers_[static_cast<std::size_t>(i)]->SerializeWeights(writer);
+  }
+  return writer.Take();
+}
+
+void Network::DeserializeWeightRange(int from, int to, BytesView blob) {
+  CheckRange(from, to);
+  ByteReader reader(blob);
+  for (int i = from; i < to; ++i) {
+    layers_[static_cast<std::size_t>(i)]->DeserializeWeights(reader);
+  }
+  CALTRAIN_REQUIRE(reader.AtEnd(), "trailing bytes after weight range blob");
+}
+
+std::string Network::ArchitectureTable() const {
+  std::ostringstream os;
+  os << "Layer  Type       Filter  Size      Input        Output\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = *layers_[i];
+    os << (i + 1) << "\t" << LayerKindName(l.kind()) << "\t"
+       << l.Describe() << "\n";
+  }
+  return os.str();
+}
+
+std::uint64_t Network::FlopsPerSample(int from, int to) const {
+  CheckRange(from, to);
+  std::uint64_t total = 0;
+  for (int i = from; i < to; ++i) {
+    total += layers_[static_cast<std::size_t>(i)]->ForwardFlopsPerSample();
+  }
+  return total;
+}
+
+std::size_t Network::WeightBytes(int from, int to) const {
+  CheckRange(from, to);
+  std::size_t total = 0;
+  for (int i = from; i < to; ++i) {
+    total += layers_[static_cast<std::size_t>(i)]->WeightBytes();
+  }
+  return total;
+}
+
+Network BuildNetwork(const NetworkSpec& spec, Rng& rng) {
+  Network net(spec);
+  net.InitWeights(rng);
+  return net;
+}
+
+}  // namespace caltrain::nn

@@ -1,0 +1,167 @@
+// Network: a straight-line stack of layers built from a declarative
+// NetworkSpec.
+//
+// Execution is exposed as *ranges* of layer indices — ForwardRange /
+// BackwardRange / UpdateRange — because CalTrain's partitioned training
+// (paper Sec. IV-B) runs the FrontNet range inside the enclave and the
+// BackNet range outside, shuttling intermediate representations and
+// deltas across the boundary.  The convenience Train/Predict helpers
+// run the whole stack.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+
+namespace caltrain::nn {
+
+/// Declarative description of one layer.
+struct LayerSpec {
+  LayerKind kind = LayerKind::kConv;
+  int filters = 0;        ///< conv
+  int ksize = 0;          ///< conv / maxpool
+  int stride = 0;         ///< conv / maxpool
+  Activation activation = Activation::kLeakyRelu;  ///< conv / connected
+  float dropout_p = 0.0F; ///< dropout
+  int outputs = 0;        ///< connected
+};
+
+/// Declarative description of a whole network.
+struct NetworkSpec {
+  Shape input;
+  std::vector<LayerSpec> layers;
+
+  void Serialize(ByteWriter& writer) const;
+  [[nodiscard]] static NetworkSpec Deserialize(ByteReader& reader);
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkSpec& spec);
+
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Gaussian-initializes every weighted layer.
+  void InitWeights(Rng& rng);
+
+  [[nodiscard]] int NumLayers() const noexcept {
+    return static_cast<int>(layers_.size());
+  }
+  [[nodiscard]] const Layer& layer(int i) const { return *layers_.at(i); }
+  [[nodiscard]] Layer& layer(int i) { return *layers_.at(i); }
+  [[nodiscard]] Shape input_shape() const noexcept { return spec_.input; }
+  [[nodiscard]] const NetworkSpec& spec() const noexcept { return spec_; }
+
+  /// Number of classes = channel count of the softmax layer.
+  [[nodiscard]] int NumClasses() const;
+
+  /// Index of the layer whose output is the fingerprint embedding: the
+  /// last layer before softmax (the "penultimate layer" of Sec. IV-C).
+  [[nodiscard]] int PenultimateIndex() const;
+
+  /// Index of the first softmax layer, or -1.
+  [[nodiscard]] int SoftmaxIndex() const noexcept;
+
+  // --- range execution ------------------------------------------------
+  /// Runs layers [from, to).  `input` must be provided when from == 0
+  /// and is ignored otherwise (the stored activation of layer from-1 is
+  /// used).  Activations are cached for Backward.
+  void ForwardRange(const Batch* input, int from, int to,
+                    const LayerContext& ctx);
+
+  /// Runs layers [from, to) backwards (i.e. to-1 down to from).  The
+  /// forward pass for the same batch must have happened already.
+  void BackwardRange(int from, int to, const LayerContext& ctx);
+
+  /// Applies accumulated gradients for layers [from, to).
+  void UpdateRange(int from, int to, const SgdConfig& config, int batch_size);
+
+  /// Output activation of layer i for the current batch.
+  [[nodiscard]] const Batch& ActivationAt(int i) const;
+  /// dL/d(output of layer i) for the current batch.
+  [[nodiscard]] const Batch& DeltaAt(int i) const;
+  /// Overwrites the cached activation of layer i (used when IRs re-enter
+  /// across the enclave boundary).
+  void SetActivationAt(int i, Batch batch);
+  /// Overwrites the cached delta of layer i.
+  void SetDeltaAt(int i, Batch batch);
+  /// dL/d(network input) after a BackwardRange that reached layer 0
+  /// (used by gradient-based input reconstruction, attack/inversion.hpp).
+  [[nodiscard]] const Batch& InputDelta() const noexcept {
+    return input_delta_;
+  }
+
+  // --- convenience ----------------------------------------------------
+  /// One SGD step on a labeled batch (full stack, single profile).
+  /// Returns the mean cross-entropy loss.
+  float TrainStep(const Batch& input, const std::vector<int>& labels,
+                  const SgdConfig& config, Rng& rng,
+                  KernelProfile profile = KernelProfile::kFast);
+
+  /// Class probabilities for a batch (eval mode).
+  [[nodiscard]] std::vector<std::vector<float>> Predict(
+      const Batch& input, KernelProfile profile = KernelProfile::kFast);
+
+  /// Probabilities for a single image.
+  [[nodiscard]] std::vector<float> PredictOne(
+      const Image& image, KernelProfile profile = KernelProfile::kFast);
+
+  /// Raw (unnormalized) penultimate-layer embedding for one image.
+  [[nodiscard]] std::vector<float> EmbeddingOf(
+      const Image& image, KernelProfile profile = KernelProfile::kFast);
+
+  /// Raw embedding taken at an arbitrary layer's output.
+  [[nodiscard]] std::vector<float> EmbeddingAtLayer(
+      const Image& image, int layer,
+      KernelProfile profile = KernelProfile::kFast);
+
+  /// Activations of every layer for one image (the IRs of Sec. IV-B's
+  /// assessment framework).  Entry i is the output of layer i.
+  [[nodiscard]] std::vector<std::vector<float>> AllActivations(
+      const Image& image, KernelProfile profile = KernelProfile::kFast);
+
+  /// Mean cross-entropy loss recorded by the cost layer on the most
+  /// recent labeled forward pass.
+  [[nodiscard]] float LastLoss() const;
+
+  // --- persistence -----------------------------------------------------
+  /// Serializes spec + all weights.
+  [[nodiscard]] Bytes SerializeModel() const;
+  [[nodiscard]] static Network DeserializeModel(BytesView blob);
+
+  /// Serializes the weights of layers [from, to) only (used to release
+  /// the encrypted FrontNet separately, Sec. IV-B).
+  [[nodiscard]] Bytes SerializeWeightRange(int from, int to) const;
+  void DeserializeWeightRange(int from, int to, BytesView blob);
+
+  /// Human-readable architecture table (mirrors the paper's Tables I/II).
+  [[nodiscard]] std::string ArchitectureTable() const;
+
+  /// Per-sample forward FLOPs of layers [from, to).
+  [[nodiscard]] std::uint64_t FlopsPerSample(int from, int to) const;
+
+  /// Total parameter bytes of layers [from, to).
+  [[nodiscard]] std::size_t WeightBytes(int from, int to) const;
+
+ private:
+  void CheckRange(int from, int to) const;
+
+  NetworkSpec spec_;
+  std::vector<LayerPtr> layers_;
+  Batch input_;                  ///< copy of the current batch input
+  std::vector<Batch> activations_;
+  std::vector<Batch> deltas_;
+  Batch input_delta_;
+  int current_batch_ = 0;
+};
+
+/// Builds a Network from a spec and throws if the spec is malformed
+/// (e.g. cost without softmax directly before it).
+[[nodiscard]] Network BuildNetwork(const NetworkSpec& spec, Rng& rng);
+
+}  // namespace caltrain::nn

@@ -1,0 +1,43 @@
+// Max pooling (windowed) and average pooling (global, as the Tables I/II
+// "avg" layer that collapses 7x7xC to C).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace caltrain::nn {
+
+class MaxPoolLayer final : public Layer {
+ public:
+  MaxPoolLayer(Shape in, int ksize, int stride);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kMaxPool;
+  }
+  [[nodiscard]] std::string Describe() const override;
+
+  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
+                Batch& delta_in, const LayerContext& ctx) override;
+
+ private:
+  int ksize_;
+  int stride_;
+  std::vector<std::int32_t> argmax_;  ///< winner index per output element
+};
+
+/// Global average pooling: WxHxC -> 1x1xC.
+class AvgPoolLayer final : public Layer {
+ public:
+  explicit AvgPoolLayer(Shape in);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kAvgPool;
+  }
+  [[nodiscard]] std::string Describe() const override;
+
+  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
+                Batch& delta_in, const LayerContext& ctx) override;
+};
+
+}  // namespace caltrain::nn

@@ -1,0 +1,130 @@
+#include "nn/presets.hpp"
+
+#include "util/error.hpp"
+
+namespace caltrain::nn {
+
+namespace {
+
+int Scaled(int filters, int scale) {
+  CALTRAIN_REQUIRE(scale >= 1, "scale must be >= 1");
+  return std::max(4, filters / scale);
+}
+
+LayerSpec Conv(int filters, int ksize, Activation act = Activation::kLeakyRelu) {
+  LayerSpec l;
+  l.kind = LayerKind::kConv;
+  l.filters = filters;
+  l.ksize = ksize;
+  l.stride = 1;
+  l.activation = act;
+  return l;
+}
+
+LayerSpec MaxPool() {
+  LayerSpec l;
+  l.kind = LayerKind::kMaxPool;
+  l.ksize = 2;
+  l.stride = 2;
+  return l;
+}
+
+LayerSpec AvgPool() {
+  LayerSpec l;
+  l.kind = LayerKind::kAvgPool;
+  return l;
+}
+
+LayerSpec Dropout(float p) {
+  LayerSpec l;
+  l.kind = LayerKind::kDropout;
+  l.dropout_p = p;
+  return l;
+}
+
+LayerSpec Connected(int outputs, Activation act) {
+  LayerSpec l;
+  l.kind = LayerKind::kConnected;
+  l.outputs = outputs;
+  l.activation = act;
+  return l;
+}
+
+LayerSpec SoftmaxL() {
+  LayerSpec l;
+  l.kind = LayerKind::kSoftmax;
+  return l;
+}
+
+LayerSpec CostL() {
+  LayerSpec l;
+  l.kind = LayerKind::kCost;
+  return l;
+}
+
+}  // namespace
+
+NetworkSpec Table1Spec(int scale, int classes) {
+  NetworkSpec spec;
+  spec.input = Shape{28, 28, 3};
+  spec.layers = {
+      Conv(Scaled(128, scale), 3),  // 1: conv 128 3x3/1
+      Conv(Scaled(128, scale), 3),  // 2: conv 128 3x3/1
+      MaxPool(),                    // 3: max 2x2/2
+      Conv(Scaled(64, scale), 3),   // 4: conv 64 3x3/1
+      MaxPool(),                    // 5: max 2x2/2
+      Conv(Scaled(128, scale), 3),  // 6: conv 128 3x3/1
+      Conv(classes, 1, Activation::kLinear),  // 7: conv 10 1x1/1
+      AvgPool(),                    // 8: avg
+      SoftmaxL(),                   // 9: softmax
+      CostL(),                      // 10: cost
+  };
+  return spec;
+}
+
+NetworkSpec Table2Spec(int scale, int classes) {
+  NetworkSpec spec;
+  spec.input = Shape{28, 28, 3};
+  spec.layers = {
+      Conv(Scaled(128, scale), 3),  // 1
+      Conv(Scaled(128, scale), 3),  // 2
+      Conv(Scaled(128, scale), 3),  // 3
+      MaxPool(),                    // 4
+      Dropout(0.5F),                // 5
+      Conv(Scaled(256, scale), 3),  // 6
+      Conv(Scaled(256, scale), 3),  // 7
+      Conv(Scaled(256, scale), 3),  // 8
+      MaxPool(),                    // 9
+      Dropout(0.5F),                // 10
+      Conv(Scaled(512, scale), 3),  // 11
+      Conv(Scaled(512, scale), 3),  // 12
+      Conv(Scaled(512, scale), 3),  // 13
+      Dropout(0.5F),                // 14
+      Conv(classes, 1, Activation::kLinear),  // 15
+      AvgPool(),                    // 16
+      SoftmaxL(),                   // 17
+      CostL(),                      // 18
+  };
+  return spec;
+}
+
+NetworkSpec FaceNetSpec(Shape input, int identities, int embedding_dim,
+                        int scale) {
+  NetworkSpec spec;
+  spec.input = input;
+  spec.layers = {
+      Conv(Scaled(64, scale), 3),
+      MaxPool(),
+      Conv(Scaled(128, scale), 3),
+      MaxPool(),
+      Conv(Scaled(128, scale), 3),
+      Connected(embedding_dim, Activation::kLeakyRelu),
+      Connected(identities, Activation::kLinear),  // penultimate (logits,
+                                                   // like VGG-Face fc8)
+      SoftmaxL(),
+      CostL(),
+  };
+  return spec;
+}
+
+}  // namespace caltrain::nn

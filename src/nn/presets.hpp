@@ -1,0 +1,27 @@
+// Network presets.
+//
+// Table1Spec / Table2Spec reproduce the paper's Appendix A architectures
+// exactly at scale = 1 (28x28x3 inputs, filter counts 128/256/512).
+// `scale` divides every convolutional filter count (the class-score
+// 1x1 conv is never scaled) so the CI profile can run the same topology
+// at a width the single-core test machine can train in minutes; the
+// benches accept --full to run scale = 1.
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace caltrain::nn {
+
+/// Table I: the 10-layer CIFAR-10 network.
+[[nodiscard]] NetworkSpec Table1Spec(int scale = 1, int classes = 10);
+
+/// Table II: the 18-layer CIFAR-10 network (3 dropout layers, p = 0.5).
+[[nodiscard]] NetworkSpec Table2Spec(int scale = 1, int classes = 10);
+
+/// VGG-Face-style recognition network for Experiment IV: conv blocks,
+/// then a connected embedding layer (the penultimate "fingerprint"
+/// layer; 2622-d in VGG-Face, `embedding_dim` here) and a classifier.
+[[nodiscard]] NetworkSpec FaceNetSpec(Shape input, int identities,
+                                      int embedding_dim, int scale = 1);
+
+}  // namespace caltrain::nn

@@ -1,0 +1,73 @@
+#include "nn/softmax.hpp"
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace caltrain::nn {
+
+SoftmaxLayer::SoftmaxLayer(Shape in) : Layer(in, in) {
+  CALTRAIN_REQUIRE(in.w == 1 && in.h == 1,
+                   "softmax expects a 1x1xC input (use avg/connected first)");
+}
+
+std::string SoftmaxLayer::Describe() const {
+  return "softmax " + std::to_string(in_shape_.c);
+}
+
+void SoftmaxLayer::Forward(const Batch& in, Batch& out,
+                           const LayerContext& /*ctx*/) {
+  const std::size_t classes = static_cast<std::size_t>(in_shape_.c);
+  for (int s = 0; s < in.n; ++s) {
+    const auto probs =
+        Softmax(std::span<const float>(in.Sample(s), classes));
+    std::copy(probs.begin(), probs.end(), out.Sample(s));
+  }
+}
+
+void SoftmaxLayer::Backward(const Batch& /*in*/, const Batch& /*out*/,
+                            const Batch& delta_out, Batch& delta_in,
+                            const LayerContext& /*ctx*/) {
+  // Combined with the cross-entropy cost layer (see header), the delta
+  // arriving here is already d(loss)/d(logits); pass through.
+  delta_in.data = delta_out.data;
+}
+
+CostLayer::CostLayer(Shape in) : Layer(in, in) {}
+
+std::string CostLayer::Describe() const {
+  return "cost " + std::to_string(in_shape_.c);
+}
+
+void CostLayer::Forward(const Batch& in, Batch& out, const LayerContext& ctx) {
+  out.data = in.data;
+  if (ctx.labels == nullptr) return;
+  CALTRAIN_REQUIRE(static_cast<int>(ctx.labels->size()) == in.n,
+                   "label count != batch size");
+  last_labels_ = *ctx.labels;
+  const std::size_t classes = static_cast<std::size_t>(in_shape_.c);
+  double loss = 0.0;
+  for (int s = 0; s < in.n; ++s) {
+    const int label = (*ctx.labels)[static_cast<std::size_t>(s)];
+    CALTRAIN_REQUIRE(label >= 0 && static_cast<std::size_t>(label) < classes,
+                     "label out of range");
+    const float p = in.Sample(s)[label];
+    loss -= std::log(std::max(p, 1e-12F));
+  }
+  last_loss_ = static_cast<float>(loss / in.n);
+}
+
+void CostLayer::Backward(const Batch& in, const Batch& /*out*/,
+                         const Batch& /*delta_out*/, Batch& delta_in,
+                         const LayerContext& /*ctx*/) {
+  CALTRAIN_CHECK(static_cast<int>(last_labels_.size()) == in.n,
+                 "cost backward without a labeled forward pass");
+  delta_in.data = in.data;  // probabilities
+  const std::size_t classes = static_cast<std::size_t>(in_shape_.c);
+  for (int s = 0; s < in.n; ++s) {
+    delta_in.Sample(s)[last_labels_[static_cast<std::size_t>(s)]] -= 1.0F;
+  }
+  (void)classes;
+}
+
+}  // namespace caltrain::nn

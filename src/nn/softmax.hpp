@@ -1,0 +1,54 @@
+// Softmax and cost layers.
+//
+// Pairing convention (matches Darknet and the paper's Tables I/II,
+// where every network ends softmax -> cost): the cost layer computes
+// cross-entropy loss and emits the *combined* softmax+cross-entropy
+// gradient (probabilities minus one-hot), and the softmax layer's
+// backward passes deltas through unchanged.  The pair is therefore only
+// correct when used together, which the Network builder enforces.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace caltrain::nn {
+
+class SoftmaxLayer final : public Layer {
+ public:
+  explicit SoftmaxLayer(Shape in);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kSoftmax;
+  }
+  [[nodiscard]] std::string Describe() const override;
+
+  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
+                Batch& delta_in, const LayerContext& ctx) override;
+};
+
+class CostLayer final : public Layer {
+ public:
+  explicit CostLayer(Shape in);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kCost;
+  }
+  [[nodiscard]] std::string Describe() const override;
+
+  /// Copies probabilities through; when ctx.labels is set, records the
+  /// mean cross-entropy loss and the gradient seed for Backward.
+  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+
+  /// Emits (probs - onehot); delta_out is ignored (this is the chain
+  /// terminus).
+  void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
+                Batch& delta_in, const LayerContext& ctx) override;
+
+  [[nodiscard]] float last_loss() const noexcept { return last_loss_; }
+
+ private:
+  float last_loss_ = 0.0F;
+  std::vector<int> last_labels_;
+};
+
+}  // namespace caltrain::nn

@@ -1,0 +1,79 @@
+// Tensor shapes and batched activation buffers for the NN substrate.
+//
+// Layout convention (Darknet-compatible): a batch is a flat float array
+// of n images, each image stored channel-major as [c][h][w].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace caltrain::nn {
+
+/// Spatial shape of one sample: width x height x channels.
+struct Shape {
+  int w = 0;
+  int h = 0;
+  int c = 0;
+
+  [[nodiscard]] std::size_t Flat() const noexcept {
+    return static_cast<std::size_t>(w) * static_cast<std::size_t>(h) *
+           static_cast<std::size_t>(c);
+  }
+
+  [[nodiscard]] bool operator==(const Shape&) const noexcept = default;
+
+  [[nodiscard]] std::string ToString() const {
+    return std::to_string(w) + "x" + std::to_string(h) + "x" +
+           std::to_string(c);
+  }
+};
+
+/// A batch of activations.
+struct Batch {
+  int n = 0;       ///< number of samples
+  Shape shape;     ///< per-sample shape
+  std::vector<float> data;
+
+  Batch() = default;
+  Batch(int n_in, Shape shape_in)
+      : n(n_in), shape(shape_in),
+        data(static_cast<std::size_t>(n_in) * shape_in.Flat(), 0.0F) {}
+
+  [[nodiscard]] std::size_t SampleSize() const noexcept {
+    return shape.Flat();
+  }
+
+  [[nodiscard]] float* Sample(int i) noexcept {
+    return data.data() + static_cast<std::size_t>(i) * SampleSize();
+  }
+  [[nodiscard]] const float* Sample(int i) const noexcept {
+    return data.data() + static_cast<std::size_t>(i) * SampleSize();
+  }
+
+  void Zero() noexcept { std::fill(data.begin(), data.end(), 0.0F); }
+
+  [[nodiscard]] std::size_t TotalBytes() const noexcept {
+    return data.size() * sizeof(float);
+  }
+};
+
+/// One image sample (used by datasets and the assessment framework).
+struct Image {
+  Shape shape;
+  std::vector<float> pixels;  ///< [c][h][w], values nominally in [0, 1]
+
+  Image() = default;
+  explicit Image(Shape s) : shape(s), pixels(s.Flat(), 0.0F) {}
+
+  [[nodiscard]] float& At(int ch, int y, int x) noexcept {
+    return pixels[(static_cast<std::size_t>(ch) * shape.h + y) * shape.w + x];
+  }
+  [[nodiscard]] float At(int ch, int y, int x) const noexcept {
+    return pixels[(static_cast<std::size_t>(ch) * shape.h + y) * shape.w + x];
+  }
+};
+
+}  // namespace caltrain::nn

@@ -1,0 +1,94 @@
+// Attested secure-channel handshake.
+//
+// Stands in for the mbedtls-SGX TLS channel of the paper's prototype:
+// participants open a channel *directly into the training enclave* and
+// provision their symmetric data keys only after validating the
+// enclave's attestation quote (paper Sec. IV-A).
+//
+// Flow (messages are opaque byte blobs the caller transports):
+//   client                                   enclave (server)
+//   ---------- ClientHello: dh_pub_c, nonce_c ---------->
+//   <--- ServerHello: dh_pub_s, nonce_s, quote, mac_s ---
+//   ------------- ClientFinished: mac_c --------------->
+//
+// The quote's report data binds the enclave's ephemeral DH key and the
+// client nonce to the attested measurement, so a man-in-the-middle
+// cannot splice its own key into an attested session.  Traffic keys are
+// HKDF-derived from the DH shared secret and the transcript hash.
+#pragma once
+
+#include <optional>
+
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+#include "crypto/sha256.hpp"
+#include "enclave/attestation.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::securechannel {
+
+struct SessionKeys {
+  Bytes client_write_key;  ///< 32 bytes, client->server records
+  Bytes server_write_key;  ///< 32 bytes, server->client records
+};
+
+/// Server side, owned by (and logically running inside) the enclave.
+class ServerHandshake {
+ public:
+  ServerHandshake(enclave::Enclave& enclave,
+                  enclave::AttestationService& attestation);
+
+  /// Processes ClientHello; returns ServerHello.  Throws
+  /// Error(kAuthFailure / kInvalidArgument) on malformed input.
+  [[nodiscard]] Bytes OnClientHello(BytesView client_hello);
+
+  /// Processes ClientFinished; returns true when the client proved
+  /// possession of the shared secret.
+  [[nodiscard]] bool OnClientFinished(BytesView client_finished);
+
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] const SessionKeys& keys() const;
+
+ private:
+  enclave::Enclave& enclave_;
+  enclave::AttestationService& attestation_;
+  crypto::DhKeyPair dh_;
+  Bytes transcript_;
+  SessionKeys keys_;
+  Bytes finished_secret_;
+  bool keys_ready_ = false;
+  bool complete_ = false;
+};
+
+/// Client (training participant) side.
+class ClientHandshake {
+ public:
+  /// `expected_measurement` is the enclave code identity the participant
+  /// reviewed and agreed to (consensus assumption, paper Sec. III).
+  ClientHandshake(crypto::U128 attestation_public_key,
+                  const crypto::Sha256Digest& expected_measurement,
+                  crypto::HmacDrbg& drbg);
+
+  [[nodiscard]] Bytes Hello();
+
+  /// Verifies the quote + measurement + binding, derives keys, and
+  /// returns ClientFinished.  Throws Error(kAuthFailure) if attestation
+  /// fails — the participant must NOT provision secrets in that case.
+  [[nodiscard]] Bytes OnServerHello(BytesView server_hello);
+
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] const SessionKeys& keys() const;
+
+ private:
+  crypto::U128 attestation_public_key_;
+  crypto::Sha256Digest expected_measurement_;
+  crypto::HmacDrbg& drbg_;
+  crypto::DhKeyPair dh_;
+  Bytes nonce_;
+  Bytes transcript_;
+  SessionKeys keys_;
+  bool hello_sent_ = false;
+  bool complete_ = false;
+};
+
+}  // namespace caltrain::securechannel

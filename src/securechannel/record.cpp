@@ -1,0 +1,60 @@
+#include "securechannel/record.hpp"
+
+#include "util/error.hpp"
+#include "util/serial.hpp"
+
+namespace caltrain::securechannel {
+
+namespace {
+std::array<std::uint8_t, crypto::kGcmIvSize> SeqIv(std::uint64_t seq) {
+  std::array<std::uint8_t, crypto::kGcmIvSize> iv{};
+  StoreLe64(iv.data(), seq);
+  return iv;
+}
+}  // namespace
+
+RecordWriter::RecordWriter(BytesView key) : cipher_(key) {}
+
+Bytes RecordWriter::Protect(BytesView plaintext, BytesView aad) {
+  const auto iv = SeqIv(seq_);
+  // The sequence number is authenticated alongside the caller AAD.
+  Bytes full_aad(8);
+  StoreLe64(full_aad.data(), seq_);
+  Append(full_aad, aad);
+  const crypto::GcmSealed sealed = cipher_.Seal(iv, full_aad, plaintext);
+  ++seq_;
+  ByteWriter writer;
+  writer.WriteU64(seq_ - 1);
+  writer.WriteBytes(sealed.ciphertext);
+  writer.WriteBytes(BytesView(sealed.tag.data(), sealed.tag.size()));
+  return writer.Take();
+}
+
+RecordReader::RecordReader(BytesView key) : cipher_(key) {}
+
+std::optional<Bytes> RecordReader::Unprotect(BytesView record, BytesView aad) {
+  try {
+    ByteReader reader(record);
+    const std::uint64_t seq = reader.ReadU64();
+    const Bytes ciphertext = reader.ReadBytes();
+    const Bytes tag = reader.ReadBytes();
+    if (!reader.AtEnd() || tag.size() != crypto::kGcmTagSize) {
+      return std::nullopt;
+    }
+    if (seq != seq_) return std::nullopt;  // replay or reorder
+
+    Bytes full_aad(8);
+    StoreLe64(full_aad.data(), seq);
+    Append(full_aad, aad);
+    std::array<std::uint8_t, crypto::kGcmTagSize> tag_arr{};
+    std::copy(tag.begin(), tag.end(), tag_arr.begin());
+    auto plaintext =
+        cipher_.Open(SeqIv(seq), full_aad, ciphertext, tag_arr);
+    if (plaintext.has_value()) ++seq_;
+    return plaintext;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace caltrain::securechannel

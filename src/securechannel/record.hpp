@@ -1,0 +1,49 @@
+// Record layer: AES-256-GCM framing over the handshake-derived keys,
+// with monotonically increasing sequence numbers as nonces and strict
+// in-order delivery (a replayed or reordered record is rejected).
+#pragma once
+
+#include <optional>
+
+#include "crypto/gcm.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::securechannel {
+
+/// One direction of an established channel.  Create a writer on the
+/// sending side and a reader on the receiving side from the same key.
+class RecordWriter {
+ public:
+  explicit RecordWriter(BytesView key);
+
+  /// Encrypts and frames one record; `aad` is authenticated but not
+  /// encrypted (CalTrain uses it for participant identifiers).
+  [[nodiscard]] Bytes Protect(BytesView plaintext, BytesView aad = {});
+
+  [[nodiscard]] std::uint64_t records_sent() const noexcept { return seq_; }
+
+ private:
+  crypto::AesGcm cipher_;
+  std::uint64_t seq_ = 0;
+};
+
+class RecordReader {
+ public:
+  explicit RecordReader(BytesView key);
+
+  /// Verifies and decrypts the next record.  Returns nullopt on
+  /// authentication failure, wrong sequence (replay/reorder), or
+  /// malformed framing.
+  [[nodiscard]] std::optional<Bytes> Unprotect(BytesView record,
+                                               BytesView aad = {});
+
+  [[nodiscard]] std::uint64_t records_received() const noexcept {
+    return seq_;
+  }
+
+ private:
+  crypto::AesGcm cipher_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace caltrain::securechannel

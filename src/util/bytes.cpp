@@ -1,0 +1,89 @@
+#include "util/bytes.hpp"
+
+#include "util/error.hpp"
+
+namespace caltrain {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view hex) {
+  CALTRAIN_REQUIRE(hex.size() % 2 == 0, "hex string must have even length");
+  Bytes out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = HexValue(hex[2 * i]);
+    const int lo = HexValue(hex[2 * i + 1]);
+    CALTRAIN_REQUIRE(hi >= 0 && lo >= 0, "non-hex character");
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+Bytes BytesOf(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+bool ConstantTimeEqual(BytesView a, BytesView b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+std::uint32_t LoadBe32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint64_t LoadBe64(const std::uint8_t* p) noexcept {
+  return (std::uint64_t{LoadBe32(p)} << 32) | LoadBe32(p + 4);
+}
+
+void StoreBe32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void StoreBe64(std::uint8_t* p, std::uint64_t v) noexcept {
+  StoreBe32(p, static_cast<std::uint32_t>(v >> 32));
+  StoreBe32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t LoadLe64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void StoreLe64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+void Append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace caltrain

@@ -1,0 +1,43 @@
+// Byte-buffer helpers used throughout the crypto and enclave layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace caltrain {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string ToHex(BytesView data);
+
+/// Decodes a hex string (upper or lower case); throws on odd length or
+/// non-hex characters.
+[[nodiscard]] Bytes FromHex(std::string_view hex);
+
+/// Copies a UTF-8/ASCII string into a byte buffer.
+[[nodiscard]] Bytes BytesOf(std::string_view text);
+
+/// Constant-time equality; returns false for mismatched lengths without
+/// early exit on content.  Required for MAC/tag comparison.
+[[nodiscard]] bool ConstantTimeEqual(BytesView a, BytesView b) noexcept;
+
+/// Big-endian 32/64-bit loads and stores (network byte order, as used by
+/// SHA-256 and the GCM length block).
+[[nodiscard]] std::uint32_t LoadBe32(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint64_t LoadBe64(const std::uint8_t* p) noexcept;
+void StoreBe32(std::uint8_t* p, std::uint32_t v) noexcept;
+void StoreBe64(std::uint8_t* p, std::uint64_t v) noexcept;
+
+/// Little-endian 64-bit loads/stores (used by the PRNG and serializers).
+[[nodiscard]] std::uint64_t LoadLe64(const std::uint8_t* p) noexcept;
+void StoreLe64(std::uint8_t* p, std::uint64_t v) noexcept;
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, BytesView src);
+
+}  // namespace caltrain

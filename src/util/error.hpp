@@ -1,0 +1,69 @@
+// Error handling primitives shared by every CalTrain module.
+//
+// Modules signal failure to perform a required task by throwing
+// caltrain::Error (Core Guidelines I.10).  The CHECK macros provide
+// lightweight precondition/invariant checking that stays enabled in
+// release builds: a violated check in this codebase almost always means
+// a protocol or security invariant was broken, which must never be
+// silently ignored.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace caltrain {
+
+/// Category of a failure, used by callers that need to branch on the
+/// broad class of error (e.g. treat AuthFailure as adversarial input
+/// rather than a programming bug).
+enum class ErrorKind {
+  kInvalidArgument,  ///< caller passed a malformed value
+  kFailedPrecondition,  ///< object not in the required state
+  kAuthFailure,      ///< cryptographic authentication / attestation failed
+  kCapacity,         ///< resource limit exceeded (e.g. EPC exhausted)
+  kNotFound,         ///< lookup missed
+  kInternal,         ///< invariant violation inside the library
+};
+
+/// Exception thrown by all CalTrain libraries.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+[[noreturn]] inline void ThrowError(ErrorKind kind, const std::string& message,
+                                    std::source_location loc =
+                                        std::source_location::current()) {
+  throw Error(kind, std::string(loc.file_name()) + ":" +
+                        std::to_string(loc.line()) + ": " + message);
+}
+
+}  // namespace caltrain
+
+/// Runtime-checked invariant; throws kInternal on violation.
+#define CALTRAIN_CHECK(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::caltrain::ThrowError(::caltrain::ErrorKind::kInternal,          \
+                             std::string("check failed: " #cond ": ") + \
+                                 (msg));                                \
+    }                                                                   \
+  } while (0)
+
+/// Argument validation; throws kInvalidArgument on violation.
+#define CALTRAIN_REQUIRE(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::caltrain::ThrowError(::caltrain::ErrorKind::kInvalidArgument,       \
+                             std::string("requirement failed: " #cond       \
+                                         ": ") +                            \
+                                 (msg));                                    \
+    }                                                                       \
+  } while (0)

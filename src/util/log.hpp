@@ -1,0 +1,42 @@
+// Minimal leveled logger.  Default level is kWarn so tests and benches
+// stay quiet; examples raise it to kInfo to narrate the pipeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace caltrain {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel GetLogLevel() noexcept;
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace caltrain
+
+#define CALTRAIN_LOG(level) \
+  ::caltrain::detail::LogLine(::caltrain::LogLevel::level)

@@ -1,0 +1,87 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caltrain {
+
+std::vector<float> Softmax(std::span<const float> logits) {
+  CALTRAIN_REQUIRE(!logits.empty(), "softmax of empty vector");
+  const float max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<float> out(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    sum += out[i];
+  }
+  for (float& x : out) x = static_cast<float>(x / sum);
+  return out;
+}
+
+double KlDivergence(std::span<const float> p, std::span<const float> q,
+                    double eps) {
+  CALTRAIN_REQUIRE(p.size() == q.size(), "KL divergence length mismatch");
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i];
+    if (pi <= 0.0) continue;
+    const double qi = std::max<double>(q[i], eps);
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+double L2Distance(std::span<const float> a, std::span<const float> b) {
+  CALTRAIN_REQUIRE(a.size() == b.size(), "L2 distance length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double L2Norm(std::span<const float> v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+void L2NormalizeInPlace(std::vector<float>& v) {
+  const double norm = L2Norm(v);
+  if (norm <= 0.0) return;
+  for (float& x : v) x = static_cast<float>(x / norm);
+}
+
+std::vector<float> UniformDistribution(std::size_t n) {
+  CALTRAIN_REQUIRE(n > 0, "uniform distribution needs n > 0");
+  return std::vector<float>(n, 1.0F / static_cast<float>(n));
+}
+
+double Mean(std::span<const float> v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (float x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+std::size_t ArgMax(std::span<const float> v) noexcept {
+  if (v.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+bool InTopK(std::span<const float> scores, std::size_t label, std::size_t k) {
+  CALTRAIN_REQUIRE(label < scores.size(), "label out of range");
+  const float label_score = scores[label];
+  if (std::isnan(label_score)) return false;  // diverged model never scores
+  std::size_t strictly_better = 0;
+  for (float s : scores) {
+    if (s > label_score) ++strictly_better;
+  }
+  return strictly_better < k;
+}
+
+}  // namespace caltrain

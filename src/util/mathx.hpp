@@ -1,0 +1,44 @@
+// Small numeric helpers shared by the assessment and linkage layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace caltrain {
+
+/// Numerically stable softmax; input logits, output probabilities.
+[[nodiscard]] std::vector<float> Softmax(std::span<const float> logits);
+
+/// Kullback–Leibler divergence D_KL(p || q) over discrete distributions.
+/// Both inputs must be the same length; q entries are floored at eps to
+/// keep the divergence finite (matches the paper's use of KL against
+/// near-zero predicted probabilities).
+[[nodiscard]] double KlDivergence(std::span<const float> p,
+                                  std::span<const float> q,
+                                  double eps = 1e-7);
+
+/// Euclidean (L2) distance between two equal-length vectors.
+[[nodiscard]] double L2Distance(std::span<const float> a,
+                                std::span<const float> b);
+
+/// L2 norm.
+[[nodiscard]] double L2Norm(std::span<const float> v);
+
+/// Scales v to unit L2 norm in place; leaves an all-zero vector as is.
+void L2NormalizeInPlace(std::vector<float>& v);
+
+/// Discrete uniform distribution over n classes.
+[[nodiscard]] std::vector<float> UniformDistribution(std::size_t n);
+
+/// Arithmetic mean.
+[[nodiscard]] double Mean(std::span<const float> v);
+
+/// Index of the maximum element; 0 for empty input.
+[[nodiscard]] std::size_t ArgMax(std::span<const float> v) noexcept;
+
+/// True if label is among the k largest scores (Top-k accuracy helper).
+[[nodiscard]] bool InTopK(std::span<const float> scores, std::size_t label,
+                          std::size_t k);
+
+}  // namespace caltrain

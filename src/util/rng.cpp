@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace caltrain {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state from one 64-bit value.
+std::uint64_t SplitMix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::NextU64() noexcept {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(UniformU64(span));
+}
+
+float Rng::UniformFloat() noexcept {
+  return static_cast<float>(NextU64() >> 40) * 0x1.0p-24F;
+}
+
+float Rng::UniformFloat(float lo, float hi) noexcept {
+  return lo + (hi - lo) * UniformFloat();
+}
+
+float Rng::Gaussian() noexcept {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  float u1 = UniformFloat();
+  while (u1 <= 1e-12F) u1 = UniformFloat();
+  const float u2 = UniformFloat();
+  const float r = std::sqrt(-2.0F * std::log(u1));
+  const float theta = 2.0F * 3.14159265358979323846F * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::Gaussian(float mean, float stddev) noexcept {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(float p) noexcept { return UniformFloat() < p; }
+
+Rng Rng::Fork() noexcept { return Rng(NextU64() ^ 0xa5a5a5a5deadbeefULL); }
+
+}  // namespace caltrain

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiment randomness (weight init, augmentation, shuffling,
+// synthetic data) flows through Rng so that every benchmark and test is
+// reproducible at a fixed seed.  The generator is xoshiro256** — fast,
+// high quality, and trivially seedable from a single 64-bit value.
+//
+// Cryptographic randomness (the simulated on-chip RDRAND) lives in
+// crypto/drbg.hpp, not here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace caltrain {
+
+/// xoshiro256** deterministic PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64 bits.
+  [[nodiscard]] std::uint64_t NextU64() noexcept;
+
+  /// Uniform in [0, bound); bound must be > 0.
+  [[nodiscard]] std::uint64_t UniformU64(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int UniformInt(int lo, int hi) noexcept;
+
+  /// Uniform float in [0, 1).
+  [[nodiscard]] float UniformFloat() noexcept;
+
+  /// Uniform float in [lo, hi).
+  [[nodiscard]] float UniformFloat(float lo, float hi) noexcept;
+
+  /// Standard normal via Box–Muller; mean 0, stddev 1.
+  [[nodiscard]] float Gaussian() noexcept;
+
+  /// Normal with the given mean/stddev.
+  [[nodiscard]] float Gaussian(float mean, float stddev) noexcept;
+
+  /// True with probability p.
+  [[nodiscard]] bool Bernoulli(float p) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = UniformU64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-participant or
+  /// per-module streams that must not interleave).
+  [[nodiscard]] Rng Fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_gaussian_ = false;
+  float cached_gaussian_ = 0.0F;
+};
+
+}  // namespace caltrain

@@ -1,0 +1,104 @@
+#include "util/serial.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace caltrain {
+
+void ByteWriter::WriteU8(std::uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::WriteU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+    v >>= 8;
+  }
+}
+
+void ByteWriter::WriteU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+    v >>= 8;
+  }
+}
+
+void ByteWriter::WriteI64(std::int64_t v) {
+  WriteU64(static_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::WriteF32(float v) { WriteU32(std::bit_cast<std::uint32_t>(v)); }
+
+void ByteWriter::WriteBytes(BytesView data) {
+  CALTRAIN_REQUIRE(data.size() <= 0xffffffffULL, "byte string too long");
+  WriteU32(static_cast<std::uint32_t>(data.size()));
+  Append(buffer_, data);
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteBytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                       s.size()));
+}
+
+void ByteWriter::WriteF32Vector(const std::vector<float>& v) {
+  CALTRAIN_REQUIRE(v.size() <= 0xffffffffULL, "vector too long");
+  WriteU32(static_cast<std::uint32_t>(v.size()));
+  for (float x : v) WriteF32(x);
+}
+
+void ByteReader::Need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    ThrowError(ErrorKind::kInvalidArgument, "truncated serialized data");
+  }
+}
+
+std::uint8_t ByteReader::ReadU8() {
+  Need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::ReadU32() {
+  Need(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::ReadU64() {
+  Need(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t ByteReader::ReadI64() {
+  return static_cast<std::int64_t>(ReadU64());
+}
+
+float ByteReader::ReadF32() { return std::bit_cast<float>(ReadU32()); }
+
+Bytes ByteReader::ReadBytes() {
+  const std::uint32_t len = ReadU32();
+  Need(len);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string ByteReader::ReadString() {
+  const Bytes raw = ReadBytes();
+  return std::string(raw.begin(), raw.end());
+}
+
+std::vector<float> ByteReader::ReadF32Vector() {
+  const std::uint32_t len = ReadU32();
+  Need(static_cast<std::size_t>(len) * 4);
+  std::vector<float> out(len);
+  for (std::uint32_t i = 0; i < len; ++i) out[i] = ReadF32();
+  return out;
+}
+
+}  // namespace caltrain

@@ -1,0 +1,63 @@
+// Length-prefixed binary serialization used for protocol messages,
+// sealed blobs, and model checkpoints.  Deliberately simple: explicit
+// little-endian integers, 32-bit length prefixes, hard failure on
+// truncated input (a truncated protocol message is adversarial).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace caltrain {
+
+/// Appends typed values to a growing byte buffer.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t v);
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI64(std::int64_t v);
+  void WriteF32(float v);
+  /// Length-prefixed byte string.
+  void WriteBytes(BytesView data);
+  /// Length-prefixed UTF-8 string.
+  void WriteString(const std::string& s);
+  /// Length-prefixed float vector.
+  void WriteF32Vector(const std::vector<float>& v);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buffer_; }
+  [[nodiscard]] Bytes Take() noexcept { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Reads typed values back; throws caltrain::Error on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t ReadU8();
+  [[nodiscard]] std::uint32_t ReadU32();
+  [[nodiscard]] std::uint64_t ReadU64();
+  [[nodiscard]] std::int64_t ReadI64();
+  [[nodiscard]] float ReadF32();
+  [[nodiscard]] Bytes ReadBytes();
+  [[nodiscard]] std::string ReadString();
+  [[nodiscard]] std::vector<float> ReadF32Vector();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void Need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace caltrain

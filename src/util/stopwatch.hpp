@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for the performance experiments (Fig. 6 and the
+// substrate micro-benchmarks).
+#pragma once
+
+#include <chrono>
+
+namespace caltrain {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void Reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double ElapsedMillis() const noexcept {
+    return ElapsedSeconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace caltrain

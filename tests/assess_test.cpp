@@ -1,0 +1,197 @@
+// Information-exposure assessment tests: IR projection, KL scoring
+// against the IRValNet oracle, and the partition recommendation rule.
+#include <gtest/gtest.h>
+
+#include "assess/exposure.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "nn/presets.hpp"
+#include "nn/trainer.hpp"
+#include "util/error.hpp"
+
+namespace caltrain::assess {
+namespace {
+
+TEST(ProjectIrTest, IdentityWhenShapesMatch) {
+  // A 4x4 single-channel map projected to 4x4x3: values normalized to
+  // [0,1] and replicated across channels.
+  std::vector<float> activation = {0.0F, 1.0F, 2.0F, 3.0F,
+                                   4.0F, 5.0F, 6.0F, 7.0F,
+                                   8.0F, 9.0F, 10.0F, 11.0F,
+                                   12.0F, 13.0F, 14.0F, 15.0F};
+  const nn::Image img = ProjectIrToImage(activation, nn::Shape{4, 4, 1}, 0,
+                                         nn::Shape{4, 4, 3});
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(img.At(0, 3, 3), 1.0F);
+  EXPECT_FLOAT_EQ(img.At(1, 1, 1), img.At(0, 1, 1));  // replicated
+  EXPECT_FLOAT_EQ(img.At(2, 2, 0), 8.0F / 15.0F);
+}
+
+TEST(ProjectIrTest, UpsamplesSmallMaps) {
+  std::vector<float> activation = {0.0F, 1.0F, 1.0F, 0.0F};  // 2x2
+  const nn::Image img = ProjectIrToImage(activation, nn::Shape{2, 2, 1}, 0,
+                                         nn::Shape{8, 8, 3});
+  EXPECT_EQ(img.shape, (nn::Shape{8, 8, 3}));
+  // Corners approach the source corners.
+  EXPECT_LT(img.At(0, 0, 0), 0.3F);
+  EXPECT_GT(img.At(0, 0, 7), 0.7F);
+}
+
+TEST(ProjectIrTest, ConstantMapIsHandled) {
+  std::vector<float> activation(16, 3.0F);
+  const nn::Image img = ProjectIrToImage(activation, nn::Shape{4, 4, 1}, 0,
+                                         nn::Shape{4, 4, 3});
+  for (float p : img.pixels) EXPECT_FLOAT_EQ(p, 0.0F);  // degenerate range
+}
+
+TEST(ProjectIrTest, ChannelSelection) {
+  std::vector<float> activation(32, 0.0F);
+  for (int i = 16; i < 32; ++i) activation[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  const nn::Image ch1 = ProjectIrToImage(activation, nn::Shape{4, 4, 2}, 1,
+                                         nn::Shape{4, 4, 1});
+  EXPECT_FLOAT_EQ(ch1.At(0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(ch1.At(0, 3, 3), 1.0F);
+  EXPECT_THROW((void)ProjectIrToImage(activation, nn::Shape{4, 4, 2}, 2,
+                                      nn::Shape{4, 4, 1}),
+               Error);
+}
+
+class ExposureTest : public ::testing::Test {
+ protected:
+  // A well-trained IRValNet oracle and a briefly trained IRGenNet over
+  // the synthetic corpus (the Fig. 5 setup at reduced width).
+  static void SetUpTestSuite() {
+    // Mirrors the calibrated Fig. 5 bench configuration (seed 42); see
+    // bench/bench_fig5_kl_exposure.cpp and EXPERIMENTS.md.
+    Rng rng(42);
+    data::SyntheticCifar gen;
+    auto train = gen.Generate(1500, rng);
+    auto test = gen.Generate(300, rng);
+
+    validator_ = new nn::Network(
+        nn::BuildNetwork(nn::Table1Spec(8), rng));
+    nn::TrainOptions options;
+    options.epochs = 10;
+    options.batch_size = 32;
+    options.sgd.learning_rate = 0.01F;
+    options.augment = false;
+    options.seed = 43;
+    (void)nn::TrainNetwork(*validator_, train.images, train.labels,
+                           test.images, test.labels, options);
+
+    std::vector<nn::Image> raw_probes;
+    for (int c = 0; c < 3; ++c) raw_probes.push_back(gen.Sample(c, rng));
+
+    generator_ = new nn::Network(
+        nn::BuildNetwork(nn::Table2Spec(16), rng));
+    nn::TrainOptions gen_options = options;
+    gen_options.epochs = 1;
+    gen_options.seed = 44;
+    (void)nn::TrainNetwork(*generator_, train.images, train.labels, {}, {},
+                           gen_options);
+    probes_ = new std::vector<nn::Image>(std::move(raw_probes));
+  }
+  static void TearDownTestSuite() {
+    delete validator_;
+    delete generator_;
+    delete probes_;
+  }
+
+  static nn::Network* validator_;
+  static nn::Network* generator_;
+  static std::vector<nn::Image>* probes_;
+};
+
+nn::Network* ExposureTest::validator_ = nullptr;
+nn::Network* ExposureTest::generator_ = nullptr;
+std::vector<nn::Image>* ExposureTest::probes_ = nullptr;
+
+TEST_F(ExposureTest, ReportCoversSpatialLayers) {
+  const ExposureReport report =
+      AssessExposure(*generator_, *validator_, *probes_);
+  // Table-2 net: 15 layers before the avg pool produce spatial outputs
+  // (12 conv + 2 max + ... minus the final avg/softmax/cost).
+  ASSERT_FALSE(report.layers.empty());
+  EXPECT_EQ(report.layers.front().layer, 1);
+  for (const LayerExposure& l : report.layers) {
+    EXPECT_GT(l.maps, 0U);
+    EXPECT_LE(l.min_kl, l.max_kl);
+    EXPECT_GE(l.min_kl, 0.0);
+  }
+  EXPECT_GT(report.uniform_baseline, 0.0);
+}
+
+TEST_F(ExposureTest, ShallowLayersLeakDeepLayersDoNot) {
+  const ExposureReport report =
+      AssessExposure(*generator_, *validator_, *probes_);
+  // The paper's Fig. 5 shape: some layer-1 IR still reveals the input
+  // (KL below baseline), while the deepest spatial layer's KL
+  // distribution sits well above both the baseline and layer 1's.
+  EXPECT_LT(report.layers.front().min_kl, report.uniform_baseline)
+      << "layer-1 IRs should still reveal the input";
+  const LayerExposure& deepest = report.layers.back();
+  EXPECT_GT(deepest.p10_kl, report.uniform_baseline)
+      << "deepest spatial layer should not leak";
+  EXPECT_GT(deepest.mean_kl, report.layers.front().mean_kl);
+}
+
+TEST_F(ExposureTest, RecommendationIsWithinNetwork) {
+  const ExposureReport report =
+      AssessExposure(*generator_, *validator_, *probes_);
+  const int front = RecommendFrontNetLayers(report);
+  EXPECT_GE(front, 1);
+  EXPECT_LE(front, report.layers.back().layer);
+  // The paper's statistic (strict min) must also yield a valid depth.
+  const int front_min = RecommendFrontNetLayers(report, LeakStatistic::kMin);
+  EXPECT_GE(front_min, front);  // min is the more conservative statistic
+}
+
+TEST(RecommendTest, SyntheticReport) {
+  ExposureReport report;
+  report.uniform_baseline = 2.0;
+  // Layers 1-3 leak (min < baseline), 4+ do not.
+  for (int l = 1; l <= 8; ++l) {
+    LayerExposure e;
+    e.layer = l;
+    e.min_kl = (l <= 3) ? 0.1 : 3.0;
+    e.p10_kl = e.min_kl;
+    e.max_kl = 5.0;
+    e.maps = 4;
+    report.layers.push_back(e);
+  }
+  EXPECT_EQ(RecommendFrontNetLayers(report), 4);  // paper's rule
+}
+
+TEST(RecommendTest, NothingLeaksMeansOneLayer) {
+  ExposureReport report;
+  report.uniform_baseline = 1.0;
+  for (int l = 1; l <= 4; ++l) {
+    LayerExposure e;
+    e.layer = l;
+    e.min_kl = 5.0;
+    e.p10_kl = 5.0;
+    e.maps = 1;
+    report.layers.push_back(e);
+  }
+  EXPECT_EQ(RecommendFrontNetLayers(report), 1);
+}
+
+TEST(RecommendTest, EverythingLeaksClampsToLastLayer) {
+  ExposureReport report;
+  report.uniform_baseline = 10.0;
+  for (int l = 1; l <= 4; ++l) {
+    LayerExposure e;
+    e.layer = l;
+    e.min_kl = 0.0;
+    e.p10_kl = 0.0;
+    e.maps = 1;
+    report.layers.push_back(e);
+  }
+  EXPECT_EQ(RecommendFrontNetLayers(report), 4);
+}
+
+TEST(RecommendTest, EmptyReportThrows) {
+  EXPECT_THROW((void)RecommendFrontNetLayers(ExposureReport{}), Error);
+}
+
+}  // namespace
+}  // namespace caltrain::assess

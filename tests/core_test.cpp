@@ -1,0 +1,404 @@
+// Core pipeline tests: partitioned training, the full multi-party
+// server flow (attest -> provision -> upload -> train -> fingerprint ->
+// query -> release), dynamic re-assessment, and learning hubs.
+#include <gtest/gtest.h>
+
+#include "core/hubs.hpp"
+#include "core/participant.hpp"
+#include "core/partitioned.hpp"
+#include "core/query.hpp"
+#include "core/server.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "nn/presets.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace caltrain::core {
+namespace {
+
+// Tiny two-class corpus separable by intensity (fast to learn).
+data::LabeledDataset IntensityDataset(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  data::LabeledDataset out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(i % 2);
+    nn::Image img(nn::Shape{28, 28, 3});
+    const float base = label == 0 ? 0.2F : 0.8F;
+    for (float& p : img.pixels) p = base + 0.1F * rng.Gaussian();
+    out.Append(img, label);
+  }
+  return out;
+}
+
+enclave::EnclaveConfig TestEnclaveConfig() {
+  enclave::EnclaveConfig config;
+  config.name = "test-enclave";
+  config.code_identity = BytesOf("test code");
+  config.seed = 3;
+  return config;
+}
+
+TEST(PartitionedTrainerTest, LearnsWithSplit) {
+  Rng rng(81);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(32, 2), rng);
+  enclave::Enclave enclave(TestEnclaveConfig());
+  PartitionedTrainer trainer(net, enclave, /*front_layers=*/2);
+
+  const data::LabeledDataset train = IntensityDataset(128, 82);
+  const data::LabeledDataset test = IntensityDataset(32, 83);
+
+  nn::SgdConfig sgd;
+  sgd.learning_rate = 0.05F;
+  Rng train_rng(84);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (std::size_t first = 0; first < train.size(); first += 16) {
+      const std::size_t count = std::min<std::size_t>(16, train.size() - first);
+      nn::Batch batch(static_cast<int>(count), nn::Shape{28, 28, 3});
+      std::vector<int> labels(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::copy(train.images[first + i].pixels.begin(),
+                  train.images[first + i].pixels.end(),
+                  batch.Sample(static_cast<int>(i)));
+        labels[i] = train.labels[first + i];
+      }
+      (void)trainer.TrainBatch(batch, labels, sgd, train_rng);
+    }
+  }
+  const double top1 = nn::EvaluateTopK(net, test.images, test.labels, 1);
+  EXPECT_GE(top1, 0.9);
+
+  // Boundary traffic and transitions were accounted.
+  EXPECT_GT(trainer.stats().ir_bytes_out, 0U);
+  EXPECT_GT(trainer.stats().delta_bytes_in, 0U);
+  EXPECT_GT(enclave.transitions().ecalls, 0U);
+  EXPECT_GT(enclave.transitions().ocalls, 0U);
+  EXPECT_GT(enclave.epc().stats().page_faults, 0U);
+}
+
+TEST(PartitionedTrainerTest, ZeroFrontLayersMatchesPlainTraining) {
+  // front_layers == 0 must behave exactly like Network::TrainStep with
+  // the fast profile: same weights afterwards.
+  Rng rng_a(85), rng_b(85);
+  nn::Network a = nn::BuildNetwork(nn::Table1Spec(32, 2), rng_a);
+  nn::Network b = nn::BuildNetwork(nn::Table1Spec(32, 2), rng_b);
+
+  enclave::Enclave enclave(TestEnclaveConfig());
+  PartitionedTrainer trainer(a, enclave, 0);
+
+  nn::Batch batch(4, nn::Shape{28, 28, 3});
+  Rng fill(86);
+  for (float& x : batch.data) x = fill.UniformFloat();
+  const std::vector<int> labels = {0, 1, 0, 1};
+  nn::SgdConfig sgd;
+
+  Rng ra(87), rb(87);
+  const float loss_a = trainer.TrainBatch(batch, labels, sgd, ra);
+  const float loss_b = b.TrainStep(batch, labels, sgd, rb);
+  EXPECT_FLOAT_EQ(loss_a, loss_b);
+  EXPECT_EQ(a.SerializeWeightRange(0, a.NumLayers()),
+            b.SerializeWeightRange(0, b.NumLayers()));
+  EXPECT_EQ(enclave.transitions().ecalls, 0U);
+}
+
+TEST(PartitionedTrainerTest, FullEnclaveTrainingWorks) {
+  Rng rng(88);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(32, 2), rng);
+  enclave::Enclave enclave(TestEnclaveConfig());
+  PartitionedTrainer trainer(net, enclave, net.NumLayers());
+
+  nn::Batch batch(4, nn::Shape{28, 28, 3});
+  Rng fill(89);
+  for (float& x : batch.data) x = fill.UniformFloat();
+  const std::vector<int> labels = {0, 1, 0, 1};
+  nn::SgdConfig sgd;
+  Rng train_rng(90);
+  const float loss = trainer.TrainBatch(batch, labels, sgd, train_rng);
+  EXPECT_GT(loss, 0.0F);
+  EXPECT_GT(enclave.transitions().ecalls, 0U);
+}
+
+TEST(PartitionedTrainerTest, PredictMatchesNetworkPredict) {
+  Rng rng(91);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(32, 2), rng);
+  enclave::Enclave enclave(TestEnclaveConfig());
+  PartitionedTrainer trainer(net, enclave, 2);
+
+  nn::Batch batch(2, nn::Shape{28, 28, 3});
+  Rng fill(92);
+  for (float& x : batch.data) x = fill.UniformFloat();
+  const auto split = trainer.Predict(batch);
+  const auto plain = net.Predict(batch);
+  ASSERT_EQ(split.size(), plain.size());
+  for (std::size_t s = 0; s < split.size(); ++s) {
+    for (std::size_t i = 0; i < split[s].size(); ++i) {
+      EXPECT_NEAR(split[s][i], plain[s][i], 2e-3F);
+    }
+  }
+}
+
+TEST(PartitionedTrainerTest, SetFrontLayersMovesSplit) {
+  Rng rng(93);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(32, 2), rng);
+  enclave::Enclave enclave(TestEnclaveConfig());
+  PartitionedTrainer trainer(net, enclave, 2);
+  trainer.SetFrontLayers(4);
+  EXPECT_EQ(trainer.front_layers(), 4);
+  EXPECT_THROW(trainer.SetFrontLayers(99), Error);
+}
+
+class ServerPipelineTest : public ::testing::Test {
+ protected:
+  ServerPipelineTest()
+      : server_(MakeServerConfig()),
+        alice_("alice", IntensityDataset(40, 101), 201),
+        bob_("bob", IntensityDataset(40, 102), 202) {}
+
+  static ServerConfig MakeServerConfig() {
+    ServerConfig config;
+    config.seed = 100;
+    return config;
+  }
+
+  TrainingServer server_;
+  Participant alice_;
+  Participant bob_;
+};
+
+TEST_F(ServerPipelineTest, FullPipeline) {
+  // --- provisioning + upload ---
+  EXPECT_EQ(alice_.ProvisionAndUpload(server_, server_.training_measurement()),
+            40U);
+  EXPECT_EQ(bob_.ProvisionAndUpload(server_, server_.training_measurement()),
+            40U);
+  EXPECT_TRUE(server_.IsProvisioned("alice"));
+  EXPECT_EQ(server_.accepted_records(), 80U);
+
+  // Forged upload from an unregistered source is discarded.
+  data::DataPackager mallory("mallory", Bytes(32, 0x66), 999);
+  nn::Image evil(nn::Shape{28, 28, 3});
+  EXPECT_EQ(server_.UploadRecords({mallory.Pack(evil, 0)}), 0U);
+  EXPECT_EQ(server_.rejected_records(), 1U);
+
+  // --- training ---
+  const data::LabeledDataset test = IntensityDataset(30, 103);
+  PartitionedTrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+  options.front_layers = 2;
+  options.sgd.learning_rate = 0.05F;
+  options.augment = false;
+  options.seed = 104;
+  options.test_images = &test.images;
+  options.test_labels = &test.labels;
+  const TrainReport report =
+      server_.Train(nn::Table1Spec(32, 2), options);
+  ASSERT_EQ(report.epochs.size(), 3U);
+  EXPECT_GE(report.epochs.back().top1, 0.9);
+  EXPECT_EQ(report.records_trained, 80U);
+  EXPECT_GT(report.transitions.ecalls, 0U);
+
+  // --- fingerprinting ---
+  linkage::LinkageDatabase db = server_.FingerprintAll();
+  EXPECT_EQ(db.size(), 80U);
+
+  // Every tuple's source is a real participant and its hash verifies
+  // against the turned-in original.
+  std::size_t alice_tuples = 0;
+  for (std::uint64_t id = 0; id < db.size(); ++id) {
+    const auto& tuple = db.tuple(id);
+    EXPECT_TRUE(tuple.source == "alice" || tuple.source == "bob");
+    if (tuple.source == "alice") ++alice_tuples;
+  }
+  EXPECT_EQ(alice_tuples, 40U);
+
+  // --- query ---
+  QueryService query(std::move(server_.model()), std::move(db));
+  Rng rng(105);
+  nn::Image probe(nn::Shape{28, 28, 3});
+  for (float& p : probe.pixels) p = 0.8F + 0.1F * rng.Gaussian();
+  const MispredictionReport mp = query.Investigate(probe, 9);
+  EXPECT_EQ(mp.neighbors.size(), 9U);
+  for (std::size_t i = 1; i < mp.neighbors.size(); ++i) {
+    EXPECT_LE(mp.neighbors[i - 1].distance, mp.neighbors[i].distance);
+  }
+  for (const auto& n : mp.neighbors) EXPECT_EQ(n.label, mp.predicted_label);
+
+  // Forensics: find a tuple owned by alice and verify her turned-in data.
+  // (Tuple order == record upload order == alice's local order.)
+  const auto [img0, label0] = alice_.TurnInInstance(0);
+  bool verified = false;
+  for (std::uint64_t id = 0; id < query.database().size(); ++id) {
+    if (query.VerifyTurnedInData(id, img0, label0)) {
+      verified = true;
+      EXPECT_EQ(query.database().tuple(id).source, "alice");
+      break;
+    }
+  }
+  EXPECT_TRUE(verified);
+}
+
+TEST_F(ServerPipelineTest, ModelReleaseRoundTrip) {
+  (void)alice_.ProvisionAndUpload(server_, server_.training_measurement());
+  PartitionedTrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.front_layers = 2;
+  options.augment = false;
+  options.seed = 106;
+  (void)server_.Train(nn::Table1Spec(32, 2), options);
+
+  const auto released = server_.ReleaseModelFor("alice");
+  EXPECT_EQ(released.front_layers, 2);
+  EXPECT_FALSE(released.frontnet_ciphertext.empty());
+
+  // Alice reassembles with her key; predictions match the server model.
+  nn::Network assembled = TrainingServer::AssembleReleasedModel(
+      released, alice_.data_key());
+  Rng rng(107);
+  nn::Image probe(nn::Shape{28, 28, 3});
+  for (float& p : probe.pixels) p = rng.UniformFloat();
+  const auto server_pred = server_.model().PredictOne(probe);
+  const auto alice_pred = assembled.PredictOne(probe);
+  for (std::size_t i = 0; i < server_pred.size(); ++i) {
+    EXPECT_FLOAT_EQ(server_pred[i], alice_pred[i]);
+  }
+
+  // Anyone without the key cannot recover the FrontNet.
+  EXPECT_THROW((void)TrainingServer::AssembleReleasedModel(
+                   released, Bytes(32, 0x00)),
+               Error);
+}
+
+TEST_F(ServerPipelineTest, AttestationFailureBlocksProvisioning) {
+  crypto::Sha256Digest wrong = server_.training_measurement();
+  wrong[0] ^= 0xff;
+  try {
+    (void)alice_.ProvisionAndUpload(server_, wrong);
+    FAIL() << "expected kAuthFailure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kAuthFailure);
+  }
+  EXPECT_FALSE(server_.IsProvisioned("alice"));
+}
+
+TEST_F(ServerPipelineTest, DynamicReassessmentMovesPartition) {
+  (void)alice_.ProvisionAndUpload(server_, server_.training_measurement());
+  PartitionedTrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+  options.front_layers = 1;
+  options.augment = false;
+  options.seed = 108;
+  options.reassess = [](const nn::Network&, int epoch) -> std::optional<int> {
+    return epoch == 1 ? std::optional<int>(3) : std::nullopt;
+  };
+  const TrainReport report = server_.Train(nn::Table1Spec(32, 2), options);
+  ASSERT_EQ(report.front_layers_per_epoch.size(), 3U);
+  EXPECT_EQ(report.front_layers_per_epoch[0], 1);
+  EXPECT_EQ(report.front_layers_per_epoch[1], 3);
+  EXPECT_EQ(report.front_layers_per_epoch[2], 3);
+}
+
+TEST_F(ServerPipelineTest, TrainWithoutRecordsRejected) {
+  PartitionedTrainOptions options;
+  EXPECT_THROW((void)server_.Train(nn::Table1Spec(32, 2), options), Error);
+}
+
+TEST(AverageWeightsTest, AveragesElementwise) {
+  Rng rng(111);
+  nn::Network a = nn::BuildNetwork(nn::Table1Spec(32, 2), rng);
+  nn::Network b = nn::BuildNetwork(nn::Table1Spec(32, 2), rng);
+  const Bytes wa = a.SerializeWeightRange(0, a.NumLayers());
+  const Bytes wb = b.SerializeWeightRange(0, b.NumLayers());
+
+  std::vector<nn::Network*> models = {&a, &b};
+  AverageWeights(models);
+  const Bytes merged_a = a.SerializeWeightRange(0, a.NumLayers());
+  EXPECT_EQ(merged_a, b.SerializeWeightRange(0, b.NumLayers()));
+
+  // Spot check: first weight is the mean of the originals.
+  ByteReader ra(wa), rb(wb), rm(merged_a);
+  const auto va = ra.ReadF32Vector();
+  const auto vb = rb.ReadF32Vector();
+  const auto vm = rm.ReadF32Vector();
+  EXPECT_NEAR(vm[0], (va[0] + vb[0]) / 2.0F, 1e-6F);
+}
+
+TEST(HubAggregatorTest, MergedModelLearns) {
+  data::LabeledDataset all = IntensityDataset(120, 121);
+  const data::LabeledDataset test = IntensityDataset(40, 122);
+  auto shards = data::SplitAmong(all, 3);
+
+  HubOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+  options.merge_every = 1;
+  options.front_layers = 2;
+  options.sgd.learning_rate = 0.05F;
+  options.seed = 123;
+
+  HubAggregator hubs(nn::Table1Spec(32, 2), std::move(shards), options);
+  const HubReport report = hubs.Train(test.images, test.labels);
+  ASSERT_EQ(report.epochs.size(), 3U);
+  EXPECT_EQ(report.hubs, 3U);
+  EXPECT_GE(report.merges, 3U);
+  EXPECT_GE(report.epochs.back().top1, 0.9);
+}
+
+
+TEST(ServerEdgeTest, ReleaseBeforeTrainingRejected) {
+  TrainingServer server;
+  Participant alice("alice", IntensityDataset(8, 300), 301);
+  (void)alice.ProvisionAndUpload(server, server.training_measurement());
+  EXPECT_THROW((void)server.ReleaseModelFor("alice"), Error);
+  EXPECT_THROW((void)server.model(), Error);
+  EXPECT_THROW((void)server.FingerprintAll(), Error);
+}
+
+TEST(ServerEdgeTest, ReleaseForUnknownParticipantRejected) {
+  TrainingServer server;
+  Participant alice("alice", IntensityDataset(16, 301), 302);
+  (void)alice.ProvisionAndUpload(server, server.training_measurement());
+  PartitionedTrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.front_layers = 1;
+  options.augment = false;
+  (void)server.Train(nn::Table1Spec(32, 2), options);
+  EXPECT_THROW((void)server.ReleaseModelFor("nobody"), Error);
+}
+
+TEST(ServerEdgeTest, KeyProvisionBeforeHandshakeRejected) {
+  TrainingServer server;
+  EXPECT_FALSE(server.HandleKeyProvision("ghost", BytesOf("junk")));
+  EXPECT_FALSE(server.HandleClientFinished("ghost", BytesOf("junk")));
+  EXPECT_FALSE(server.IsProvisioned("ghost"));
+}
+
+TEST(ServerEdgeTest, ZeroFrontLayersReleaseHasEmptyFrontNet) {
+  TrainingServer server;
+  Participant alice("alice", IntensityDataset(16, 303), 304);
+  (void)alice.ProvisionAndUpload(server, server.training_measurement());
+  PartitionedTrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.front_layers = 0;  // everything outside
+  options.augment = false;
+  (void)server.Train(nn::Table1Spec(32, 2), options);
+  const auto released = server.ReleaseModelFor("alice");
+  EXPECT_EQ(released.front_layers, 0);
+  nn::Network assembled =
+      TrainingServer::AssembleReleasedModel(released, alice.data_key());
+  EXPECT_EQ(assembled.NumLayers(), 10);
+}
+
+TEST(ParticipantEdgeTest, TurnInOutOfRangeRejected) {
+  Participant alice("alice", IntensityDataset(4, 305), 306);
+  EXPECT_THROW((void)alice.TurnInInstance(99), Error);
+  const auto [image, label] = alice.TurnInInstance(0);
+  EXPECT_EQ(image.shape, (nn::Shape{28, 28, 3}));
+  EXPECT_EQ(label, 0);
+}
+
+}  // namespace
+}  // namespace caltrain::core

@@ -1,0 +1,348 @@
+// Crypto substrate tests.  AES / SHA-256 / HMAC / HKDF / GCM are checked
+// against published FIPS/NIST/RFC vectors; DH, Schnorr and the DRBG are
+// checked for algebraic correctness and tamper rejection.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/group.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace caltrain::crypto {
+namespace {
+
+std::string DigestHex(const Sha256Digest& d) {
+  return ToHex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256Hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  const Bytes msg = BytesOf("abc");
+  EXPECT_EQ(DigestHex(Sha256Hash(msg)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  const Bytes msg =
+      BytesOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(DigestHex(Sha256Hash(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const Bytes msg = BytesOf("the quick brown fox jumps over the lazy dog");
+  Sha256 h;
+  for (std::size_t i = 0; i < msg.size(); i += 7) {
+    const std::size_t take = std::min<std::size_t>(7, msg.size() - i);
+    h.Update(BytesView(msg.data() + i, take));
+  }
+  EXPECT_EQ(h.Finish(), Sha256Hash(msg));
+}
+
+TEST(Sha256Test, MillionAs) {
+  // FIPS 180-4 long-message vector.
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = BytesOf("Hi There");
+  EXPECT_EQ(DigestHex(HmacSha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Bytes key = BytesOf("Jefe");
+  const Bytes data = BytesOf("what do ya want for nothing?");
+  EXPECT_EQ(DigestHex(HmacSha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3LongKeyData) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(DigestHex(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, KeyLongerThanBlockIsHashed) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Bytes data = BytesOf("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(DigestHex(HmacSha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HkdfTest, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = FromHex("000102030405060708090a0b0c");
+  const Bytes info = FromHex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = Hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = Hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(ToHex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(AesTest, Fips197Aes128) {
+  const Aes aes(FromHex("000102030405060708090a0b0c0d0e0f"));
+  const Bytes pt = FromHex("00112233445566778899aabbccddeeff");
+  Bytes ct(16);
+  aes.EncryptBlock(pt.data(), ct.data());
+  EXPECT_EQ(ToHex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197Aes256) {
+  const Aes aes(
+      FromHex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  const Bytes pt = FromHex("00112233445566778899aabbccddeeff");
+  Bytes ct(16);
+  aes.EncryptBlock(pt.data(), ct.data());
+  EXPECT_EQ(ToHex(ct), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesTest, RejectsBadKeySize) {
+  EXPECT_THROW(Aes(Bytes(24, 0)), Error);  // AES-192 unsupported by design
+  EXPECT_THROW(Aes(Bytes(15, 0)), Error);
+}
+
+TEST(AesTest, CtrRoundTripOddLength) {
+  const Aes aes(Bytes(16, 0x42));
+  AesBlock ctr{};
+  const Bytes pt = BytesOf("seventeen bytes!!");
+  Bytes ct(pt.size());
+  AesCtrXor(aes, ctr, pt, ct.data());
+  EXPECT_NE(ct, pt);
+  Bytes back(ct.size());
+  AesCtrXor(aes, ctr, ct, back.data());
+  EXPECT_EQ(back, pt);
+}
+
+TEST(GcmTest, NistCase1EmptyPlaintext) {
+  const AesGcm gcm(Bytes(16, 0));
+  const Bytes iv(12, 0);
+  const GcmSealed sealed = gcm.Seal(iv, {}, {});
+  EXPECT_TRUE(sealed.ciphertext.empty());
+  EXPECT_EQ(ToHex(BytesView(sealed.tag.data(), sealed.tag.size())),
+            "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(GcmTest, NistCase2OneBlock) {
+  const AesGcm gcm(Bytes(16, 0));
+  const Bytes iv(12, 0);
+  const Bytes pt(16, 0);
+  const GcmSealed sealed = gcm.Seal(iv, {}, pt);
+  EXPECT_EQ(ToHex(sealed.ciphertext), "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(ToHex(BytesView(sealed.tag.data(), sealed.tag.size())),
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(GcmTest, NistCase3FourBlocks) {
+  const AesGcm gcm(FromHex("feffe9928665731c6d6a8f9467308308"));
+  const Bytes iv = FromHex("cafebabefacedbaddecaf888");
+  const Bytes pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const GcmSealed sealed = gcm.Seal(iv, {}, pt);
+  EXPECT_EQ(ToHex(sealed.ciphertext),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
+  EXPECT_EQ(ToHex(BytesView(sealed.tag.data(), sealed.tag.size())),
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(GcmTest, NistCase4WithAad) {
+  const AesGcm gcm(FromHex("feffe9928665731c6d6a8f9467308308"));
+  const Bytes iv = FromHex("cafebabefacedbaddecaf888");
+  const Bytes pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const GcmSealed sealed = gcm.Seal(iv, aad, pt);
+  EXPECT_EQ(ToHex(sealed.ciphertext),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091");
+  EXPECT_EQ(ToHex(BytesView(sealed.tag.data(), sealed.tag.size())),
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(GcmTest, OpenRoundTrip) {
+  const AesGcm gcm(Bytes(32, 0x11));  // AES-256 key
+  const Bytes iv(12, 0x22);
+  const Bytes aad = BytesOf("participant-7");
+  const Bytes pt = BytesOf("private training record");
+  const GcmSealed sealed = gcm.Seal(iv, aad, pt);
+  const auto opened = gcm.Open(iv, aad, sealed.ciphertext, sealed.tag);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(GcmTest, TamperedCiphertextRejected) {
+  const AesGcm gcm(Bytes(16, 0x11));
+  const Bytes iv(12, 0x22);
+  const Bytes pt = BytesOf("payload payload payload");
+  GcmSealed sealed = gcm.Seal(iv, {}, pt);
+  sealed.ciphertext[3] ^= 0x01;
+  EXPECT_FALSE(gcm.Open(iv, {}, sealed.ciphertext, sealed.tag).has_value());
+}
+
+TEST(GcmTest, TamperedTagRejected) {
+  const AesGcm gcm(Bytes(16, 0x11));
+  const Bytes iv(12, 0x22);
+  GcmSealed sealed = gcm.Seal(iv, {}, BytesOf("x"));
+  sealed.tag[0] ^= 0x80;
+  EXPECT_FALSE(gcm.Open(iv, {}, sealed.ciphertext, sealed.tag).has_value());
+}
+
+TEST(GcmTest, WrongAadRejected) {
+  const AesGcm gcm(Bytes(16, 0x11));
+  const Bytes iv(12, 0x22);
+  const GcmSealed sealed = gcm.Seal(iv, BytesOf("source-a"), BytesOf("data"));
+  EXPECT_FALSE(
+      gcm.Open(iv, BytesOf("source-b"), sealed.ciphertext, sealed.tag)
+          .has_value());
+}
+
+TEST(GcmTest, WrongKeyRejected) {
+  const AesGcm good(Bytes(16, 0x11));
+  const AesGcm bad(Bytes(16, 0x12));
+  const Bytes iv(12, 0);
+  const GcmSealed sealed = good.Seal(iv, {}, BytesOf("data"));
+  EXPECT_FALSE(bad.Open(iv, {}, sealed.ciphertext, sealed.tag).has_value());
+}
+
+TEST(GcmTest, RejectsBadIvLength) {
+  const AesGcm gcm(Bytes(16, 0));
+  EXPECT_THROW((void)gcm.Seal(Bytes(11, 0), {}, {}), Error);
+}
+
+TEST(DrbgTest, DeterministicForSameSeed) {
+  HmacDrbg a(BytesOf("seed material"));
+  HmacDrbg b(BytesOf("seed material"));
+  EXPECT_EQ(a.Generate(64), b.Generate(64));
+}
+
+TEST(DrbgTest, PersonalizationChangesOutput) {
+  HmacDrbg a(BytesOf("seed"), BytesOf("alice"));
+  HmacDrbg b(BytesOf("seed"), BytesOf("bob"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(DrbgTest, SequentialOutputsDiffer) {
+  HmacDrbg drbg(BytesOf("seed"));
+  EXPECT_NE(drbg.Generate(32), drbg.Generate(32));
+}
+
+TEST(DrbgTest, ReseedChangesStream) {
+  HmacDrbg a(BytesOf("seed"));
+  HmacDrbg b(BytesOf("seed"));
+  (void)a.Generate(16);
+  (void)b.Generate(16);
+  b.Reseed(BytesOf("fresh entropy"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(GroupTest, MulModMatchesSmallCases) {
+  EXPECT_EQ(MulMod(7, 9, 11), 63 % 11);
+  EXPECT_EQ(MulMod(0, 9, 11), 0U);
+  const U128 p = GroupPrime();
+  EXPECT_EQ(MulMod(p - 1, p - 1, p), 1U);  // (-1)^2 = 1
+}
+
+TEST(GroupTest, PowModFermat) {
+  const U128 p = GroupPrime();
+  // Fermat's little theorem: a^(p-1) == 1 mod p for a coprime with p.
+  EXPECT_EQ(PowMod(GroupGenerator(), p - 1, p), 1U);
+  EXPECT_EQ(PowMod(123456789, p - 1, p), 1U);
+}
+
+TEST(GroupTest, U128BytesRoundTrip) {
+  const U128 v = (U128{0x0123456789abcdefULL} << 64) | 0xfedcba9876543210ULL;
+  EXPECT_EQ(U128FromBytes(U128ToBytes(v)), v);
+}
+
+TEST(GroupTest, U128FromBytesRejectsWrongLength) {
+  EXPECT_THROW((void)U128FromBytes(Bytes(15, 0)), Error);
+}
+
+TEST(GroupTest, DhAgreement) {
+  HmacDrbg drbg(BytesOf("dh test entropy"));
+  const DhKeyPair alice = DhGenerate(drbg);
+  const DhKeyPair bob = DhGenerate(drbg);
+  const U128 shared_a = DhSharedSecret(alice.secret, bob.public_value);
+  const U128 shared_b = DhSharedSecret(bob.secret, alice.public_value);
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_NE(shared_a, U128{0});
+}
+
+TEST(GroupTest, DhRejectsDegeneratePublicValues) {
+  EXPECT_THROW((void)DhSharedSecret(5, 0), Error);
+  EXPECT_THROW((void)DhSharedSecret(5, 1), Error);
+  EXPECT_THROW((void)DhSharedSecret(5, GroupPrime()), Error);
+}
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  HmacDrbg drbg(BytesOf("schnorr entropy"));
+  const SchnorrKeyPair key = SchnorrGenerate(drbg);
+  const Bytes msg = BytesOf("enclave quote body");
+  const SchnorrSignature sig = SchnorrSign(key, msg, drbg);
+  EXPECT_TRUE(SchnorrVerify(key.public_value, msg, sig));
+}
+
+TEST(SchnorrTest, RejectsWrongMessage) {
+  HmacDrbg drbg(BytesOf("schnorr entropy"));
+  const SchnorrKeyPair key = SchnorrGenerate(drbg);
+  const SchnorrSignature sig = SchnorrSign(key, BytesOf("message A"), drbg);
+  EXPECT_FALSE(SchnorrVerify(key.public_value, BytesOf("message B"), sig));
+}
+
+TEST(SchnorrTest, RejectsWrongKey) {
+  HmacDrbg drbg(BytesOf("schnorr entropy"));
+  const SchnorrKeyPair key = SchnorrGenerate(drbg);
+  const SchnorrKeyPair other = SchnorrGenerate(drbg);
+  const Bytes msg = BytesOf("message");
+  const SchnorrSignature sig = SchnorrSign(key, msg, drbg);
+  EXPECT_FALSE(SchnorrVerify(other.public_value, msg, sig));
+}
+
+TEST(SchnorrTest, RejectsTamperedSignature) {
+  HmacDrbg drbg(BytesOf("schnorr entropy"));
+  const SchnorrKeyPair key = SchnorrGenerate(drbg);
+  const Bytes msg = BytesOf("message");
+  SchnorrSignature sig = SchnorrSign(key, msg, drbg);
+  sig.response ^= 1;
+  EXPECT_FALSE(SchnorrVerify(key.public_value, msg, sig));
+}
+
+TEST(SchnorrTest, SerializationRoundTrip) {
+  HmacDrbg drbg(BytesOf("schnorr entropy"));
+  const SchnorrKeyPair key = SchnorrGenerate(drbg);
+  const Bytes msg = BytesOf("message");
+  const SchnorrSignature sig = SchnorrSign(key, msg, drbg);
+  const SchnorrSignature back = DeserializeSignature(SerializeSignature(sig));
+  EXPECT_EQ(back.commitment, sig.commitment);
+  EXPECT_EQ(back.response, sig.response);
+  EXPECT_TRUE(SchnorrVerify(key.public_value, msg, back));
+}
+
+}  // namespace
+}  // namespace caltrain::crypto

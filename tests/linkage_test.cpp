@@ -1,0 +1,334 @@
+// Linkage substrate tests: fingerprints, VP-tree vs brute force,
+// the Omega database (queries, class restriction, hash verification,
+// persistence), LLE, and the accountability metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/packaging.hpp"
+#include "linkage/fingerprint.hpp"
+#include "linkage/linkage_db.hpp"
+#include "linkage/lle.hpp"
+#include "linkage/metrics.hpp"
+#include "linkage/vptree.hpp"
+#include "nn/presets.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace caltrain::linkage {
+namespace {
+
+std::vector<std::vector<float>> RandomPoints(std::size_t n, std::size_t dim,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> points(n, std::vector<float>(dim));
+  for (auto& p : points) {
+    for (float& x : p) x = rng.Gaussian();
+  }
+  return points;
+}
+
+TEST(FingerprintTest, IsNormalizedAndDeterministic) {
+  Rng rng(1);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(32), rng);
+  nn::Image img(nn::Shape{28, 28, 3});
+  for (float& p : img.pixels) p = rng.UniformFloat();
+  const Fingerprint a = ExtractFingerprint(net, img);
+  const Fingerprint b = ExtractFingerprint(net, img);
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(L2Norm(a), 1.0, 1e-5);
+  EXPECT_EQ(a.size(), 10U);  // Table-1 penultimate = avg pool over classes
+}
+
+TEST(VpTreeTest, MatchesBruteForce) {
+  const auto points = RandomPoints(200, 8, 21);
+  const VpTree tree(points);
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> query(8);
+    for (float& x : query) x = rng.Gaussian();
+    const auto exact = BruteForceKnn(points, query, 7);
+    const auto fast = tree.Search(query, 7);
+    ASSERT_EQ(fast.size(), exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_NEAR(fast[i].distance, exact[i].distance, 1e-9)
+          << "rank " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(VpTreeTest, KLargerThanSetReturnsAll) {
+  const auto points = RandomPoints(5, 3, 23);
+  const VpTree tree(points);
+  const auto result = tree.Search(points[0], 50);
+  EXPECT_EQ(result.size(), 5U);
+  EXPECT_EQ(result[0].index, 0U);  // itself at distance 0
+  EXPECT_NEAR(result[0].distance, 0.0, 1e-12);
+}
+
+TEST(VpTreeTest, EmptyTree) {
+  const VpTree tree({});
+  EXPECT_TRUE(tree.Search({1.0F}, 3).empty());
+}
+
+TEST(VpTreeTest, ResultsSortedAscending) {
+  const auto points = RandomPoints(64, 4, 24);
+  const VpTree tree(points);
+  const auto result = tree.Search(points[10], 10);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+class LinkageDbTest : public ::testing::Test {
+ protected:
+  LinkageDbTest() {
+    Rng rng(31);
+    // Two classes, clustered fingerprints: class 0 near (1,0...), class 1
+    // near (0,1,...); a "poisoned" subcluster of class 0 near (0.5, 0.5).
+    for (int i = 0; i < 20; ++i) {
+      db_.Insert(Jitter({1.0F, 0.0F, 0.0F, 0.0F}, rng), 0, "honest-A",
+                 FakeHash(static_cast<std::uint8_t>(i)));
+    }
+    for (int i = 0; i < 20; ++i) {
+      db_.Insert(Jitter({0.0F, 1.0F, 0.0F, 0.0F}, rng), 1, "honest-B",
+                 FakeHash(static_cast<std::uint8_t>(100 + i)));
+    }
+    for (int i = 0; i < 10; ++i) {
+      poisoned_ids_.push_back(
+          db_.Insert(Jitter({0.5F, 0.5F, 0.5F, 0.0F}, rng), 0, "mallory",
+                     FakeHash(static_cast<std::uint8_t>(200 + i))));
+    }
+  }
+
+  static Fingerprint Jitter(Fingerprint base, Rng& rng) {
+    for (float& x : base) x += 0.05F * rng.Gaussian();
+    L2NormalizeInPlace(base);
+    return base;
+  }
+  static crypto::Sha256Digest FakeHash(std::uint8_t tag) {
+    crypto::Sha256Digest h{};
+    h[0] = tag;
+    return h;
+  }
+
+  LinkageDatabase db_;
+  std::vector<std::uint64_t> poisoned_ids_;
+};
+
+TEST_F(LinkageDbTest, QueryRestrictedToClass) {
+  Fingerprint probe = {0.0F, 1.0F, 0.0F, 0.0F};
+  const auto matches = db_.QueryNearest(probe, 1, 5);
+  ASSERT_EQ(matches.size(), 5U);
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.label, 1);
+    EXPECT_EQ(m.source, "honest-B");
+  }
+}
+
+TEST_F(LinkageDbTest, PoisonClusterSurfacesForPoisonProbe) {
+  Fingerprint probe = {0.5F, 0.5F, 0.5F, 0.0F};
+  L2NormalizeInPlace(probe);
+  const auto matches = db_.QueryNearest(probe, 0, 9);
+  ASSERT_EQ(matches.size(), 9U);
+  std::size_t mallory = 0;
+  for (const auto& m : matches) {
+    if (m.source == "mallory") ++mallory;
+  }
+  EXPECT_GE(mallory, 8U);  // the poisoned subcluster dominates
+}
+
+TEST_F(LinkageDbTest, VpTreeQueryMatchesBruteForce) {
+  Rng rng(32);
+  for (int trial = 0; trial < 10; ++trial) {
+    Fingerprint probe(4);
+    for (float& x : probe) x = rng.Gaussian();
+    L2NormalizeInPlace(probe);
+    const auto fast = db_.QueryNearest(probe, 0, 6);
+    const auto exact = db_.QueryNearestBruteForce(probe, 0, 6);
+    ASSERT_EQ(fast.size(), exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_NEAR(fast[i].distance, exact[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_F(LinkageDbTest, DistancesSortedAscending) {
+  Fingerprint probe = {1.0F, 0.0F, 0.0F, 0.0F};
+  const auto matches = db_.QueryNearest(probe, 0, 10);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].distance, matches[i].distance);
+  }
+}
+
+TEST_F(LinkageDbTest, IdsForLabel) {
+  EXPECT_EQ(db_.IdsForLabel(0).size(), 30U);
+  EXPECT_EQ(db_.IdsForLabel(1).size(), 20U);
+  EXPECT_TRUE(db_.IdsForLabel(9).empty());
+}
+
+TEST_F(LinkageDbTest, SerializationRoundTrip) {
+  const Bytes blob = db_.Serialize();
+  LinkageDatabase restored = LinkageDatabase::Deserialize(blob);
+  ASSERT_EQ(restored.size(), db_.size());
+  Fingerprint probe = {1.0F, 0.0F, 0.0F, 0.0F};
+  const auto a = db_.QueryNearestBruteForce(probe, 0, 5);
+  const auto b = restored.QueryNearestBruteForce(probe, 0, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].source, b[i].source);
+  }
+}
+
+TEST_F(LinkageDbTest, InsertAfterQueryRebuildIndex) {
+  Fingerprint probe = {1.0F, 0.0F, 0.0F, 0.0F};
+  (void)db_.QueryNearest(probe, 0, 3);  // builds the class-0 index
+  const auto id = db_.Insert({1.0F, 0.0F, 0.0F, 0.0F}, 0, "late",
+                             FakeHash(0xFF));
+  const auto matches = db_.QueryNearest(probe, 0, 1);
+  ASSERT_EQ(matches.size(), 1U);
+  EXPECT_EQ(matches[0].id, id);  // exact match must now be nearest
+}
+
+TEST(LinkageHashTest, VerifySubmission) {
+  LinkageDatabase db;
+  nn::Image img(nn::Shape{4, 4, 3});
+  Rng rng(41);
+  for (float& p : img.pixels) p = rng.UniformFloat();
+  const auto hash = data::HashTrainingInstance(img, 2);
+  const auto id = db.Insert({1.0F, 0.0F}, 2, "alice", hash);
+
+  EXPECT_TRUE(db.VerifySubmission(id, img, 2));
+  EXPECT_FALSE(db.VerifySubmission(id, img, 3));  // wrong label
+  nn::Image tampered = img;
+  tampered.pixels[0] += 0.5F;
+  EXPECT_FALSE(db.VerifySubmission(id, tampered, 2));  // different data
+}
+
+TEST(SolveLinearSystemTest, KnownSolution) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3
+  const auto x = SolveLinearSystem({2, 1, 1, 3}, {5, 10}, 2);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(SolveLinearSystemTest, SingularThrows) {
+  EXPECT_THROW((void)SolveLinearSystem({1, 1, 1, 1}, {1, 2}, 2), Error);
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  const auto result = JacobiEigenSymmetric({3, 0, 0, 1}, 2);
+  EXPECT_NEAR(result.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.values[1], 3.0, 1e-9);
+}
+
+TEST(JacobiTest, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const auto result = JacobiEigenSymmetric({2, 1, 1, 2}, 2);
+  EXPECT_NEAR(result.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.values[1], 3.0, 1e-9);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(result.vectors[1][0]), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  // A = V diag(lambda) V^T must reproduce the input.
+  Rng rng(51);
+  constexpr std::size_t n = 6;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a[i * n + j] = a[j * n + i] = rng.Gaussian();
+    }
+  }
+  const auto result = JacobiEigenSymmetric(a, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += result.vectors[k][i] * result.values[k] * result.vectors[k][j];
+      }
+      EXPECT_NEAR(acc, a[i * n + j], 1e-7);
+    }
+  }
+}
+
+TEST(LleTest, SeparatesTwoClusters) {
+  // Two well-separated Gaussian blobs in 10-D must remain separated in
+  // the 2-D embedding.
+  Rng rng(61);
+  std::vector<std::vector<float>> points;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<float> p(10, 0.0F);
+    for (float& x : p) x = 0.1F * rng.Gaussian();
+    p[0] += (i < 15) ? 0.0F : 5.0F;
+    points.push_back(std::move(p));
+  }
+  LleOptions options;
+  options.neighbors = 5;
+  const auto coords = LocallyLinearEmbedding(points, options);
+  ASSERT_EQ(coords.size(), 30U);
+
+  // Nearest-centroid assignment in the embedded space must recover the
+  // cluster membership (the property Fig. 7 relies on).
+  std::vector<double> c0(2, 0.0), c1(2, 0.0);
+  for (int i = 0; i < 15; ++i) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      c0[d] += coords[static_cast<std::size_t>(i)][d] / 15.0;
+      c1[d] += coords[static_cast<std::size_t>(i + 15)][d] / 15.0;
+    }
+  }
+  int correct = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto& p = coords[static_cast<std::size_t>(i)];
+    const double d0 = std::hypot(p[0] - c0[0], p[1] - c0[1]);
+    const double d1 = std::hypot(p[0] - c1[0], p[1] - c1[1]);
+    const bool assigned_to_first = d0 < d1;
+    if (assigned_to_first == (i < 15)) ++correct;
+  }
+  EXPECT_GE(correct, 27) << "clusters not recoverable from the embedding";
+}
+
+TEST(LleTest, RejectsTooFewPoints) {
+  const auto points = RandomPoints(5, 3, 62);
+  LleOptions options;
+  options.neighbors = 5;
+  EXPECT_THROW((void)LocallyLinearEmbedding(points, options), Error);
+}
+
+TEST(MetricsTest, PerfectDetection) {
+  ProvenanceMap tags;
+  tags[0] = ProvenanceTag::kPoisoned;
+  tags[1] = ProvenanceTag::kPoisoned;
+  std::vector<std::vector<QueryMatch>> probes(2);
+  probes[0] = {{0, 0.1, 0, "mallory"}, {1, 0.2, 0, "mallory"}};
+  probes[1] = {{1, 0.1, 0, "mallory"}};
+  const auto eval = EvaluateAccountability(probes, tags, "mallory");
+  EXPECT_DOUBLE_EQ(eval.precision_bad, 1.0);
+  EXPECT_DOUBLE_EQ(eval.recall_poisoned, 1.0);
+  EXPECT_DOUBLE_EQ(eval.source_attribution, 1.0);
+}
+
+TEST(MetricsTest, MixedDetection) {
+  ProvenanceMap tags;
+  tags[0] = ProvenanceTag::kPoisoned;
+  tags[1] = ProvenanceTag::kMislabeled;
+  // ids 2, 3 absent from the map -> normal.
+  std::vector<std::vector<QueryMatch>> probes(2);
+  probes[0] = {{0, 0.1, 0, "mallory"}, {2, 0.2, 0, "honest"}};
+  probes[1] = {{3, 0.1, 0, "honest"}, {1, 0.2, 0, "honest"}};
+  const auto eval = EvaluateAccountability(probes, tags, "mallory");
+  EXPECT_DOUBLE_EQ(eval.precision_bad, 0.5);       // 2 bad of 4 retrieved
+  EXPECT_DOUBLE_EQ(eval.recall_poisoned, 0.5);     // probe 0 only
+  EXPECT_DOUBLE_EQ(eval.source_attribution, 0.0);  // never majority
+}
+
+TEST(MetricsTest, EmptyProbes) {
+  const auto eval = EvaluateAccountability({}, {}, "x");
+  EXPECT_EQ(eval.probes, 0U);
+  EXPECT_DOUBLE_EQ(eval.precision_bad, 0.0);
+}
+
+}  // namespace
+}  // namespace caltrain::linkage

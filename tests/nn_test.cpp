@@ -1,0 +1,630 @@
+// NN substrate tests: kernel correctness, per-layer behaviour, numeric
+// gradient checks against backprop, serialization, and end-to-end
+// learning on a trivially separable problem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/augment.hpp"
+#include "nn/connected.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/kernels.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+#include "nn/presets.hpp"
+#include "nn/softmax.hpp"
+#include "nn/trainer.hpp"
+#include "util/error.hpp"
+
+namespace caltrain::nn {
+namespace {
+
+TEST(ShapeTest, FlatAndEquality) {
+  const Shape s{28, 28, 3};
+  EXPECT_EQ(s.Flat(), 28U * 28U * 3U);
+  EXPECT_EQ(s, (Shape{28, 28, 3}));
+  EXPECT_NE(s, (Shape{28, 28, 4}));
+}
+
+TEST(BatchTest, SampleAccess) {
+  Batch b(2, Shape{2, 2, 1});
+  b.Sample(1)[3] = 5.0F;
+  EXPECT_EQ(b.data[7], 5.0F);
+  EXPECT_EQ(b.SampleSize(), 4U);
+  EXPECT_EQ(b.TotalBytes(), 8U * sizeof(float));
+}
+
+TEST(KernelsTest, GemmSmallKnownResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c_fast[4] = {0, 0, 0, 0};
+  float c_precise[4] = {0, 0, 0, 0};
+  GemmFast(2, 2, 2, a, b, c_fast);
+  GemmPrecise(2, 2, 2, a, b, c_precise);
+  const float expected[] = {19, 22, 43, 50};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(c_fast[i], expected[i]);
+    EXPECT_FLOAT_EQ(c_precise[i], expected[i]);
+  }
+}
+
+TEST(KernelsTest, FastAndPreciseAgree) {
+  Rng rng(77);
+  constexpr std::size_t m = 9, n = 17, k = 13;
+  std::vector<float> a(m * k), b(k * n);
+  for (float& x : a) x = rng.Gaussian();
+  for (float& x : b) x = rng.Gaussian();
+  std::vector<float> c1(m * n, 0.0F), c2(m * n, 0.0F);
+  GemmFast(m, n, k, a.data(), b.data(), c1.data());
+  GemmPrecise(m, n, k, a.data(), b.data(), c2.data());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4F);
+}
+
+TEST(KernelsTest, GemmTransAMatchesExplicit) {
+  Rng rng(78);
+  constexpr std::size_t m = 5, n = 7, k = 4;
+  std::vector<float> a_t(k * m), b(k * n);  // A stored [k x m]
+  for (float& x : a_t) x = rng.Gaussian();
+  for (float& x : b) x = rng.Gaussian();
+  // Explicit transpose + plain GEMM.
+  std::vector<float> a(m * k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j) a[i * k + j] = a_t[j * m + i];
+  std::vector<float> c1(m * n, 0.0F), c2(m * n, 0.0F);
+  GemmPrecise(m, n, k, a.data(), b.data(), c1.data());
+  GemmTransAPrecise(m, n, k, a_t.data(), b.data(), c2.data());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5F);
+}
+
+TEST(KernelsTest, GemmTransBMatchesExplicit) {
+  Rng rng(79);
+  constexpr std::size_t m = 5, n = 7, k = 4;
+  std::vector<float> a(m * k), b_t(n * k);  // B stored [n x k]
+  for (float& x : a) x = rng.Gaussian();
+  for (float& x : b_t) x = rng.Gaussian();
+  std::vector<float> b(k * n);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < n; ++j) b[i * n + j] = b_t[j * k + i];
+  std::vector<float> c1(m * n, 0.0F), c2(m * n, 0.0F);
+  GemmPrecise(m, n, k, a.data(), b.data(), c1.data());
+  GemmTransBPrecise(m, n, k, a.data(), b_t.data(), c2.data());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5F);
+}
+
+TEST(KernelsTest, Im2ColIdentityFor1x1) {
+  // 1x1 kernel with no padding: col == input.
+  const std::vector<float> in = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> col(8, 0.0F);
+  Im2Col(in.data(), 2, 2, 2, 1, 1, 0, col.data());
+  EXPECT_EQ(col, in);
+}
+
+TEST(KernelsTest, Col2ImIsAdjointOfIm2Col) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> for all x, y (adjoint property a
+  // correct gradient scatter must satisfy).
+  Rng rng(80);
+  constexpr int c = 2, h = 5, w = 4, k = 3, stride = 1, pad = 1;
+  const int out_h = h, out_w = w;
+  const std::size_t in_size = static_cast<std::size_t>(c) * h * w;
+  const std::size_t col_size =
+      static_cast<std::size_t>(c) * k * k * out_h * out_w;
+  std::vector<float> x(in_size), y(col_size);
+  for (float& v : x) v = rng.Gaussian();
+  for (float& v : y) v = rng.Gaussian();
+
+  std::vector<float> col(col_size, 0.0F);
+  Im2Col(x.data(), c, h, w, k, stride, pad, col.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < col_size; ++i) lhs += col[i] * y[i];
+
+  std::vector<float> back(in_size, 0.0F);
+  Col2Im(y.data(), c, h, w, k, stride, pad, back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < in_size; ++i) rhs += x[i] * back[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(ConvTest, OutputShapes) {
+  const ConvLayer c3(Shape{28, 28, 3}, 16, 3, 1, Activation::kLeakyRelu);
+  EXPECT_EQ(c3.out_shape(), (Shape{28, 28, 16}));  // same padding
+  const ConvLayer c1(Shape{7, 7, 16}, 10, 1, 1, Activation::kLinear);
+  EXPECT_EQ(c1.out_shape(), (Shape{7, 7, 10}));
+}
+
+TEST(ConvTest, IdentityKernelForward) {
+  // A 1x1 conv with weight 1 and bias 0 copies its input channel.
+  ConvLayer conv(Shape{3, 3, 1}, 1, 1, 1, Activation::kLinear);
+  conv.weights()[0] = 1.0F;
+  Batch in(1, Shape{3, 3, 1});
+  std::iota(in.data.begin(), in.data.end(), 1.0F);
+  Batch out(1, conv.out_shape());
+  LayerContext ctx;
+  conv.Forward(in, out, ctx);
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data[i], in.data[i]);
+  }
+}
+
+TEST(ConvTest, LeakyActivationApplied) {
+  ConvLayer conv(Shape{1, 1, 1}, 1, 1, 1, Activation::kLeakyRelu);
+  conv.weights()[0] = 1.0F;
+  Batch in(1, Shape{1, 1, 1});
+  in.data[0] = -2.0F;
+  Batch out(1, conv.out_shape());
+  LayerContext ctx;
+  conv.Forward(in, out, ctx);
+  EXPECT_FLOAT_EQ(out.data[0], -0.2F);
+}
+
+// Numeric-vs-analytic gradient check through a conv layer feeding a
+// quadratic loss L = 0.5 * sum(out^2), whose dL/dout = out.
+TEST(ConvTest, GradientCheckWeightsAndInput) {
+  Rng rng(42);
+  ConvLayer conv(Shape{5, 5, 2}, 3, 3, 1, Activation::kLeakyRelu);
+  conv.InitWeights(rng);
+  Batch in(1, Shape{5, 5, 2});
+  for (float& x : in.data) x = rng.Gaussian();
+
+  LayerContext ctx;
+  Batch out(1, conv.out_shape());
+  conv.Forward(in, out, ctx);
+  Batch delta_out = out;  // dL/dout = out for the quadratic loss
+  Batch delta_in(1, conv.in_shape());
+  conv.Backward(in, out, delta_out, delta_in, ctx);
+  const std::vector<float> analytic_wgrad = conv.weight_grads();
+
+  const auto loss = [&]() {
+    Batch tmp(1, conv.out_shape());
+    conv.Forward(in, tmp, ctx);
+    double acc = 0.0;
+    for (float v : tmp.data) acc += 0.5 * static_cast<double>(v) * v;
+    return acc;
+  };
+
+  constexpr float kEps = 1e-3F;
+  for (std::size_t wi : {std::size_t{0}, std::size_t{7}, std::size_t{31}}) {
+    const float saved = conv.weights()[wi];
+    conv.weights()[wi] = saved + kEps;
+    const double up = loss();
+    conv.weights()[wi] = saved - kEps;
+    const double down = loss();
+    conv.weights()[wi] = saved;
+    const double numeric = (up - down) / (2.0 * kEps);
+    EXPECT_NEAR(analytic_wgrad[wi], numeric, 2e-2)
+        << "weight index " << wi;
+  }
+
+  // Input gradient.
+  for (std::size_t xi : {std::size_t{0}, std::size_t{12}, std::size_t{49}}) {
+    const float saved = in.data[xi];
+    in.data[xi] = saved + kEps;
+    const double up = loss();
+    in.data[xi] = saved - kEps;
+    const double down = loss();
+    in.data[xi] = saved;
+    const double numeric = (up - down) / (2.0 * kEps);
+    EXPECT_NEAR(delta_in.data[xi], numeric, 2e-2) << "input index " << xi;
+  }
+}
+
+TEST(ConnectedTest, GradientCheck) {
+  Rng rng(43);
+  ConnectedLayer fc(Shape{2, 2, 2}, 5, Activation::kLeakyRelu);
+  fc.InitWeights(rng);
+  Batch in(2, Shape{2, 2, 2});
+  for (float& x : in.data) x = rng.Gaussian();
+
+  LayerContext ctx;
+  Batch out(2, fc.out_shape());
+  fc.Forward(in, out, ctx);
+  Batch delta_out = out;
+  Batch delta_in(2, fc.in_shape());
+  fc.Backward(in, out, delta_out, delta_in, ctx);
+  const std::vector<float> analytic = fc.weight_grads();
+
+  const auto loss = [&]() {
+    Batch tmp(2, fc.out_shape());
+    fc.Forward(in, tmp, ctx);
+    double acc = 0.0;
+    for (float v : tmp.data) acc += 0.5 * static_cast<double>(v) * v;
+    return acc;
+  };
+  constexpr float kEps = 1e-3F;
+  for (std::size_t wi : {std::size_t{0}, std::size_t{11}, std::size_t{39}}) {
+    const float saved = fc.weights()[wi];
+    fc.weights()[wi] = saved + kEps;
+    const double up = loss();
+    fc.weights()[wi] = saved - kEps;
+    const double down = loss();
+    fc.weights()[wi] = saved;
+    EXPECT_NEAR(analytic[wi], (up - down) / (2.0 * kEps), 2e-2);
+  }
+}
+
+TEST(MaxPoolTest, ForwardPicksMaxAndBackwardRoutes) {
+  MaxPoolLayer pool(Shape{4, 4, 1}, 2, 2);
+  Batch in(1, Shape{4, 4, 1});
+  std::iota(in.data.begin(), in.data.end(), 1.0F);  // 1..16 row-major
+  Batch out(1, pool.out_shape());
+  LayerContext ctx;
+  pool.Forward(in, out, ctx);
+  EXPECT_EQ(out.shape, (Shape{2, 2, 1}));
+  EXPECT_FLOAT_EQ(out.data[0], 6.0F);
+  EXPECT_FLOAT_EQ(out.data[1], 8.0F);
+  EXPECT_FLOAT_EQ(out.data[2], 14.0F);
+  EXPECT_FLOAT_EQ(out.data[3], 16.0F);
+
+  Batch delta_out(1, pool.out_shape());
+  delta_out.data = {1.0F, 2.0F, 3.0F, 4.0F};
+  Batch delta_in(1, pool.in_shape());
+  pool.Backward(in, out, delta_out, delta_in, ctx);
+  // Gradient lands only on the argmax positions.
+  EXPECT_FLOAT_EQ(delta_in.data[5], 1.0F);   // value 6
+  EXPECT_FLOAT_EQ(delta_in.data[7], 2.0F);   // value 8
+  EXPECT_FLOAT_EQ(delta_in.data[13], 3.0F);  // value 14
+  EXPECT_FLOAT_EQ(delta_in.data[15], 4.0F);  // value 16
+  double total = 0.0;
+  for (float v : delta_in.data) total += v;
+  EXPECT_NEAR(total, 10.0, 1e-6);
+}
+
+TEST(AvgPoolTest, ForwardMeanBackwardUniform) {
+  AvgPoolLayer pool(Shape{2, 2, 2});
+  Batch in(1, Shape{2, 2, 2});
+  in.data = {1, 2, 3, 4, 10, 20, 30, 40};
+  Batch out(1, pool.out_shape());
+  LayerContext ctx;
+  pool.Forward(in, out, ctx);
+  EXPECT_FLOAT_EQ(out.data[0], 2.5F);
+  EXPECT_FLOAT_EQ(out.data[1], 25.0F);
+
+  Batch delta_out(1, pool.out_shape());
+  delta_out.data = {4.0F, 8.0F};
+  Batch delta_in(1, pool.in_shape());
+  pool.Backward(in, out, delta_out, delta_in, ctx);
+  EXPECT_FLOAT_EQ(delta_in.data[0], 1.0F);
+  EXPECT_FLOAT_EQ(delta_in.data[4], 2.0F);
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  DropoutLayer drop(Shape{4, 4, 1}, 0.5F);
+  Batch in(1, Shape{4, 4, 1});
+  std::iota(in.data.begin(), in.data.end(), 1.0F);
+  Batch out(1, drop.out_shape());
+  LayerContext ctx;  // training = false
+  drop.Forward(in, out, ctx);
+  EXPECT_EQ(out.data, in.data);
+}
+
+TEST(DropoutTest, TrainModeZerosAndScales) {
+  DropoutLayer drop(Shape{10, 10, 4}, 0.5F);
+  Batch in(1, Shape{10, 10, 4});
+  std::fill(in.data.begin(), in.data.end(), 1.0F);
+  Batch out(1, drop.out_shape());
+  Rng rng(5);
+  LayerContext ctx;
+  ctx.training = true;
+  ctx.rng = &rng;
+  drop.Forward(in, out, ctx);
+  int zeros = 0, scaled = 0;
+  for (float v : out.data) {
+    if (v == 0.0F) ++zeros;
+    else if (std::abs(v - 2.0F) < 1e-6F) ++scaled;
+    else FAIL() << "unexpected dropout output " << v;
+  }
+  EXPECT_GT(zeros, 100);
+  EXPECT_GT(scaled, 100);
+
+  // Backward uses the same mask.
+  Batch delta_out(1, drop.out_shape());
+  std::fill(delta_out.data.begin(), delta_out.data.end(), 1.0F);
+  Batch delta_in(1, drop.in_shape());
+  drop.Backward(in, out, delta_out, delta_in, ctx);
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    EXPECT_EQ(delta_in.data[i] == 0.0F, out.data[i] == 0.0F);
+  }
+}
+
+TEST(SoftmaxCostTest, LossOfUniformLogitsIsLogN) {
+  NetworkSpec spec;
+  spec.input = Shape{1, 1, 4};
+  spec.layers = {LayerSpec{.kind = LayerKind::kSoftmax},
+                 LayerSpec{.kind = LayerKind::kCost}};
+  Network net(spec);
+  Batch in(1, Shape{1, 1, 4});
+  std::fill(in.data.begin(), in.data.end(), 0.0F);
+  std::vector<int> labels = {2};
+  LayerContext ctx;
+  ctx.labels = &labels;
+  net.ForwardRange(&in, 0, net.NumLayers(), ctx);
+  EXPECT_NEAR(net.LastLoss(), std::log(4.0F), 1e-5F);
+}
+
+TEST(SoftmaxCostTest, CombinedGradientIsProbsMinusOneHot) {
+  NetworkSpec spec;
+  spec.input = Shape{1, 1, 3};
+  spec.layers = {LayerSpec{.kind = LayerKind::kSoftmax},
+                 LayerSpec{.kind = LayerKind::kCost}};
+  Network net(spec);
+  Batch in(1, Shape{1, 1, 3});
+  in.data = {1.0F, 2.0F, 3.0F};
+  std::vector<int> labels = {0};
+  LayerContext ctx;
+  ctx.training = true;
+  ctx.labels = &labels;
+  net.ForwardRange(&in, 0, net.NumLayers(), ctx);
+  net.BackwardRange(0, net.NumLayers(), ctx);
+  const Batch& probs = net.ActivationAt(0);
+  // Delta entering the softmax (= what a preceding layer would see) is
+  // probs - onehot.
+  const Batch& delta = net.DeltaAt(0);
+  // DeltaAt(0) is dL/d(softmax output) which equals the cost layer's
+  // pass-down (probs - onehot) by the pairing convention.
+  EXPECT_NEAR(delta.data[0], probs.data[0] - 1.0F, 1e-6F);
+  EXPECT_NEAR(delta.data[1], probs.data[1], 1e-6F);
+  EXPECT_NEAR(delta.data[2], probs.data[2], 1e-6F);
+}
+
+TEST(NetworkTest, CostWithoutSoftmaxRejected) {
+  NetworkSpec spec;
+  spec.input = Shape{1, 1, 3};
+  spec.layers = {LayerSpec{.kind = LayerKind::kCost}};
+  EXPECT_THROW(Network net(spec), Error);
+}
+
+TEST(NetworkTest, Table1ShapesMatchPaper) {
+  Rng rng(1);
+  Network net = BuildNetwork(Table1Spec(), rng);
+  ASSERT_EQ(net.NumLayers(), 10);
+  EXPECT_EQ(net.layer(0).out_shape(), (Shape{28, 28, 128}));
+  EXPECT_EQ(net.layer(1).out_shape(), (Shape{28, 28, 128}));
+  EXPECT_EQ(net.layer(2).out_shape(), (Shape{14, 14, 128}));
+  EXPECT_EQ(net.layer(3).out_shape(), (Shape{14, 14, 64}));
+  EXPECT_EQ(net.layer(4).out_shape(), (Shape{7, 7, 64}));
+  EXPECT_EQ(net.layer(5).out_shape(), (Shape{7, 7, 128}));
+  EXPECT_EQ(net.layer(6).out_shape(), (Shape{7, 7, 10}));
+  EXPECT_EQ(net.layer(7).out_shape(), (Shape{1, 1, 10}));
+  EXPECT_EQ(net.NumClasses(), 10);
+  EXPECT_EQ(net.PenultimateIndex(), 7);  // avg pool output is the embedding
+}
+
+TEST(NetworkTest, Table2ShapesMatchPaper) {
+  Rng rng(1);
+  Network net = BuildNetwork(Table2Spec(), rng);
+  ASSERT_EQ(net.NumLayers(), 18);
+  EXPECT_EQ(net.layer(2).out_shape(), (Shape{28, 28, 128}));
+  EXPECT_EQ(net.layer(3).out_shape(), (Shape{14, 14, 128}));
+  EXPECT_EQ(net.layer(7).out_shape(), (Shape{14, 14, 256}));
+  EXPECT_EQ(net.layer(8).out_shape(), (Shape{7, 7, 256}));
+  EXPECT_EQ(net.layer(12).out_shape(), (Shape{7, 7, 512}));
+  EXPECT_EQ(net.layer(14).out_shape(), (Shape{7, 7, 10}));
+  EXPECT_EQ(net.layer(15).out_shape(), (Shape{1, 1, 10}));
+}
+
+TEST(NetworkTest, ScaledPresetKeepsTopology) {
+  Rng rng(1);
+  Network net = BuildNetwork(Table2Spec(8), rng);
+  ASSERT_EQ(net.NumLayers(), 18);
+  EXPECT_EQ(net.layer(0).out_shape().c, 16);
+  EXPECT_EQ(net.layer(14).out_shape().c, 10);  // class conv never scaled
+}
+
+TEST(NetworkTest, SerializationRoundTripPreservesPredictions) {
+  Rng rng(21);
+  Network net = BuildNetwork(Table1Spec(16), rng);
+  Image img(Shape{28, 28, 3});
+  for (float& p : img.pixels) p = rng.UniformFloat();
+  const auto before = net.PredictOne(img);
+  const Bytes blob = net.SerializeModel();
+  Network restored = Network::DeserializeModel(blob);
+  const auto after = restored.PredictOne(img);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(NetworkTest, WeightRangeRoundTrip) {
+  Rng rng(22);
+  Network a = BuildNetwork(Table1Spec(16), rng);
+  Network b = BuildNetwork(Table1Spec(16), rng);  // different init
+  // Copy layers [0, 2) (the FrontNet) from a to b.
+  const Bytes blob = a.SerializeWeightRange(0, 2);
+  b.DeserializeWeightRange(0, 2, blob);
+  EXPECT_EQ(b.SerializeWeightRange(0, 2), blob);
+  EXPECT_NE(b.SerializeWeightRange(2, 7), a.SerializeWeightRange(2, 7));
+}
+
+TEST(NetworkTest, FlopsAccountingMonotone) {
+  Rng rng(23);
+  Network net = BuildNetwork(Table2Spec(8), rng);
+  const auto front = net.FlopsPerSample(0, 4);
+  const auto all = net.FlopsPerSample(0, net.NumLayers());
+  EXPECT_GT(front, 0U);
+  EXPECT_GT(all, front);
+  EXPECT_GT(net.WeightBytes(0, net.NumLayers()), net.WeightBytes(0, 1));
+}
+
+TEST(NetworkTest, PartitionedForwardMatchesFullForward) {
+  // Running [0,k) then [k,N) must equal a single full pass (eval mode).
+  Rng rng(24);
+  Network net = BuildNetwork(Table1Spec(16), rng);
+  Batch in(3, Shape{28, 28, 3});
+  for (float& x : in.data) x = rng.UniformFloat();
+
+  LayerContext ctx;
+  net.ForwardRange(&in, 0, net.NumLayers(), ctx);
+  const std::vector<float> full = net.ActivationAt(8).data;  // softmax out
+
+  net.ForwardRange(&in, 0, 2, ctx);
+  net.ForwardRange(nullptr, 2, net.NumLayers(), ctx);
+  const std::vector<float> split = net.ActivationAt(8).data;
+  ASSERT_EQ(full.size(), split.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_FLOAT_EQ(full[i], split[i]);
+  }
+}
+
+TEST(TrainerTest, LearnsSeparableProblem) {
+  // Two classes distinguished by mean intensity: class 0 dark, class 1
+  // bright.  A Table-1-style tiny net must reach >= 90% top-1 quickly.
+  Rng rng(31);
+  std::vector<Image> train_images, test_images;
+  std::vector<int> train_labels, test_labels;
+  const auto make = [&](int label) {
+    Image img(Shape{28, 28, 3});
+    const float base = label == 0 ? 0.2F : 0.8F;
+    for (float& p : img.pixels) p = base + 0.1F * rng.Gaussian();
+    return img;
+  };
+  for (int i = 0; i < 120; ++i) {
+    const int label = i % 2;
+    train_images.push_back(make(label));
+    train_labels.push_back(label);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2;
+    test_images.push_back(make(label));
+    test_labels.push_back(label);
+  }
+
+  Network net = BuildNetwork(Table1Spec(32, 2), rng);
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+  options.sgd.learning_rate = 0.05F;
+  options.augment = false;
+  options.seed = 99;
+  const auto history = TrainNetwork(net, train_images, train_labels,
+                                    test_images, test_labels, options);
+  ASSERT_EQ(history.size(), 3U);
+  EXPECT_GE(history.back().top1, 0.9);
+  EXPECT_GE(history.back().top2, 0.999);  // 2 classes -> top2 is always hit
+}
+
+TEST(TrainerTest, EvaluateTopKBounds) {
+  Rng rng(32);
+  Network net = BuildNetwork(Table1Spec(32, 2), rng);
+  std::vector<Image> images(4, Image(Shape{28, 28, 3}));
+  std::vector<int> labels = {0, 1, 0, 1};
+  const double top1 = EvaluateTopK(net, images, labels, 1);
+  const double top2 = EvaluateTopK(net, images, labels, 2);
+  EXPECT_GE(top1, 0.0);
+  EXPECT_LE(top1, 1.0);
+  EXPECT_NEAR(top2, 1.0, 1e-9);
+}
+
+TEST(AugmentTest, FlipIsInvolution) {
+  Rng rng(33);
+  Image img(Shape{8, 8, 3});
+  for (float& p : img.pixels) p = rng.UniformFloat();
+  const Image back = FlipHorizontal(FlipHorizontal(img));
+  EXPECT_EQ(back.pixels, img.pixels);
+}
+
+TEST(AugmentTest, RotateZeroIsIdentity) {
+  Rng rng(34);
+  Image img(Shape{8, 8, 1});
+  for (float& p : img.pixels) p = rng.UniformFloat();
+  const Image rotated = Rotate(img, 0.0F);
+  for (std::size_t i = 0; i < img.pixels.size(); ++i) {
+    EXPECT_NEAR(rotated.pixels[i], img.pixels[i], 1e-5F);
+  }
+}
+
+TEST(AugmentTest, TranslateMovesPixels) {
+  Image img(Shape{4, 4, 1});
+  img.At(0, 1, 1) = 1.0F;
+  const Image shifted = Translate(img, 1, 2);
+  EXPECT_FLOAT_EQ(shifted.At(0, 3, 2), 1.0F);
+  EXPECT_FLOAT_EQ(shifted.At(0, 1, 1), 0.0F);
+}
+
+TEST(AugmentTest, BrightnessContrastClamps) {
+  Image img(Shape{2, 2, 1});
+  img.pixels = {0.0F, 0.5F, 0.9F, 1.0F};
+  const Image out = AdjustBrightnessContrast(img, 0.5F, 1.0F);
+  for (float p : out.pixels) {
+    EXPECT_GE(p, 0.0F);
+    EXPECT_LE(p, 1.0F);
+  }
+  EXPECT_FLOAT_EQ(out.pixels[0], 0.5F);
+  EXPECT_FLOAT_EQ(out.pixels[3], 1.0F);
+}
+
+TEST(AugmentTest, AugmentIsDeterministicGivenRng) {
+  Image img(Shape{8, 8, 3});
+  Rng fill(35);
+  for (float& p : img.pixels) p = fill.UniformFloat();
+  Rng a(7), b(7);
+  const AugmentOptions options;
+  const Image out_a = Augment(img, options, a);
+  const Image out_b = Augment(img, options, b);
+  EXPECT_EQ(out_a.pixels, out_b.pixels);
+}
+
+
+TEST(NetworkEdgeTest, EmbeddingAtLayerBounds) {
+  Rng rng(200);
+  Network net = BuildNetwork(Table1Spec(32), rng);
+  Image img(Shape{28, 28, 3});
+  EXPECT_THROW((void)net.EmbeddingAtLayer(img, -1), Error);
+  EXPECT_THROW((void)net.EmbeddingAtLayer(img, 99), Error);
+  const auto early = net.EmbeddingAtLayer(img, 0);
+  EXPECT_EQ(early.size(), net.layer(0).out_shape().Flat());
+}
+
+TEST(NetworkEdgeTest, ArchitectureTableListsEveryLayer) {
+  Rng rng(201);
+  Network net = BuildNetwork(Table2Spec(32), rng);
+  const std::string table = net.ArchitectureTable();
+  EXPECT_NE(table.find("conv"), std::string::npos);
+  EXPECT_NE(table.find("dropout"), std::string::npos);
+  EXPECT_NE(table.find("softmax"), std::string::npos);
+  // 18 data rows + header.
+  EXPECT_EQ(static_cast<int>(std::count(table.begin(), table.end(),
+                                        '\n')),
+            19);
+}
+
+TEST(NetworkEdgeTest, ForwardRangeValidatesInput) {
+  Rng rng(202);
+  Network net = BuildNetwork(Table1Spec(32), rng);
+  LayerContext ctx;
+  Batch wrong_shape(1, Shape{8, 8, 3});
+  EXPECT_THROW(net.ForwardRange(&wrong_shape, 0, 2, ctx), Error);
+  EXPECT_THROW(net.ForwardRange(nullptr, 0, 2, ctx), Error);
+  Batch ok(1, Shape{28, 28, 3});
+  EXPECT_THROW(net.ForwardRange(&ok, 2, 1, ctx), Error);  // bad range
+}
+
+TEST(NetworkEdgeTest, DeserializeRejectsCorruptBlob) {
+  Rng rng(203);
+  Network net = BuildNetwork(Table1Spec(32), rng);
+  Bytes blob = net.SerializeModel();
+  blob.resize(blob.size() / 2);  // truncate
+  EXPECT_THROW((void)Network::DeserializeModel(blob), Error);
+  Bytes extended = net.SerializeModel();
+  extended.push_back(0x00);  // trailing garbage
+  EXPECT_THROW((void)Network::DeserializeModel(extended), Error);
+}
+
+TEST(FaceNetSpecTest, ShapesAndPenultimate) {
+  Rng rng(204);
+  Network net = BuildNetwork(FaceNetSpec(Shape{32, 32, 3}, 8, 64, 8), rng);
+  EXPECT_EQ(net.NumClasses(), 8);
+  // Penultimate is the identity-logits FC (VGG-Face fc8 analog).
+  EXPECT_EQ(net.layer(net.PenultimateIndex()).out_shape(),
+            (Shape{1, 1, 8}));
+  // The wide embedding FC sits directly before it.
+  EXPECT_EQ(net.layer(net.PenultimateIndex() - 1).out_shape(),
+            (Shape{1, 1, 64}));
+}
+
+}  // namespace
+}  // namespace caltrain::nn

@@ -1,0 +1,239 @@
+// Secure channel tests: handshake success path, every attestation /
+// binding failure path, key agreement, and record-layer properties
+// (round trip, tamper rejection, replay rejection, ordering).
+#include <gtest/gtest.h>
+
+#include "securechannel/handshake.hpp"
+#include "securechannel/record.hpp"
+#include "util/error.hpp"
+#include "util/serial.hpp"
+
+namespace caltrain::securechannel {
+namespace {
+
+struct Fixture {
+  enclave::EnclaveConfig config;
+  enclave::Enclave enclave;
+  enclave::AttestationService service;
+  crypto::HmacDrbg client_drbg;
+
+  Fixture()
+      : config(MakeConfig()),
+        enclave(config),
+        service(101),
+        client_drbg(BytesOf("client entropy"), BytesOf("participant-A")) {}
+
+  static enclave::EnclaveConfig MakeConfig() {
+    enclave::EnclaveConfig c;
+    c.name = "training-enclave";
+    c.code_identity = BytesOf("audited training pipeline v1");
+    c.seed = 3;
+    return c;
+  }
+};
+
+TEST(HandshakeTest, CompletesAndAgreesOnKeys) {
+  Fixture f;
+  ServerHandshake server(f.enclave, f.service);
+  ClientHandshake client(f.service.public_key(), f.enclave.measurement(),
+                         f.client_drbg);
+
+  const Bytes hello = client.Hello();
+  const Bytes server_hello = server.OnClientHello(hello);
+  const Bytes finished = client.OnServerHello(server_hello);
+  ASSERT_TRUE(server.OnClientFinished(finished));
+
+  ASSERT_TRUE(client.complete());
+  ASSERT_TRUE(server.complete());
+  EXPECT_EQ(client.keys().client_write_key, server.keys().client_write_key);
+  EXPECT_EQ(client.keys().server_write_key, server.keys().server_write_key);
+  EXPECT_NE(client.keys().client_write_key, client.keys().server_write_key);
+  EXPECT_EQ(client.keys().client_write_key.size(), 32U);
+}
+
+TEST(HandshakeTest, CountsEnclaveTransitions) {
+  Fixture f;
+  ServerHandshake server(f.enclave, f.service);
+  ClientHandshake client(f.service.public_key(), f.enclave.measurement(),
+                         f.client_drbg);
+  (void)server.OnClientHello(client.Hello());
+  EXPECT_GE(f.enclave.transitions().ecalls, 1U);
+}
+
+TEST(HandshakeTest, RejectsWrongMeasurement) {
+  Fixture f;
+  ServerHandshake server(f.enclave, f.service);
+  crypto::Sha256Digest wrong = f.enclave.measurement();
+  wrong[5] ^= 0xff;
+  ClientHandshake client(f.service.public_key(), wrong, f.client_drbg);
+  const Bytes server_hello = server.OnClientHello(client.Hello());
+  try {
+    (void)client.OnServerHello(server_hello);
+    FAIL() << "expected kAuthFailure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kAuthFailure);
+  }
+}
+
+TEST(HandshakeTest, RejectsRogueAttestationService) {
+  Fixture f;
+  enclave::AttestationService rogue(999);
+  ServerHandshake server(f.enclave, rogue);  // enclave quoted by rogue CPU
+  ClientHandshake client(f.service.public_key(), f.enclave.measurement(),
+                         f.client_drbg);
+  const Bytes server_hello = server.OnClientHello(client.Hello());
+  EXPECT_THROW((void)client.OnServerHello(server_hello), Error);
+}
+
+TEST(HandshakeTest, RejectsSplicedServerKey) {
+  // A MITM replaces the server DH key inside ServerHello; the quote
+  // binding must catch it.
+  Fixture f;
+  ServerHandshake server(f.enclave, f.service);
+  ClientHandshake client(f.service.public_key(), f.enclave.measurement(),
+                         f.client_drbg);
+  const Bytes server_hello = server.OnClientHello(client.Hello());
+
+  // Re-parse and swap in an attacker DH key, keeping the quote.
+  ByteReader outer(server_hello);
+  const Bytes core = outer.ReadBytes();
+  const Bytes mac = outer.ReadBytes();
+  ByteReader core_reader(core);
+  (void)core_reader.ReadBytes();  // original server pub
+  const Bytes nonce = core_reader.ReadBytes();
+  const Bytes quote = core_reader.ReadBytes();
+
+  crypto::HmacDrbg mitm_drbg(BytesOf("mitm"));
+  const crypto::DhKeyPair mitm = crypto::DhGenerate(mitm_drbg);
+  ByteWriter evil_core;
+  evil_core.WriteBytes(crypto::U128ToBytes(mitm.public_value));
+  evil_core.WriteBytes(nonce);
+  evil_core.WriteBytes(quote);
+  ByteWriter evil;
+  evil.WriteBytes(evil_core.data());
+  evil.WriteBytes(mac);
+
+  try {
+    (void)client.OnServerHello(evil.data());
+    FAIL() << "expected kAuthFailure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kAuthFailure);
+  }
+}
+
+TEST(HandshakeTest, RejectsBadClientFinished) {
+  Fixture f;
+  ServerHandshake server(f.enclave, f.service);
+  ClientHandshake client(f.service.public_key(), f.enclave.measurement(),
+                         f.client_drbg);
+  const Bytes server_hello = server.OnClientHello(client.Hello());
+  Bytes finished = client.OnServerHello(server_hello);
+  finished[0] ^= 0x01;
+  EXPECT_FALSE(server.OnClientFinished(finished));
+  EXPECT_THROW((void)server.keys(), Error);
+}
+
+TEST(HandshakeTest, DistinctSessionsGetDistinctKeys) {
+  Fixture f;
+  SessionKeys first;
+  {
+    ServerHandshake server(f.enclave, f.service);
+    ClientHandshake client(f.service.public_key(), f.enclave.measurement(),
+                           f.client_drbg);
+    const Bytes sh = server.OnClientHello(client.Hello());
+    ASSERT_TRUE(server.OnClientFinished(client.OnServerHello(sh)));
+    first = server.keys();
+  }
+  ServerHandshake server(f.enclave, f.service);
+  ClientHandshake client(f.service.public_key(), f.enclave.measurement(),
+                         f.client_drbg);
+  const Bytes sh = server.OnClientHello(client.Hello());
+  ASSERT_TRUE(server.OnClientFinished(client.OnServerHello(sh)));
+  EXPECT_NE(first.client_write_key, server.keys().client_write_key);
+}
+
+class RecordTest : public ::testing::Test {
+ protected:
+  RecordTest() : writer_(Key()), reader_(Key()) {}
+  static Bytes Key() { return Bytes(32, 0x7e); }
+  RecordWriter writer_;
+  RecordReader reader_;
+};
+
+TEST_F(RecordTest, RoundTrip) {
+  const Bytes msg = BytesOf("encrypted training batch");
+  const Bytes record = writer_.Protect(msg);
+  const auto out = reader_.Unprotect(record);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST_F(RecordTest, AadMismatchRejected) {
+  const Bytes record = writer_.Protect(BytesOf("data"), BytesOf("src-A"));
+  EXPECT_FALSE(reader_.Unprotect(record, BytesOf("src-B")).has_value());
+}
+
+TEST_F(RecordTest, TamperRejected) {
+  Bytes record = writer_.Protect(BytesOf("data"));
+  record[record.size() - 1] ^= 0x01;
+  EXPECT_FALSE(reader_.Unprotect(record).has_value());
+}
+
+TEST_F(RecordTest, ReplayRejected) {
+  const Bytes record = writer_.Protect(BytesOf("data"));
+  ASSERT_TRUE(reader_.Unprotect(record).has_value());
+  EXPECT_FALSE(reader_.Unprotect(record).has_value());
+}
+
+TEST_F(RecordTest, ReorderRejected) {
+  const Bytes r0 = writer_.Protect(BytesOf("first"));
+  const Bytes r1 = writer_.Protect(BytesOf("second"));
+  EXPECT_FALSE(reader_.Unprotect(r1).has_value());  // out of order
+  // In-order delivery still works afterwards.
+  EXPECT_TRUE(reader_.Unprotect(r0).has_value());
+  EXPECT_TRUE(reader_.Unprotect(r1).has_value());
+}
+
+TEST_F(RecordTest, ManyRecordsKeepOrder) {
+  for (int i = 0; i < 50; ++i) {
+    const Bytes msg = BytesOf("record " + std::to_string(i));
+    const auto out = reader_.Unprotect(writer_.Protect(msg));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, msg);
+  }
+  EXPECT_EQ(writer_.records_sent(), 50U);
+  EXPECT_EQ(reader_.records_received(), 50U);
+}
+
+TEST_F(RecordTest, GarbageRejectedWithoutThrow) {
+  EXPECT_FALSE(reader_.Unprotect(BytesOf("garbage")).has_value());
+  EXPECT_FALSE(reader_.Unprotect({}).has_value());
+}
+
+TEST(RecordKeysTest, EndToEndOverHandshakeKeys) {
+  // Full pipeline: handshake, then the client provisions a key over the
+  // channel and the server reads it — the paper's key-provisioning step.
+  enclave::EnclaveConfig config;
+  config.name = "training-enclave";
+  config.code_identity = BytesOf("audited code");
+  config.seed = 5;
+  enclave::Enclave enclave(config);
+  enclave::AttestationService service(55);
+  crypto::HmacDrbg drbg(BytesOf("participant entropy"));
+
+  ServerHandshake server(enclave, service);
+  ClientHandshake client(service.public_key(), enclave.measurement(), drbg);
+  const Bytes sh = server.OnClientHello(client.Hello());
+  ASSERT_TRUE(server.OnClientFinished(client.OnServerHello(sh)));
+
+  RecordWriter client_writer(client.keys().client_write_key);
+  RecordReader server_reader(server.keys().client_write_key);
+  const Bytes data_key = BytesOf("participant-symmetric-data-key-32b");
+  const auto received =
+      server_reader.Unprotect(client_writer.Protect(data_key));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, data_key);
+}
+
+}  // namespace
+}  // namespace caltrain::securechannel
