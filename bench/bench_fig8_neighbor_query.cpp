@@ -9,9 +9,13 @@
 //   (3) a trojaned image of the identity that also pollutes the class
 //       as mislabeled data retrieves a mix of TROJANED and MISLABELED
 //       records.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_trojan_common.hpp"
+#include "util/stopwatch.hpp"
+#include "util/threadpool.hpp"
 
 using namespace caltrain;
 
@@ -63,5 +67,65 @@ int main(int argc, char** argv) {
   std::printf("\nforensic follow-up: the sources above are the participants\n"
               "CalTrain would solicit; turned-in data is verified against\n"
               "the linkage hash digest H before analysis.\n");
-  return 0;
+
+  // --- serial vs parallel batched queries --------------------------------
+  // A production query stage answers many mispredictions at once; the
+  // batched API fans the kNN lookups across the thread pool.  Results
+  // are asserted element-wise identical to the serial path.
+  std::vector<nn::Image> probes;
+  for (int round = 0; round < 8; ++round) {
+    for (int id = 0; id < profile.identities; ++id) {
+      probes.push_back(attack::ApplyTrigger(lab->faces.Sample(id, rng)));
+    }
+  }
+  std::vector<core::MispredictionReport> serial_reports;
+  double serial_ms = 0.0;
+  {
+    util::ScopedThreads one(1);
+    Stopwatch timer;
+    serial_reports = lab->query->InvestigateBatch(probes, 9);
+    serial_ms = timer.ElapsedMillis();
+  }
+  const unsigned parallel_threads =
+      std::max(2U, util::Parallelism::DefaultThreads());
+  std::vector<core::MispredictionReport> parallel_reports;
+  double parallel_ms = 0.0;
+  {
+    util::ScopedThreads many(parallel_threads);
+    Stopwatch timer;
+    parallel_reports = lab->query->InvestigateBatch(probes, 9);
+    parallel_ms = timer.ElapsedMillis();
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < serial_reports.size(); ++i) {
+    if (serial_reports[i].predicted_label !=
+        parallel_reports[i].predicted_label) {
+      ++mismatches;
+      continue;
+    }
+    const auto& a = serial_reports[i].neighbors;
+    const auto& b = parallel_reports[i].neighbors;
+    if (a.size() != b.size()) {
+      ++mismatches;
+      continue;
+    }
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      if (a[r].id != b[r].id || a[r].distance != b[r].distance) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  std::printf("\nbatched query throughput (%zu probes, k=9)\n", probes.size());
+  std::printf("  %-22s %-10s %s\n", "mode", "ms", "probes/s");
+  std::printf("  %-22s %-10.2f %.0f\n", "serial (threads=1)", serial_ms,
+              1e3 * static_cast<double>(probes.size()) / serial_ms);
+  std::printf("  %-22s %-10.2f %.0f\n",
+              ("parallel (threads=" + std::to_string(parallel_threads) + ")")
+                  .c_str(),
+              parallel_ms,
+              1e3 * static_cast<double>(probes.size()) / parallel_ms);
+  std::printf("  element-wise mismatches vs serial: %zu%s\n", mismatches,
+              mismatches == 0 ? " (identical)" : "  ** DIVERGED **");
+  return mismatches == 0 ? 0 : 1;
 }

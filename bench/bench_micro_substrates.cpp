@@ -12,11 +12,15 @@
 #include "crypto/sha256.hpp"
 #include "enclave/attestation.hpp"
 #include "enclave/enclave.hpp"
+#include "linkage/fingerprint.hpp"
 #include "linkage/vptree.hpp"
 #include "nn/kernels.hpp"
+#include "nn/network.hpp"
+#include "nn/presets.hpp"
 #include "securechannel/handshake.hpp"
 #include "securechannel/record.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain {
 namespace {
@@ -195,6 +199,59 @@ void BM_GemmTransBPrecise(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTransBPrecise)->Arg(64)->Arg(128);
 
+// Serial-vs-parallel comparison for the row-blocked parallel GEMM
+// runtime (util::ParallelFor over contiguous row blocks).  threads=1 is
+// the pre-threading serial kernel bit-for-bit; the 256^3 shape is the
+// ISSUE-1 acceptance point (>= 2x at >= 4 cores).
+void BM_GemmFastThreads(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  util::ScopedThreads guard(threads);
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0F);
+  for (float& x : a) x = rng.Gaussian();
+  for (float& x : b) x = rng.Gaussian();
+  for (auto _ : state) {
+    nn::GemmFast(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmFastThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->UseRealTime();
+
+// Fingerprint extraction, serial vs parallel: the FingerprintAll
+// phase-2 pattern (one model replica per worker block, every record's
+// arithmetic identical to serial).
+void BM_FingerprintExtractThreads(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  util::ScopedThreads guard(threads);
+  Rng rng(5);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(32), rng);
+  const int layer = net.PenultimateIndex();
+  std::vector<nn::Image> images(64, nn::Image(nn::Shape{28, 28, 3}));
+  for (nn::Image& img : images) {
+    for (float& p : img.pixels) p = rng.UniformFloat();
+  }
+  for (auto _ : state) {
+    std::vector<linkage::Fingerprint> fingerprints =
+        linkage::ExtractFingerprintsBatch(
+            net, layer, images.size(),
+            [&](std::size_t i) -> const nn::Image& { return images[i]; });
+    benchmark::DoNotOptimize(fingerprints.data());
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(images.size()));
+}
+BENCHMARK(BM_FingerprintExtractThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_VpTreeQuery(benchmark::State& state) {
   Rng rng(2);
   const std::size_t count = static_cast<std::size_t>(state.range(0));
@@ -210,6 +267,34 @@ void BM_VpTreeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VpTreeQuery)->Arg(1000)->Arg(10000);
+
+// Batched kNN, serial vs parallel, over the same VP-tree.
+void BM_VpTreeQueryBatchThreads(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  util::ScopedThreads guard(threads);
+  Rng rng(2);
+  std::vector<std::vector<float>> points(count, std::vector<float>(64));
+  for (auto& p : points) {
+    for (float& x : p) x = rng.Gaussian();
+  }
+  const linkage::VpTree tree(points);
+  std::vector<std::vector<float>> queries(256, std::vector<float>(64));
+  for (auto& q : queries) {
+    for (float& x : q) x = rng.Gaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.SearchBatch(queries, 9));
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_VpTreeQueryBatchThreads)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->UseRealTime();
 
 void BM_BruteForceQuery(benchmark::State& state) {
   Rng rng(2);

@@ -25,6 +25,29 @@ MispredictionReport QueryService::Investigate(const nn::Image& input,
   return report;
 }
 
+std::vector<MispredictionReport> QueryService::InvestigateBatch(
+    const std::vector<nn::Image>& inputs, std::size_t k) {
+  std::vector<MispredictionReport> reports(inputs.size());
+  std::vector<linkage::Fingerprint> fingerprints(inputs.size());
+  std::vector<int> labels(inputs.size());
+  // Prediction and fingerprinting mutate the model's cached
+  // activations, so they run serially; the kNN lookups fan out below.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::vector<float> probs = model_.PredictOne(inputs[i]);
+    reports[i].predicted_label = static_cast<int>(ArgMax(probs));
+    reports[i].fingerprint =
+        linkage::ExtractFingerprintAt(model_, inputs[i], fingerprint_layer_);
+    fingerprints[i] = reports[i].fingerprint;
+    labels[i] = reports[i].predicted_label;
+  }
+  std::vector<std::vector<linkage::QueryMatch>> neighbors =
+      database_.QueryNearestBatch(fingerprints, labels, k);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    reports[i].neighbors = std::move(neighbors[i]);
+  }
+  return reports;
+}
+
 bool QueryService::VerifyTurnedInData(std::uint64_t tuple_id,
                                       const nn::Image& image,
                                       int label) const {

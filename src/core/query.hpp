@@ -34,6 +34,12 @@ class QueryService {
   [[nodiscard]] MispredictionReport Investigate(const nn::Image& input,
                                                 std::size_t k);
 
+  /// Batched Investigate: predicts and fingerprints each input against
+  /// the held model, then answers every kNN lookup through the parallel
+  /// batched database query.  result[i] == Investigate(inputs[i], k).
+  [[nodiscard]] std::vector<MispredictionReport> InvestigateBatch(
+      const std::vector<nn::Image>& inputs, std::size_t k);
+
   /// Verifies data turned in by a participant against the linkage hash.
   [[nodiscard]] bool VerifyTurnedInData(std::uint64_t tuple_id,
                                         const nn::Image& image,

@@ -4,6 +4,7 @@
 
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::core {
 
@@ -236,18 +237,59 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
   // enclosed in the fingerprinting enclave (paper Sec. IV-C).
   const enclave::RegionId model_region = fingerprint_enclave_->epc().Allocate(
       "full-model", model_->WeightBytes(0, model_->NumLayers()));
-  for (const data::EncryptedRecord& record : records_) {
+  if (util::Parallelism::threads() <= 1) {
+    // Serial path: unchanged from the original single-threaded stage,
+    // so threads=1 is bit-identical to the pre-threading behaviour.
+    for (const data::EncryptedRecord& record : records_) {
+      fingerprint_enclave_->Ecall([&] {
+        fingerprint_enclave_->epc().Touch(model_region);
+        const crypto::AesGcm* cipher = CipherOf(record.participant_id);
+        CALTRAIN_CHECK(cipher != nullptr, "record from deprovisioned source");
+        auto verified = data::OpenRecord(record, *cipher);
+        CALTRAIN_CHECK(verified.has_value(),
+                       "stored record failed re-authentication");
+        linkage::Fingerprint fp = linkage::ExtractFingerprintAt(
+            *model_, verified->image, layer);
+        (void)db.Insert(std::move(fp), verified->label,
+                        verified->participant_id, verified->content_hash);
+      });
+    }
+  } else {
+    // Parallel path.  Phase 1 authenticates and decrypts every stored
+    // record (one ECALL each, like the serial path — EPC accounting and
+    // GCM verification are not thread safe).
+    std::vector<data::VerifiedRecord> verified(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      fingerprint_enclave_->Ecall([&] {
+        fingerprint_enclave_->epc().Touch(model_region);
+        const crypto::AesGcm* cipher = CipherOf(records_[i].participant_id);
+        CALTRAIN_CHECK(cipher != nullptr, "record from deprovisioned source");
+        auto opened = data::OpenRecord(records_[i], *cipher);
+        CALTRAIN_CHECK(opened.has_value(),
+                       "stored record failed re-authentication");
+        verified[i] = std::move(*opened);
+      });
+    }
+    // Phases 2+3 stay inside the fingerprinting enclave — the
+    // plaintext model (serialized into per-worker replicas) and the
+    // database construction must not leave the protection boundary,
+    // exactly as in the serial stage.  Phase 2 is one multi-threaded
+    // ECALL extracting every fingerprint; every record's arithmetic is
+    // identical to the serial extraction.  Phase 3 inserts in record
+    // order, so ids and tuples match the serial database element-wise.
+    std::vector<linkage::Fingerprint> fingerprints =
+        fingerprint_enclave_->Ecall([&] {
+          return linkage::ExtractFingerprintsBatch(
+              *model_, layer, verified.size(),
+              [&](std::size_t i) -> const nn::Image& {
+                return verified[i].image;
+              });
+        });
     fingerprint_enclave_->Ecall([&] {
-      fingerprint_enclave_->epc().Touch(model_region);
-      const crypto::AesGcm* cipher = CipherOf(record.participant_id);
-      CALTRAIN_CHECK(cipher != nullptr, "record from deprovisioned source");
-      auto verified = data::OpenRecord(record, *cipher);
-      CALTRAIN_CHECK(verified.has_value(),
-                     "stored record failed re-authentication");
-      linkage::Fingerprint fp = linkage::ExtractFingerprintAt(
-          *model_, verified->image, layer);
-      (void)db.Insert(std::move(fp), verified->label,
-                      verified->participant_id, verified->content_hash);
+      for (std::size_t i = 0; i < verified.size(); ++i) {
+        (void)db.Insert(std::move(fingerprints[i]), verified[i].label,
+                        verified[i].participant_id, verified[i].content_hash);
+      }
     });
   }
   fingerprint_enclave_->epc().Free(model_region);

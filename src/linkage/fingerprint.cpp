@@ -1,6 +1,7 @@
 #include "linkage/fingerprint.hpp"
 
 #include "util/mathx.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::linkage {
 
@@ -15,6 +16,20 @@ Fingerprint ExtractFingerprintAt(nn::Network& net, const nn::Image& image,
   Fingerprint embedding = net.EmbeddingAtLayer(image, layer);
   L2NormalizeInPlace(embedding);
   return embedding;
+}
+
+std::vector<Fingerprint> ExtractFingerprintsBatch(
+    const nn::Network& net, int layer, std::size_t count,
+    const std::function<const nn::Image&(std::size_t)>& image_at) {
+  std::vector<Fingerprint> fingerprints(count);
+  const Bytes blob = net.SerializeModel();
+  util::ParallelForBlocked(0, count, [&](std::size_t b0, std::size_t b1) {
+    nn::Network replica = nn::Network::DeserializeModel(blob);
+    for (std::size_t i = b0; i < b1; ++i) {
+      fingerprints[i] = ExtractFingerprintAt(replica, image_at(i), layer);
+    }
+  });
+  return fingerprints;
 }
 
 double FingerprintDistance(const Fingerprint& a, const Fingerprint& b) {

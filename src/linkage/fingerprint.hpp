@@ -7,6 +7,8 @@
 // run input-reconstruction techniques against them.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "nn/network.hpp"
@@ -27,6 +29,17 @@ using Fingerprint = std::vector<float>;
 [[nodiscard]] Fingerprint ExtractFingerprintAt(nn::Network& net,
                                                const nn::Image& image,
                                                int layer);
+
+/// Batched extraction over `count` images addressed by `image_at`.
+/// The forward pass caches activations in the network, so the batch is
+/// split into contiguous worker blocks, each running its own replica of
+/// `net` (round-tripped through SerializeModel); every image's
+/// arithmetic is identical to the serial ExtractFingerprintAt, so
+/// results are element-wise identical at any thread count.  Used by
+/// the fingerprinting enclave's parallel stage and the substrate bench.
+[[nodiscard]] std::vector<Fingerprint> ExtractFingerprintsBatch(
+    const nn::Network& net, int layer, std::size_t count,
+    const std::function<const nn::Image&(std::size_t)>& image_at);
 
 /// L2 distance between two fingerprints (the paper's query metric).
 [[nodiscard]] double FingerprintDistance(const Fingerprint& a,

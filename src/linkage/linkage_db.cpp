@@ -4,6 +4,7 @@
 
 #include "data/packaging.hpp"
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::linkage {
 
@@ -47,10 +48,9 @@ LinkageDatabase::ClassIndex& LinkageDatabase::EnsureIndex(int label) {
   return it->second;
 }
 
-std::vector<QueryMatch> LinkageDatabase::QueryNearest(const Fingerprint& query,
-                                                      int label,
-                                                      std::size_t k) {
-  const ClassIndex& index = EnsureIndex(label);
+std::vector<QueryMatch> LinkageDatabase::QueryIndex(const ClassIndex& index,
+                                                    const Fingerprint& query,
+                                                    std::size_t k) const {
   const std::vector<Neighbor> neighbors = index.tree->Search(query, k);
   std::vector<QueryMatch> matches;
   matches.reserve(neighbors.size());
@@ -59,6 +59,28 @@ std::vector<QueryMatch> LinkageDatabase::QueryNearest(const Fingerprint& query,
     matches.push_back(QueryMatch{t.id, n.distance, t.label, t.source});
   }
   return matches;
+}
+
+std::vector<QueryMatch> LinkageDatabase::QueryNearest(const Fingerprint& query,
+                                                      int label,
+                                                      std::size_t k) {
+  return QueryIndex(EnsureIndex(label), query, k);
+}
+
+std::vector<std::vector<QueryMatch>> LinkageDatabase::QueryNearestBatch(
+    const std::vector<Fingerprint>& queries, const std::vector<int>& labels,
+    std::size_t k) {
+  CALTRAIN_REQUIRE(queries.size() == labels.size(),
+                   "batch query/label size mismatch");
+  // Index construction mutates the database, so it happens serially
+  // before the (read-only) parallel query phase.
+  for (int label : labels) (void)EnsureIndex(label);
+
+  std::vector<std::vector<QueryMatch>> results(queries.size());
+  util::ParallelFor(0, queries.size(), [&](std::size_t i) {
+    results[i] = QueryIndex(indexes_.at(labels[i]), queries[i], k);
+  });
+  return results;
 }
 
 std::vector<QueryMatch> LinkageDatabase::QueryNearestBruteForce(

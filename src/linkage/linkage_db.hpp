@@ -59,6 +59,15 @@ class LinkageDatabase {
   [[nodiscard]] std::vector<QueryMatch> QueryNearest(
       const Fingerprint& query, int label, std::size_t k);
 
+  /// Batched form of QueryNearest: result[i] answers
+  /// (queries[i], labels[i], k).  Builds every needed per-class index
+  /// up front, then runs the queries in parallel over the immutable
+  /// indexes; results are element-wise identical to calling
+  /// QueryNearest serially, at every thread count.
+  [[nodiscard]] std::vector<std::vector<QueryMatch>> QueryNearestBatch(
+      const std::vector<Fingerprint>& queries, const std::vector<int>& labels,
+      std::size_t k);
+
   /// Reference brute-force query (tests assert agreement).
   [[nodiscard]] std::vector<QueryMatch> QueryNearestBruteForce(
       const Fingerprint& query, int label, std::size_t k) const;
@@ -83,6 +92,12 @@ class LinkageDatabase {
   };
 
   ClassIndex& EnsureIndex(int label);
+
+  /// Read-only match construction over a built index (shared by the
+  /// serial and batched query paths so they cannot diverge).
+  [[nodiscard]] std::vector<QueryMatch> QueryIndex(const ClassIndex& index,
+                                                   const Fingerprint& query,
+                                                   std::size_t k) const;
 
   std::vector<LinkageTuple> tuples_;  ///< id == position
   std::unordered_map<int, ClassIndex> indexes_;

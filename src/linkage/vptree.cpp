@@ -5,6 +5,7 @@
 
 #include "util/mathx.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::linkage {
 
@@ -107,6 +108,15 @@ std::vector<Neighbor> VpTree::Search(const std::vector<float>& query,
     best.pop();
   }
   return result;
+}
+
+std::vector<std::vector<Neighbor>> VpTree::SearchBatch(
+    const std::vector<std::vector<float>>& queries, std::size_t k) const {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  util::ParallelFor(0, queries.size(), [&](std::size_t i) {
+    results[i] = Search(queries[i], k);
+  });
+  return results;
 }
 
 std::vector<Neighbor> BruteForceKnn(

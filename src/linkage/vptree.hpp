@@ -29,6 +29,13 @@ class VpTree {
   [[nodiscard]] std::vector<Neighbor> Search(const std::vector<float>& query,
                                              std::size_t k) const;
 
+  /// Batched queries: result[i] == Search(queries[i], k).  The queries
+  /// run in parallel over the shared immutable tree when the
+  /// parallelism config allows; results are element-wise identical to
+  /// serial Search at every thread count.
+  [[nodiscard]] std::vector<std::vector<Neighbor>> SearchBatch(
+      const std::vector<std::vector<float>>& queries, std::size_t k) const;
+
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
 
  private:

@@ -3,4 +3,5 @@
 #include "nn/kernels.hpp"
 
 #define CALTRAIN_GEMM_SUFFIX Fast
+#define CALTRAIN_GEMM_PARALLEL 1
 #include "nn/gemm_body.inc"

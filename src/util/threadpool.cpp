@@ -1,0 +1,204 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace caltrain::util {
+
+namespace {
+
+constexpr unsigned kMaxWorkers = 64;
+
+unsigned ReadDefaultThreads() {
+  if (const char* env = std::getenv("CALTRAIN_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= kMaxWorkers) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1U : std::min(hw, kMaxWorkers);
+}
+
+std::atomic<unsigned>& ThreadOverride() {
+  static std::atomic<unsigned> override_value{0};  // 0 = use default
+  return override_value;
+}
+
+thread_local bool tls_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() : was(tls_in_parallel_region) {
+    tls_in_parallel_region = true;
+  }
+  ~RegionGuard() { tls_in_parallel_region = was; }
+  bool was;
+};
+
+}  // namespace
+
+unsigned Parallelism::DefaultThreads() {
+  static const unsigned cached = ReadDefaultThreads();
+  return cached;
+}
+
+unsigned Parallelism::threads() {
+  const unsigned override_value =
+      ThreadOverride().load(std::memory_order_relaxed);
+  return override_value != 0 ? override_value : DefaultThreads();
+}
+
+void Parallelism::set_threads(unsigned n) {
+  ThreadOverride().store(std::min(n, kMaxWorkers),
+                         std::memory_order_relaxed);
+}
+
+bool InParallelRegion() noexcept { return tls_in_parallel_region; }
+
+ThreadPool::ThreadPool(unsigned workers) { EnsureWorkers(workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::EnsureWorkers(unsigned n) {
+  n = std::min(n, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+unsigned ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<unsigned>(workers_.size());
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> result = task->get_future();
+  if (tls_in_parallel_region) {
+    // Nested submit: run inline so a task waiting on this future can
+    // never deadlock the pool.
+    (*task)();
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!workers_.empty()) {
+      queue_.emplace_back([task] { (*task)(); });
+      ready_.notify_one();
+      return result;
+    }
+  }
+  // No workers yet: execute inline rather than strand the task — with
+  // the mutex released (the task may re-enter the pool) and the region
+  // flag set so its own nested submits also run inline.
+  RegionGuard guard;
+  (*task)();
+  return result;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RegionGuard guard;
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: worker threads may outlive static destructors
+  // of translation units that still dispatch work during teardown.
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+void ParallelForBlocked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_grain) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const unsigned threads = Parallelism::threads();
+  if (min_grain == 0) min_grain = 1;
+  if (threads <= 1 || tls_in_parallel_region || count < 2 * min_grain) {
+    body(begin, end);
+    return;
+  }
+
+  const std::size_t max_blocks = count / min_grain;
+  const std::size_t num_blocks =
+      std::max<std::size_t>(1, std::min<std::size_t>(threads, max_blocks));
+  if (num_blocks == 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunk = (count + num_blocks - 1) / num_blocks;
+
+  std::atomic<std::size_t> next_block{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto run_blocks = [&] {
+    RegionGuard guard;
+    for (;;) {
+      const std::size_t b = next_block.fetch_add(1);
+      if (b >= num_blocks) return;
+      const std::size_t b0 = begin + b * chunk;
+      const std::size_t b1 = std::min(end, b0 + chunk);
+      if (b0 >= b1) continue;
+      try {
+        body(b0, b1);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(threads - 1);
+  // Dispatch failures (thread creation or task allocation throwing)
+  // must not unwind this frame while queued helpers still reference
+  // its locals: swallow the error, let the caller chew through the
+  // remaining blocks itself, and only return after every queued helper
+  // has drained.  The work still completes (degraded to fewer threads).
+  try {
+    pool.EnsureWorkers(threads - 1);
+    for (unsigned t = 0; t + 1 < threads; ++t) {
+      helpers.push_back(pool.Submit(run_blocks));
+    }
+  } catch (...) {
+  }
+  run_blocks();  // the caller participates
+  for (std::future<void>& helper : helpers) helper.wait();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body) {
+  ParallelForBlocked(begin, end,
+                     [&body](std::size_t b0, std::size_t b1) {
+                       for (std::size_t i = b0; i < b1; ++i) body(i);
+                     });
+}
+
+}  // namespace caltrain::util

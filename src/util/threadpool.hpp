@@ -1,0 +1,115 @@
+// Parallel execution runtime: a simple, work-stealing-free thread pool
+// plus blocked parallel-for helpers.
+//
+// Design constraints (see ISSUE 1 / ROADMAP):
+//  * Determinism — ParallelForBlocked hands each caller-visible block to
+//    exactly one task, so any computation whose per-block arithmetic
+//    order matches the serial loop is bit-identical at every thread
+//    count.  With `Parallelism::threads() == 1` no pool machinery runs
+//    at all: the body executes inline on the calling thread, exactly
+//    like the pre-threading serial code.
+//  * Safety under nesting — a ParallelFor issued from inside a pool
+//    task runs serially inline, and a Submit issued from inside a pool
+//    task executes inline and returns a ready future.  Neither can
+//    deadlock, regardless of pool size.
+//  * Exception transparency — the first exception thrown by any block
+//    is captured and rethrown on the calling thread after all blocks
+//    have finished (every index is still visited exactly once unless
+//    its own block threw).
+//
+// Thread count resolution: `CALTRAIN_THREADS` env var if set and valid,
+// else std::thread::hardware_concurrency(); overridable at runtime via
+// Parallelism::set_threads (tests, benches).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace caltrain::util {
+
+/// Process-wide thread-count policy for all parallel hot paths.
+class Parallelism {
+ public:
+  /// Effective thread count (>= 1).
+  [[nodiscard]] static unsigned threads();
+  /// Overrides the thread count; 0 restores the env/hardware default.
+  static void set_threads(unsigned n);
+  /// The env/hardware default, ignoring any set_threads override.
+  [[nodiscard]] static unsigned DefaultThreads();
+};
+
+/// RAII thread-count override (tests and benches).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(unsigned n)
+      : previous_(Parallelism::threads()) {
+    Parallelism::set_threads(n);
+  }
+  ~ScopedThreads() { Parallelism::set_threads(previous_); }
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  unsigned previous_;
+};
+
+/// True on a thread currently executing a pool task or a ParallelFor
+/// block (used to serialize nested parallel regions).
+[[nodiscard]] bool InParallelRegion() noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads immediately (0 is allowed; the pool then
+  /// grows on demand via EnsureWorkers).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Queues `fn`.  Called from inside a pool task, executes `fn` inline
+  /// instead (nested-submit safety) — the returned future is ready.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Grows the pool to at least `n` worker threads (capped internally).
+  void EnsureWorkers(unsigned n);
+
+  [[nodiscard]] unsigned worker_count() const;
+
+  /// The process-wide pool used by ParallelFor and the hot paths.
+  /// Created lazily on first parallel dispatch; never torn down before
+  /// process exit.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for every i in [begin, end).  Parallel when
+/// Parallelism::threads() > 1, the range is non-trivial, and the caller
+/// is not already inside a parallel region; serial inline otherwise.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body);
+
+/// Runs body(b0, b1) over contiguous blocks covering [begin, end);
+/// each block is executed by exactly one thread.  `min_grain` is the
+/// smallest block size worth dispatching (ranges smaller than
+/// 2*min_grain run inline).
+void ParallelForBlocked(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t, std::size_t)>&
+                            body,
+                        std::size_t min_grain = 1);
+
+}  // namespace caltrain::util

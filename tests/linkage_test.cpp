@@ -15,6 +15,7 @@
 #include "util/error.hpp"
 #include "util/mathx.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::linkage {
 namespace {
@@ -39,6 +40,31 @@ TEST(FingerprintTest, IsNormalizedAndDeterministic) {
   EXPECT_EQ(a, b);
   EXPECT_NEAR(L2Norm(a), 1.0, 1e-5);
   EXPECT_EQ(a.size(), 10U);  // Table-1 penultimate = avg pool over classes
+}
+
+TEST(VpTreeTest, SearchBatchMatchesSerialSearchElementWise) {
+  const auto points = RandomPoints(300, 8, 31);
+  const VpTree tree(points);
+  const auto queries = RandomPoints(64, 8, 32);
+
+  std::vector<std::vector<Neighbor>> serial(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = tree.Search(queries[i], 9);
+  }
+  for (unsigned threads : {1U, 4U}) {
+    util::ScopedThreads guard(threads);
+    const auto batch = tree.SearchBatch(queries, 9);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(batch[i].size(), serial[i].size()) << "query " << i;
+      for (std::size_t r = 0; r < serial[i].size(); ++r) {
+        EXPECT_EQ(batch[i][r].index, serial[i][r].index)
+            << "query " << i << " rank " << r << " threads " << threads;
+        EXPECT_EQ(batch[i][r].distance, serial[i][r].distance)
+            << "query " << i << " rank " << r << " threads " << threads;
+      }
+    }
+  }
 }
 
 TEST(VpTreeTest, MatchesBruteForce) {
@@ -152,6 +178,44 @@ TEST_F(LinkageDbTest, VpTreeQueryMatchesBruteForce) {
       EXPECT_NEAR(fast[i].distance, exact[i].distance, 1e-9);
     }
   }
+}
+
+TEST_F(LinkageDbTest, BatchQueryMatchesSerialQueriesElementWise) {
+  Rng rng(33);
+  std::vector<Fingerprint> queries;
+  std::vector<int> labels;
+  for (int trial = 0; trial < 40; ++trial) {
+    Fingerprint probe(4);
+    for (float& x : probe) x = rng.Gaussian();
+    L2NormalizeInPlace(probe);
+    queries.push_back(std::move(probe));
+    labels.push_back(trial % 2);
+  }
+
+  std::vector<std::vector<QueryMatch>> serial;
+  serial.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serial.push_back(db_.QueryNearest(queries[i], labels[i], 6));
+  }
+  for (unsigned threads : {1U, 4U}) {
+    util::ScopedThreads guard(threads);
+    const auto batch = db_.QueryNearestBatch(queries, labels, 6);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(batch[i].size(), serial[i].size()) << "query " << i;
+      for (std::size_t r = 0; r < serial[i].size(); ++r) {
+        EXPECT_EQ(batch[i][r].id, serial[i][r].id);
+        EXPECT_EQ(batch[i][r].distance, serial[i][r].distance);
+        EXPECT_EQ(batch[i][r].source, serial[i][r].source);
+      }
+    }
+  }
+}
+
+TEST_F(LinkageDbTest, BatchQueryRejectsMismatchedSizes) {
+  EXPECT_THROW((void)db_.QueryNearestBatch({Fingerprint{1, 0, 0, 0}},
+                                           {0, 1}, 3),
+               Error);
 }
 
 TEST_F(LinkageDbTest, DistancesSortedAscending) {

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
+#include <tuple>
 
 #include "nn/augment.hpp"
 #include "nn/connected.hpp"
@@ -18,6 +20,7 @@
 #include "nn/softmax.hpp"
 #include "nn/trainer.hpp"
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::nn {
 namespace {
@@ -93,6 +96,56 @@ TEST(KernelsTest, GemmTransBMatchesExplicit) {
   GemmPrecise(m, n, k, a.data(), b.data(), c1.data());
   GemmTransBPrecise(m, n, k, a.data(), b_t.data(), c2.data());
   for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5F);
+}
+
+TEST(KernelsTest, ParallelGemmFastIsBitIdenticalToSerial) {
+  // The fast kernels dispatch row blocks through the thread pool; the
+  // row-blocked partition must leave results bit-identical to the
+  // serial (threads=1) kernel for every thread count.  Shapes are
+  // deliberately odd — m, n, k not divisible by the row grain or any
+  // thread count — so blocks are uneven.
+  struct Shape3 {
+    std::size_t m, n, k;
+  };
+  const Shape3 shapes[] = {{37, 29, 17}, {1, 5, 3},    {33, 1, 7},
+                           {8, 64, 64},  {63, 31, 15}, {5, 3, 1}};
+  for (const Shape3& s : shapes) {
+    Rng rng(1000 + s.m);
+    std::vector<float> a(s.m * s.k), b_plain(s.k * s.n), b_trans(s.n * s.k),
+        a_trans(s.k * s.m);
+    for (float& x : a) x = rng.Gaussian();
+    for (float& x : b_plain) x = rng.Gaussian();
+    for (float& x : b_trans) x = rng.Gaussian();
+    for (float& x : a_trans) x = rng.Gaussian();
+
+    std::vector<float> serial(s.m * s.n), parallel(s.m * s.n);
+    const auto run_all = [&](std::vector<float>& c,
+                             void (*gemm)(std::size_t, std::size_t,
+                                          std::size_t, const float*,
+                                          const float*, float*) noexcept,
+                             const float* lhs, const float* rhs) {
+      std::fill(c.begin(), c.end(), 0.25F);  // nonzero: kernels accumulate
+      gemm(s.m, s.n, s.k, lhs, rhs, c.data());
+    };
+
+    for (const auto& [kernel, lhs, rhs] :
+         {std::tuple{&GemmFast, a.data(), b_plain.data()},
+          std::tuple{&GemmTransAFast, a_trans.data(), b_plain.data()},
+          std::tuple{&GemmTransBFast, a.data(), b_trans.data()}}) {
+      {
+        util::ScopedThreads one(1);
+        run_all(serial, kernel, lhs, rhs);
+      }
+      for (unsigned threads : {2U, 4U, 7U}) {
+        util::ScopedThreads many(threads);
+        run_all(parallel, kernel, lhs, rhs);
+        ASSERT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                                 serial.size() * sizeof(float)))
+            << "m=" << s.m << " n=" << s.n << " k=" << s.k
+            << " threads=" << threads;
+      }
+    }
+  }
 }
 
 TEST(KernelsTest, Im2ColIdentityFor1x1) {

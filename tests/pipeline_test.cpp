@@ -16,6 +16,7 @@
 #include "nn/presets.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::core {
 namespace {
@@ -106,6 +107,24 @@ TEST(PipelineTest, FingerprintLayerSelectionFlowsThroughQuery) {
   for (const auto& n : report.neighbors) {
     EXPECT_EQ(n.label, report.predicted_label);
   }
+
+  // The batched API answers the same probe identically, at any
+  // thread count.
+  util::ScopedThreads four(4);
+  Rng rng_a(16);
+  Rng rng_b(16);
+  const std::vector<MispredictionReport> batch =
+      query.InvestigateBatch({gen.Sample(0, rng_a), gen.Sample(0, rng_b)}, 3);
+  ASSERT_EQ(batch.size(), 2U);
+  for (const MispredictionReport& b : batch) {
+    EXPECT_EQ(b.predicted_label, report.predicted_label);
+    EXPECT_EQ(b.fingerprint, report.fingerprint);
+    ASSERT_EQ(b.neighbors.size(), report.neighbors.size());
+    for (std::size_t i = 0; i < b.neighbors.size(); ++i) {
+      EXPECT_EQ(b.neighbors[i].id, report.neighbors[i].id);
+      EXPECT_EQ(b.neighbors[i].distance, report.neighbors[i].distance);
+    }
+  }
 }
 
 TEST(PipelineTest, TinyEpcForcesPagingDuringTraining) {
@@ -160,6 +179,55 @@ TEST(PipelineTest, ConfigDrivenServerTraining) {
   const TrainReport report = server.Train(spec, options);
   EXPECT_EQ(report.epochs.size(), 1U);
   EXPECT_EQ(server.model().NumClasses(), 10);
+}
+
+TEST(PipelineTest, ParallelPipelineMatchesSerialRun) {
+  // Full attest→provision→upload→train→fingerprint→release flow run
+  // once with threads=1 and once with threads=4 (the CALTRAIN_THREADS
+  // runtime).  Row-blocked GEMM and replica-based parallel fingerprint
+  // extraction are bit-deterministic, so accepted/rejected counts, the
+  // serialized linkage database, and the released-model roundtrip must
+  // all be identical.
+  struct FlowResult {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    Bytes db_blob;
+    Bytes assembled_model;
+  };
+  const auto run_flow = [](unsigned threads) {
+    util::ScopedThreads guard(threads);
+    FlowResult out;
+    TrainingServer server;
+    Participant alice("alice", TinyCifar(48, 42), 211);
+    (void)alice.ProvisionAndUpload(server, server.training_measurement());
+    // One record sealed under a bogus key must be rejected either way.
+    Rng rng(43);
+    data::SyntheticCifar gen;
+    data::DataPackager bogus("alice", Bytes(32, 0x5a), 301);
+    (void)server.UploadRecords({bogus.Pack(gen.Sample(0, rng), 0)});
+    (void)server.Train(nn::Table1Spec(32), FastOptions(1));
+    linkage::LinkageDatabase db = server.FingerprintAll();
+    out.accepted = server.accepted_records();
+    out.rejected = server.rejected_records();
+    out.db_blob = db.Serialize();
+    const TrainingServer::ReleasedModel released =
+        server.ReleaseModelFor("alice");
+    nn::Network assembled =
+        TrainingServer::AssembleReleasedModel(released, alice.data_key());
+    out.assembled_model = assembled.SerializeModel();
+    return out;
+  };
+
+  const FlowResult serial = run_flow(1);
+  const FlowResult parallel = run_flow(4);
+  EXPECT_EQ(serial.accepted, 48U);
+  EXPECT_EQ(serial.rejected, 1U);
+  EXPECT_EQ(parallel.accepted, serial.accepted);
+  EXPECT_EQ(parallel.rejected, serial.rejected);
+  EXPECT_EQ(parallel.db_blob, serial.db_blob)
+      << "linkage database must be bit-identical across thread counts";
+  EXPECT_EQ(parallel.assembled_model, serial.assembled_model)
+      << "released-model roundtrip must be bit-identical";
 }
 
 TEST(PipelineTest, MiniatureTrojanDetectionLoop) {

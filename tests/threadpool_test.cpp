@@ -1,0 +1,224 @@
+// Parallel runtime tests: thread-count policy, ParallelFor coverage
+// and determinism guarantees, exception propagation, nested dispatch
+// safety, and the threads=1 serial fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace caltrain::util {
+namespace {
+
+TEST(ParallelismTest, EffectiveThreadsIsAtLeastOne) {
+  EXPECT_GE(Parallelism::threads(), 1U);
+  EXPECT_GE(Parallelism::DefaultThreads(), 1U);
+}
+
+TEST(ParallelismTest, DefaultHonoursEnvWhenSet) {
+  // The suite is registered with ctest twice, once with
+  // CALTRAIN_THREADS=4 in the environment (see CMakeLists.txt); this
+  // asserts the env override is what DefaultThreads resolves to.
+  const char* env = std::getenv("CALTRAIN_THREADS");
+  char* end = nullptr;
+  const unsigned long parsed = env ? std::strtoul(env, &end, 10) : 0;
+  if (env && end != env && *end == '\0' && parsed >= 1 && parsed <= 64) {
+    EXPECT_EQ(Parallelism::DefaultThreads(), parsed);
+  } else {
+    // Unset or invalid (garbage, 0, out of range): hardware default.
+    EXPECT_GE(Parallelism::DefaultThreads(), 1U);
+  }
+}
+
+TEST(ParallelismTest, SetThreadsOverridesAndZeroRestoresDefault) {
+  const unsigned original = Parallelism::threads();
+  Parallelism::set_threads(3);
+  EXPECT_EQ(Parallelism::threads(), 3U);
+  Parallelism::set_threads(0);
+  EXPECT_EQ(Parallelism::threads(), Parallelism::DefaultThreads());
+  Parallelism::set_threads(original == Parallelism::DefaultThreads()
+                               ? 0U
+                               : original);
+}
+
+TEST(ParallelismTest, ScopedThreadsRestoresOnExit) {
+  const unsigned before = Parallelism::threads();
+  {
+    ScopedThreads guard(7);
+    EXPECT_EQ(Parallelism::threads(), 7U);
+    {
+      ScopedThreads inner(2);
+      EXPECT_EQ(Parallelism::threads(), 2U);
+    }
+    EXPECT_EQ(Parallelism::threads(), 7U);
+  }
+  EXPECT_EQ(Parallelism::threads(), before);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  ScopedThreads guard(4);
+  constexpr std::size_t kCount = 10007;  // prime: uneven block split
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(0, kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, RespectsBeginOffsetAndEmptyRange) {
+  ScopedThreads guard(4);
+  std::atomic<std::size_t> sum{0};
+  ParallelFor(100, 200, [&](std::size_t i) {
+    ASSERT_GE(i, 100U);
+    ASSERT_LT(i, 200U);
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), (100U + 199U) * 100U / 2U);
+
+  bool ran = false;
+  ParallelFor(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, BlockedPartitionTilesTheRange) {
+  ScopedThreads guard(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  ParallelForBlocked(
+      3, 130,
+      [&](std::size_t b0, std::size_t b1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        blocks.emplace_back(b0, b1);
+      },
+      /*min_grain=*/4);
+  std::sort(blocks.begin(), blocks.end());
+  ASSERT_FALSE(blocks.empty());
+  EXPECT_EQ(blocks.front().first, 3U);
+  EXPECT_EQ(blocks.back().second, 130U);
+  for (std::size_t i = 0; i + 1 < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].second, blocks[i + 1].first) << "gap or overlap";
+  }
+}
+
+TEST(ParallelForTest, PropagatesExceptionsToCaller) {
+  ScopedThreads guard(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000,
+                  [](std::size_t i) {
+                    if (i == 617) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, SerialFallbackRunsInlineOnCaller) {
+  ScopedThreads guard(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t count = 0;  // non-atomic on purpose: must be single-threaded
+  ParallelFor(0, 128, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++count;
+  });
+  EXPECT_EQ(count, 128U);
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST(ParallelForTest, NestedParallelForRunsSerialInline) {
+  ScopedThreads guard(4);
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, [&](std::size_t) {
+    const std::thread::id outer = std::this_thread::get_id();
+    EXPECT_TRUE(InParallelRegion());
+    ParallelFor(0, 16, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), outer)
+          << "nested region must not re-dispatch";
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndFutureCompletes) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran.store(true); }).wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Submit([&] { seen = std::this_thread::get_id(); }).wait();
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerInlineTaskMayReenterPool) {
+  // The inline path must run with the pool mutex released: a task
+  // submitted to a worker-less pool may itself query or submit to the
+  // same pool.
+  ThreadPool pool(0);
+  std::atomic<int> ran{0};
+  pool.Submit([&] {
+        EXPECT_EQ(pool.worker_count(), 0U);
+        pool.Submit([&] { ran.fetch_add(1); }).wait();
+        ran.fetch_add(1);
+      })
+      .wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsDeadlockFree) {
+  ThreadPool pool(1);  // single worker: naive nesting would deadlock
+  std::atomic<int> ran{0};
+  auto outer = pool.Submit([&] {
+    auto inner = pool.Submit([&] { ran.fetch_add(1); });
+    inner.wait();  // safe: nested submits execute inline
+    ran.fetch_add(1);
+  });
+  outer.wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1U);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.worker_count(), 3U);
+  pool.EnsureWorkers(2);
+  EXPECT_EQ(pool.worker_count(), 3U);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentParallelForsAgree) {
+  // Stress the shared global pool from several submitting threads.
+  ScopedThreads guard(4);
+  constexpr int kLoops = 32;
+  constexpr std::size_t kCount = 501;
+  std::atomic<std::size_t> grand_total{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(4);
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&] {
+      for (int loop = 0; loop < kLoops; ++loop) {
+        std::atomic<std::size_t> local{0};
+        ParallelFor(0, kCount, [&](std::size_t) {
+          local.fetch_add(1, std::memory_order_relaxed);
+        });
+        grand_total.fetch_add(local.load());
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(grand_total.load(), 4U * kLoops * kCount);
+}
+
+}  // namespace
+}  // namespace caltrain::util
