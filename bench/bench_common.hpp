@@ -1,16 +1,20 @@
 // Shared harness utilities for the figure/table reproduction benches.
 //
 // Every bench accepts:
-//   --full    paper-scale networks (filter scale 1) and corpus sizes;
-//             without it the CI profile runs the same topologies at
-//             reduced width so each figure regenerates in minutes on
-//             one core (see DESIGN.md "Scale").
-//   --seed N  experiment seed (default 42).
+//   --full       paper-scale networks (filter scale 1) and corpus sizes;
+//                without it the CI profile runs the same topologies at
+//                reduced width so each figure regenerates in minutes on
+//                one core (see DESIGN.md "Scale").
+//   --seed N     experiment seed (default 42).
+//   --threads N  worker threads for the parallel runtime; wins over the
+//                CALTRAIN_THREADS environment variable.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#include "util/threadpool.hpp"
 
 namespace caltrain::bench {
 
@@ -35,6 +39,7 @@ struct BenchProfile {
 
 inline BenchProfile ParseArgs(int argc, char** argv) {
   BenchProfile profile;
+  (void)util::ApplyThreadsFlag(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       profile.full = true;

@@ -4,6 +4,7 @@
 // query latency, and fingerprint extraction.
 #include <benchmark/benchmark.h>
 
+#include "core/partitioned.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/gcm.hpp"
@@ -227,8 +228,10 @@ BENCHMARK(BM_GemmFastThreads)
     ->UseRealTime();
 
 // Fingerprint extraction, serial vs parallel: the FingerprintAll
-// phase-2 pattern (one model replica per worker block, every record's
-// arithmetic identical to serial).
+// phase-2 pattern — every worker runs against the single shared const
+// model with its own activation workspace (no replicas, no model
+// serialization); every record's arithmetic is identical to serial.
+// The workspace_bytes counter is the per-worker working set.
 void BM_FingerprintExtractThreads(benchmark::State& state) {
   const unsigned threads = static_cast<unsigned>(state.range(0));
   util::ScopedThreads guard(threads);
@@ -246,11 +249,94 @@ void BM_FingerprintExtractThreads(benchmark::State& state) {
             [&](std::size_t i) -> const nn::Image& { return images[i]; });
     benchmark::DoNotOptimize(fingerprints.data());
   }
+  // Per-worker memory: one activation workspace after one extraction.
+  nn::LayerWorkspace ws(net);
+  (void)linkage::ExtractFingerprintAt(net, images[0], layer, ws);
   state.counters["threads"] = threads;
+  state.counters["workspace_bytes"] =
+      static_cast<double>(ws.TotalBytes());
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(images.size()));
 }
 BENCHMARK(BM_FingerprintExtractThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The pre-refactor baseline for comparison: one model replica per
+// worker block, round-tripped through SerializeModel/DeserializeModel.
+// replica_bytes is the per-worker model-copy cost the shared-model
+// path eliminates.
+void BM_FingerprintExtractReplicaBaseline(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  util::ScopedThreads guard(threads);
+  Rng rng(5);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(32), rng);
+  const int layer = net.PenultimateIndex();
+  std::vector<nn::Image> images(64, nn::Image(nn::Shape{28, 28, 3}));
+  for (nn::Image& img : images) {
+    for (float& p : img.pixels) p = rng.UniformFloat();
+  }
+  const Bytes blob = net.SerializeModel();
+  for (auto _ : state) {
+    std::vector<linkage::Fingerprint> fingerprints(images.size());
+    util::ParallelForBlocked(
+        0, images.size(), [&](std::size_t b0, std::size_t b1) {
+          nn::Network replica = nn::Network::DeserializeModel(blob);
+          for (std::size_t i = b0; i < b1; ++i) {
+            fingerprints[i] =
+                linkage::ExtractFingerprintAt(replica, images[i], layer);
+          }
+        });
+    benchmark::DoNotOptimize(fingerprints.data());
+  }
+  state.counters["threads"] = threads;
+  state.counters["replica_bytes"] = static_cast<double>(blob.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(images.size()));
+}
+BENCHMARK(BM_FingerprintExtractReplicaBaseline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+
+// Data-parallel partitioned TrainBatch, serial vs parallel.  The shard
+// plan is fixed (nn::kTrainShardSamples), gradients reduce in shard
+// order, and DP sanitization runs once on the reduced gradients, so
+// every thread count produces bit-identical weights; this row measures
+// the wall-clock speedup and the per-shard workspace footprint.
+void BM_TrainBatchThreads(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  util::ScopedThreads guard(threads);
+  Rng rng(7);
+  nn::Network net = nn::BuildNetwork(nn::Table1Spec(8), rng);
+  enclave::EnclaveConfig config;
+  config.code_identity = BytesOf("bench");
+  enclave::Enclave enclave(config);
+  core::PartitionedTrainer trainer(net, enclave, /*front_layers=*/2);
+
+  nn::Batch batch(32, nn::Shape{28, 28, 3});
+  for (float& x : batch.data) x = rng.UniformFloat();
+  std::vector<int> labels(32);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 10);
+  }
+  nn::SgdConfig sgd;
+  Rng train_rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainBatch(batch, labels, sgd,
+                                                train_rng));
+  }
+  state.counters["threads"] = threads;
+  state.counters["workspace_bytes"] =
+      static_cast<double>(trainer.WorkspaceBytes());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch.n);
+}
+BENCHMARK(BM_TrainBatchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_VpTreeQuery(benchmark::State& state) {
   Rng rng(2);

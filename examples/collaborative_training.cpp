@@ -20,11 +20,14 @@
 #include "nn/presets.hpp"
 #include "nn/trainer.hpp"
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 #include "util/mathx.hpp"
 
 using namespace caltrain;
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads N selects the worker count (wins over CALTRAIN_THREADS).
+  (void)caltrain::util::ApplyThreadsFlag(argc, argv);
   SetLogLevel(LogLevel::kInfo);
   Rng rng(7);
   data::SyntheticCifar gen;

@@ -10,10 +10,13 @@
 #include "data/synthetic_cifar.hpp"
 #include "nn/presets.hpp"
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 
 using namespace caltrain;
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads N selects the worker count (wins over CALTRAIN_THREADS).
+  (void)caltrain::util::ApplyThreadsFlag(argc, argv);
   SetLogLevel(LogLevel::kInfo);
   Rng rng(31);
   data::SyntheticCifar gen;

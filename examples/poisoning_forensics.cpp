@@ -21,10 +21,13 @@
 #include "data/synthetic_faces.hpp"
 #include "nn/presets.hpp"
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 
 using namespace caltrain;
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads N selects the worker count (wins over CALTRAIN_THREADS).
+  (void)caltrain::util::ApplyThreadsFlag(argc, argv);
   SetLogLevel(LogLevel::kInfo);
   data::SyntheticFacesOptions face_options;
   face_options.identities = 8;

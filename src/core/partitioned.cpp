@@ -1,6 +1,7 @@
 #include "core/partitioned.hpp"
 
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::core {
 
@@ -61,62 +62,115 @@ void PartitionedTrainer::TouchFrontNet(int batch_size) {
   enclave_.epc().Touch(activation_region_);
 }
 
+std::size_t PartitionedTrainer::WorkspaceBytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& ws : shard_ws_) total += ws->TotalBytes();
+  return total;
+}
+
 float PartitionedTrainer::TrainBatch(const nn::Batch& input,
                                      const std::vector<int>& labels,
                                      const nn::SgdConfig& sgd, Rng& rng) {
+  CALTRAIN_REQUIRE(static_cast<int>(labels.size()) == input.n,
+                   "label count != batch size");
   const int total = net_.NumLayers();
   const int k = front_layers_;
 
-  nn::LayerContext enclave_ctx;
-  enclave_ctx.training = true;
-  enclave_ctx.rng = &rng;
-  enclave_ctx.profile = nn::KernelProfile::kPrecise;
-  enclave_ctx.labels = &labels;
-
-  nn::LayerContext host_ctx = enclave_ctx;
-  host_ctx.profile = nn::KernelProfile::kFast;
+  // Shard plan and per-shard RNG streams: both depend only on the
+  // batch size and the incoming RNG state, never on the thread count.
+  const std::vector<nn::TrainShard> shards = nn::MakeTrainShards(input.n, rng);
+  nn::EnsureShardWorkspaces(net_, shard_ws_, shards.size());
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(shards.size());
+  std::vector<std::vector<int>> shard_labels(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shard_rngs.emplace_back(shards[s].rng_seed);
+    shard_labels[s].assign(labels.begin() + shards[s].begin,
+                           labels.begin() + shards[s].end);
+  }
+  const auto shard_ctx = [&](std::size_t s, nn::KernelProfile profile) {
+    nn::LayerContext ctx;
+    ctx.training = true;
+    ctx.rng = &shard_rngs[s];
+    ctx.profile = profile;
+    ctx.labels = &shard_labels[s];
+    return ctx;
+  };
 
   if (k > 0) {
-    // FrontNet forward inside the enclave.
+    // FrontNet forward inside the enclave: one multi-threaded ECALL,
+    // every worker sharing the const network with its own workspace.
     enclave_.Ecall([&] {
       TouchFrontNet(input.n);
-      net_.ForwardRange(&input, 0, k, enclave_ctx);
+      util::ParallelFor(0, shards.size(), [&](std::size_t s) {
+        nn::LayerWorkspace& ws = *shard_ws_[s];
+        nn::SliceBatch(input, shards[s].begin, shards[s].end, ws.input);
+        net_.ForwardRange(&ws.input, 0, k,
+                          shard_ctx(s, nn::KernelProfile::kPrecise), ws);
+      });
     });
-    // IRs cross the boundary outward.
+    // IRs cross the boundary outward.  (Only this batch's shards —
+    // shard_ws_ may hold more entries from an earlier, larger batch.)
     enclave_.Ocall([&] {
-      stats_.ir_bytes_out += net_.ActivationAt(k - 1).TotalBytes();
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        stats_.ir_bytes_out +=
+            shard_ws_[s]->activations[static_cast<std::size_t>(k - 1)]
+                .TotalBytes();
+      }
     });
   }
   if (k < total) {
-    if (k == 0) {
-      net_.ForwardRange(&input, 0, total, host_ctx);
-    } else {
-      net_.ForwardRange(nullptr, k, total, host_ctx);
-    }
-    // BackNet backward outside.
-    net_.BackwardRange(k, total, host_ctx);
+    // BackNet forward + backward outside on the fast path.
+    util::ParallelFor(0, shards.size(), [&](std::size_t s) {
+      nn::LayerWorkspace& ws = *shard_ws_[s];
+      const nn::LayerContext ctx = shard_ctx(s, nn::KernelProfile::kFast);
+      if (k == 0) {
+        nn::SliceBatch(input, shards[s].begin, shards[s].end, ws.input);
+        net_.ForwardRange(&ws.input, 0, total, ctx, ws);
+      } else {
+        net_.ForwardRange(nullptr, k, total, ctx, ws);
+      }
+      net_.BackwardRange(k, total, ctx, ws);
+    });
   }
   if (k > 0) {
     if (k < total) {
       // Deltas cross the boundary inward.
-      stats_.delta_bytes_in += net_.DeltaAt(k - 1).TotalBytes();
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        stats_.delta_bytes_in +=
+            shard_ws_[s]->deltas[static_cast<std::size_t>(k - 1)].TotalBytes();
+      }
     }
     enclave_.Ecall([&] {
       TouchFrontNet(input.n);
-      if (k == total) {
-        net_.BackwardRange(0, total, enclave_ctx);
-      } else {
-        net_.BackwardRange(0, k, enclave_ctx);
-      }
-      net_.UpdateRange(0, k, sgd, input.n);
+      util::ParallelFor(0, shards.size(), [&](std::size_t s) {
+        net_.BackwardRange(0, k, shard_ctx(s, nn::KernelProfile::kPrecise),
+                           *shard_ws_[s]);
+      });
+    });
+  }
+
+  // Fixed-order reduction: shard order, never thread order, so the
+  // float grouping is identical at any thread count.
+  nn::GradientAccumulator& grads =
+      nn::ReduceShardGrads(shard_ws_, shards.size());
+  // Update applies DP-SGD sanitization once, on the reduced gradients,
+  // then steps the weights — FrontNet inside the enclave.
+  if (k > 0) {
+    enclave_.Ecall([&] {
+      TouchFrontNet(input.n);
+      net_.UpdateRange(0, k, sgd, input.n, grads);
     });
   }
   if (k < total) {
-    net_.UpdateRange(k, total, sgd, input.n);
+    net_.UpdateRange(k, total, sgd, input.n, grads);
   }
 
   ++stats_.batches;
-  return net_.LastLoss();
+
+  const int cost = net_.CostIndex();
+  CALTRAIN_REQUIRE(cost >= 0, "network has no cost layer");
+  return nn::SumShardLosses(shard_ws_, shards.size(), cost, input.n);
 }
 
 std::vector<std::vector<float>> PartitionedTrainer::Predict(

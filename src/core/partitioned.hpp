@@ -11,6 +11,15 @@
 //
 // The boundary traffic (intermediate representations outward, deltas
 // inward) is exactly the paper's full-training-lifecycle partitioning.
+//
+// TrainBatch is *data-parallel*: the mini-batch is decomposed into
+// fixed-size shards (nn::MakeTrainShards — never a function of the
+// thread count), each shard runs forward/backward against the shared
+// const network in its own nn::LayerWorkspace with its own derived RNG
+// stream, and the per-shard gradients are reduced in shard order
+// before a single Update with DP-SGD sanitization applied once to the
+// reduced gradients.  Results are therefore bit-identical at any
+// thread count, and threads=1 executes the same shard plan inline.
 #pragma once
 
 #include "enclave/enclave.hpp"
@@ -56,6 +65,10 @@ class PartitionedTrainer {
   }
   [[nodiscard]] nn::Network& network() noexcept { return net_; }
 
+  /// Bytes held by the per-shard training workspaces (bench metric:
+  /// the data-parallel working set beyond the shared model).
+  [[nodiscard]] std::size_t WorkspaceBytes() const noexcept;
+
  private:
   void AllocateEpcRegions();
   void ReleaseEpcRegions();
@@ -69,6 +82,8 @@ class PartitionedTrainer {
   bool regions_allocated_ = false;
   int last_batch_size_ = 0;
   PartitionStats stats_;
+  /// One workspace per shard, reused across batches.
+  std::vector<std::unique_ptr<nn::LayerWorkspace>> shard_ws_;
 };
 
 }  // namespace caltrain::core

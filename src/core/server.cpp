@@ -271,10 +271,12 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
       });
     }
     // Phases 2+3 stay inside the fingerprinting enclave — the
-    // plaintext model (serialized into per-worker replicas) and the
-    // database construction must not leave the protection boundary,
-    // exactly as in the serial stage.  Phase 2 is one multi-threaded
-    // ECALL extracting every fingerprint; every record's arithmetic is
+    // plaintext model and the database construction must not leave the
+    // protection boundary, exactly as in the serial stage.  Phase 2 is
+    // one multi-threaded ECALL extracting every fingerprint from the
+    // *single shared enclaved model* (each worker brings only an
+    // activation workspace — no per-worker model replica and no
+    // serialization round-trip); every record's arithmetic is
     // identical to the serial extraction.  Phase 3 inserts in record
     // order, so ids and tuples match the serial database element-wise.
     std::vector<linkage::Fingerprint> fingerprints =

@@ -18,15 +18,25 @@ Fingerprint ExtractFingerprintAt(nn::Network& net, const nn::Image& image,
   return embedding;
 }
 
+Fingerprint ExtractFingerprintAt(const nn::Network& net,
+                                 const nn::Image& image, int layer,
+                                 nn::LayerWorkspace& ws) {
+  Fingerprint embedding =
+      net.EmbeddingAtLayer(image, layer, nn::KernelProfile::kFast, ws);
+  L2NormalizeInPlace(embedding);
+  return embedding;
+}
+
 std::vector<Fingerprint> ExtractFingerprintsBatch(
     const nn::Network& net, int layer, std::size_t count,
     const std::function<const nn::Image&(std::size_t)>& image_at) {
   std::vector<Fingerprint> fingerprints(count);
-  const Bytes blob = net.SerializeModel();
   util::ParallelForBlocked(0, count, [&](std::size_t b0, std::size_t b1) {
-    nn::Network replica = nn::Network::DeserializeModel(blob);
+    // One activation workspace per worker block; the model itself is
+    // shared const across all workers.
+    nn::LayerWorkspace ws(net);
     for (std::size_t i = b0; i < b1; ++i) {
-      fingerprints[i] = ExtractFingerprintAt(replica, image_at(i), layer);
+      fingerprints[i] = ExtractFingerprintAt(net, image_at(i), layer, ws);
     }
   });
   return fingerprints;

@@ -30,12 +30,19 @@ using Fingerprint = std::vector<float>;
                                                const nn::Image& image,
                                                int layer);
 
+/// Thread-safe variant: const forward pass through `ws` against the
+/// shared network (no model replica, no mutation of `net`).
+[[nodiscard]] Fingerprint ExtractFingerprintAt(const nn::Network& net,
+                                               const nn::Image& image,
+                                               int layer,
+                                               nn::LayerWorkspace& ws);
+
 /// Batched extraction over `count` images addressed by `image_at`.
-/// The forward pass caches activations in the network, so the batch is
-/// split into contiguous worker blocks, each running its own replica of
-/// `net` (round-tripped through SerializeModel); every image's
-/// arithmetic is identical to the serial ExtractFingerprintAt, so
-/// results are element-wise identical at any thread count.  Used by
+/// All workers run against the single shared const `net`; each worker
+/// block brings one nn::LayerWorkspace (activation buffers only — no
+/// per-worker model replica, no serialization round-trip).  Every
+/// image's arithmetic is identical to the serial ExtractFingerprintAt,
+/// so results are element-wise identical at any thread count.  Used by
 /// the fingerprinting enclave's parallel stage and the substrate bench.
 [[nodiscard]] std::vector<Fingerprint> ExtractFingerprintsBatch(
     const nn::Network& net, int layer, std::size_t count,

@@ -18,8 +18,6 @@ ConnectedLayer::ConnectedLayer(Shape in, int outputs, Activation activation)
       static_cast<std::size_t>(inputs_) * static_cast<std::size_t>(outputs_);
   weights_.assign(count, 0.0F);
   biases_.assign(static_cast<std::size_t>(outputs_), 0.0F);
-  weight_grads_.assign(count, 0.0F);
-  bias_grads_.assign(static_cast<std::size_t>(outputs_), 0.0F);
   weight_momentum_.assign(count, 0.0F);
   bias_momentum_.assign(static_cast<std::size_t>(outputs_), 0.0F);
 }
@@ -30,7 +28,7 @@ std::string ConnectedLayer::Describe() const {
 }
 
 void ConnectedLayer::Forward(const Batch& in, Batch& out,
-                             const LayerContext& ctx) {
+                             const LayerContext& ctx) const {
   const std::size_t m = static_cast<std::size_t>(out.n);
   const std::size_t n = static_cast<std::size_t>(outputs_);
   const std::size_t k = static_cast<std::size_t>(inputs_);
@@ -50,27 +48,33 @@ void ConnectedLayer::Forward(const Batch& in, Batch& out,
 
 void ConnectedLayer::Backward(const Batch& in, const Batch& out,
                               const Batch& delta_out, Batch& delta_in,
-                              const LayerContext& ctx) {
+                              const LayerContext& ctx) const {
+  CALTRAIN_CHECK(ctx.scratch != nullptr && ctx.grads != nullptr,
+                 "connected backward needs workspace scratch and gradients");
   const std::size_t m = static_cast<std::size_t>(in.n);
   const std::size_t n = static_cast<std::size_t>(outputs_);
   const std::size_t k = static_cast<std::size_t>(inputs_);
 
-  std::vector<float> delta = delta_out.data;
+  std::vector<float>& delta = ctx.scratch->delta;
+  delta = delta_out.data;
   if (activation_ == Activation::kLeakyRelu) {
     for (std::size_t i = 0; i < delta.size(); ++i) {
       if (out.data[i] < 0.0F) delta[i] *= kLeakySlope;
     }
   }
 
+  LayerGrads& grads = *ctx.grads;
+  grads.EnsureSized(weights_.size(), biases_.size());
+
   // Bias gradients.
   for (std::size_t s = 0; s < m; ++s) {
     const float* row = delta.data() + s * n;
-    for (std::size_t j = 0; j < n; ++j) bias_grads_[j] += row[j];
+    for (std::size_t j = 0; j < n; ++j) grads.bias_grads[j] += row[j];
   }
 
   // Weight gradients: dW[n x k] += delta^T[n x m] * in[m x k].
   GemmTransA(ctx.profile, n, k, m, delta.data(), in.data.data(),
-             weight_grads_.data());
+             grads.weight_grads.data());
 
   // Input gradients: d_in[m x k] = delta[m x n] * W[n x k].
   delta_in.Zero();
@@ -78,22 +82,24 @@ void ConnectedLayer::Backward(const Batch& in, const Batch& out,
        delta_in.data.data());
 }
 
-void ConnectedLayer::Update(const SgdConfig& config, int batch_size) {
-  detail::ApplyDpSanitization(config, weight_grads_, bias_grads_);
+void ConnectedLayer::Update(const SgdConfig& config, int batch_size,
+                            LayerGrads& grads) {
+  grads.EnsureSized(weights_.size(), biases_.size());
+  detail::ApplyDpSanitization(config, grads.weight_grads, grads.bias_grads);
   const float scale = config.learning_rate / static_cast<float>(batch_size);
   for (std::size_t i = 0; i < weights_.size(); ++i) {
     weight_momentum_[i] = config.momentum * weight_momentum_[i] -
-                          scale * weight_grads_[i] -
+                          scale * grads.weight_grads[i] -
                           config.learning_rate * config.weight_decay *
                               weights_[i];
     weights_[i] += weight_momentum_[i];
-    weight_grads_[i] = 0.0F;
+    grads.weight_grads[i] = 0.0F;
   }
   for (std::size_t i = 0; i < biases_.size(); ++i) {
     bias_momentum_[i] =
-        config.momentum * bias_momentum_[i] - scale * bias_grads_[i];
+        config.momentum * bias_momentum_[i] - scale * grads.bias_grads[i];
     biases_[i] += bias_momentum_[i];
-    bias_grads_[i] = 0.0F;
+    grads.bias_grads[i] = 0.0F;
   }
 }
 

@@ -17,10 +17,12 @@ class ConnectedLayer final : public Layer {
   }
   [[nodiscard]] std::string Describe() const override;
 
-  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Forward(const Batch& in, Batch& out,
+               const LayerContext& ctx) const override;
   void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
-                Batch& delta_in, const LayerContext& ctx) override;
-  void Update(const SgdConfig& config, int batch_size) override;
+                Batch& delta_in, const LayerContext& ctx) const override;
+  void Update(const SgdConfig& config, int batch_size,
+              LayerGrads& grads) override;
 
   [[nodiscard]] bool HasWeights() const noexcept override { return true; }
   void InitWeights(Rng& rng) override;
@@ -31,9 +33,6 @@ class ConnectedLayer final : public Layer {
   [[nodiscard]] std::size_t WeightBytes() const noexcept override;
 
   [[nodiscard]] std::vector<float>& weights() noexcept { return weights_; }
-  [[nodiscard]] const std::vector<float>& weight_grads() const noexcept {
-    return weight_grads_;
-  }
 
  private:
   int inputs_;
@@ -42,8 +41,6 @@ class ConnectedLayer final : public Layer {
 
   std::vector<float> weights_;  ///< [outputs][inputs]
   std::vector<float> biases_;
-  std::vector<float> weight_grads_;
-  std::vector<float> bias_grads_;
   std::vector<float> weight_momentum_;
   std::vector<float> bias_momentum_;
 };

@@ -31,11 +31,8 @@ ConvLayer::ConvLayer(Shape in, int filters, int ksize, int stride,
                                    in_shape_.c * ksize_ * ksize_;
   weights_.assign(weight_count, 0.0F);
   biases_.assign(static_cast<std::size_t>(filters_), 0.0F);
-  weight_grads_.assign(weight_count, 0.0F);
-  bias_grads_.assign(static_cast<std::size_t>(filters_), 0.0F);
   weight_momentum_.assign(weight_count, 0.0F);
   bias_momentum_.assign(static_cast<std::size_t>(filters_), 0.0F);
-  col_scratch_.assign(ColSize(), 0.0F);
 }
 
 std::string ConvLayer::Describe() const {
@@ -66,10 +63,15 @@ void ConvLayer::ActivationGradient(const float* out, float* delta,
   }
 }
 
-void ConvLayer::Forward(const Batch& in, Batch& out, const LayerContext& ctx) {
+void ConvLayer::Forward(const Batch& in, Batch& out,
+                        const LayerContext& ctx) const {
+  CALTRAIN_CHECK(ctx.scratch != nullptr, "conv forward needs workspace scratch");
   const std::size_t m = static_cast<std::size_t>(filters_);
   const std::size_t k = static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_;
   const std::size_t n = static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
+
+  std::vector<float>& col = ctx.scratch->col;
+  if (col.size() != ColSize()) col.assign(ColSize(), 0.0F);
 
   for (int s = 0; s < in.n; ++s) {
     const float* src = in.Sample(s);
@@ -81,68 +83,76 @@ void ConvLayer::Forward(const Batch& in, Batch& out, const LayerContext& ctx) {
       for (std::size_t j = 0; j < n; ++j) row[j] = b;
     }
     Im2Col(src, in_shape_.c, in_shape_.h, in_shape_.w, ksize_, stride_, pad_,
-           col_scratch_.data());
-    Gemm(ctx.profile, m, n, k, weights_.data(), col_scratch_.data(), dst);
+           col.data());
+    Gemm(ctx.profile, m, n, k, weights_.data(), col.data(), dst);
     ApplyActivation(dst, m * n);
   }
 }
 
 void ConvLayer::Backward(const Batch& in, const Batch& out,
                          const Batch& delta_out, Batch& delta_in,
-                         const LayerContext& ctx) {
+                         const LayerContext& ctx) const {
+  CALTRAIN_CHECK(ctx.scratch != nullptr && ctx.grads != nullptr,
+                 "conv backward needs workspace scratch and gradients");
   const std::size_t m = static_cast<std::size_t>(filters_);
   const std::size_t k = static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_;
   const std::size_t n = static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
 
-  std::vector<float> delta(m * n);
-  std::vector<float> col_delta(k * n);
+  LayerScratch& scratch = *ctx.scratch;
+  if (scratch.col.size() != ColSize()) scratch.col.assign(ColSize(), 0.0F);
+  if (scratch.delta.size() != m * n) scratch.delta.assign(m * n, 0.0F);
+  if (scratch.col_delta.size() != k * n) scratch.col_delta.assign(k * n, 0.0F);
+  LayerGrads& grads = *ctx.grads;
+  grads.EnsureSized(weights_.size(), biases_.size());
 
   delta_in.Zero();
   for (int s = 0; s < in.n; ++s) {
     // Activation gradient (in a scratch copy so delta_out stays intact).
     const float* d_out = delta_out.Sample(s);
-    std::copy(d_out, d_out + m * n, delta.data());
-    ActivationGradient(out.Sample(s), delta.data(), m * n);
+    std::copy(d_out, d_out + m * n, scratch.delta.data());
+    ActivationGradient(out.Sample(s), scratch.delta.data(), m * n);
 
     // Bias gradients: row sums of delta.
     for (std::size_t f = 0; f < m; ++f) {
       float acc = 0.0F;
-      const float* row = delta.data() + f * n;
+      const float* row = scratch.delta.data() + f * n;
       for (std::size_t j = 0; j < n; ++j) acc += row[j];
-      bias_grads_[f] += acc;
+      grads.bias_grads[f] += acc;
     }
 
     // Weight gradients: dW[m x k] += delta[m x n] * col^T[n x k].
     Im2Col(in.Sample(s), in_shape_.c, in_shape_.h, in_shape_.w, ksize_,
-           stride_, pad_, col_scratch_.data());
-    GemmTransB(ctx.profile, m, k, n, delta.data(), col_scratch_.data(),
-               weight_grads_.data());
+           stride_, pad_, scratch.col.data());
+    GemmTransB(ctx.profile, m, k, n, scratch.delta.data(), scratch.col.data(),
+               grads.weight_grads.data());
 
     // Input gradients: col_delta[k x n] = W^T[k x m] * delta[m x n].
-    std::fill(col_delta.begin(), col_delta.end(), 0.0F);
-    GemmTransA(ctx.profile, k, n, m, weights_.data(), delta.data(),
-               col_delta.data());
-    Col2Im(col_delta.data(), in_shape_.c, in_shape_.h, in_shape_.w, ksize_,
-           stride_, pad_, delta_in.Sample(s));
+    std::fill(scratch.col_delta.begin(), scratch.col_delta.end(), 0.0F);
+    GemmTransA(ctx.profile, k, n, m, weights_.data(), scratch.delta.data(),
+               scratch.col_delta.data());
+    Col2Im(scratch.col_delta.data(), in_shape_.c, in_shape_.h, in_shape_.w,
+           ksize_, stride_, pad_, delta_in.Sample(s));
   }
 }
 
-void ConvLayer::Update(const SgdConfig& config, int batch_size) {
-  detail::ApplyDpSanitization(config, weight_grads_, bias_grads_);
+void ConvLayer::Update(const SgdConfig& config, int batch_size,
+                       LayerGrads& grads) {
+  grads.EnsureSized(weights_.size(), biases_.size());
+  detail::ApplyDpSanitization(config, grads.weight_grads, grads.bias_grads);
   const float scale = config.learning_rate / static_cast<float>(batch_size);
   for (std::size_t i = 0; i < weights_.size(); ++i) {
     weight_momentum_[i] = config.momentum * weight_momentum_[i] -
-                          scale * weight_grads_[i] -
+                          scale * grads.weight_grads[i] -
                           config.learning_rate * config.weight_decay *
                               weights_[i];
     weights_[i] += weight_momentum_[i];
-    weight_grads_[i] = 0.0F;
+    grads.weight_grads[i] = 0.0F;
   }
   for (std::size_t i = 0; i < biases_.size(); ++i) {
     bias_momentum_[i] =
-        config.momentum * bias_momentum_[i] - scale * bias_grads_[i];
+        config.momentum * bias_momentum_[i] - scale * grads.bias_grads[i];
     biases_[i] += bias_momentum_[i];
-    bias_grads_[i] = 0.0F;
+    grads.bias_grads[i] = 0.0F;
   }
 }
 

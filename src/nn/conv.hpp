@@ -19,10 +19,12 @@ class ConvLayer final : public Layer {
   }
   [[nodiscard]] std::string Describe() const override;
 
-  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Forward(const Batch& in, Batch& out,
+               const LayerContext& ctx) const override;
   void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
-                Batch& delta_in, const LayerContext& ctx) override;
-  void Update(const SgdConfig& config, int batch_size) override;
+                Batch& delta_in, const LayerContext& ctx) const override;
+  void Update(const SgdConfig& config, int batch_size,
+              LayerGrads& grads) override;
 
   [[nodiscard]] bool HasWeights() const noexcept override { return true; }
   void InitWeights(Rng& rng) override;
@@ -34,12 +36,6 @@ class ConvLayer final : public Layer {
 
   [[nodiscard]] std::vector<float>& weights() noexcept { return weights_; }
   [[nodiscard]] std::vector<float>& biases() noexcept { return biases_; }
-  [[nodiscard]] const std::vector<float>& weight_grads() const noexcept {
-    return weight_grads_;
-  }
-  [[nodiscard]] const std::vector<float>& bias_grads() const noexcept {
-    return bias_grads_;
-  }
   [[nodiscard]] int filters() const noexcept { return filters_; }
   [[nodiscard]] int ksize() const noexcept { return ksize_; }
 
@@ -55,13 +51,12 @@ class ConvLayer final : public Layer {
   int pad_;
   Activation activation_;
 
+  // Weights and optimizer momentum only: per-pass scratch and gradient
+  // accumulation live in the caller's LayerWorkspace (workspace.hpp).
   std::vector<float> weights_;       ///< [filters][in_c * k * k]
   std::vector<float> biases_;        ///< [filters]
-  std::vector<float> weight_grads_;
-  std::vector<float> bias_grads_;
   std::vector<float> weight_momentum_;
   std::vector<float> bias_momentum_;
-  std::vector<float> col_scratch_;   ///< im2col workspace (one sample)
 };
 
 }  // namespace caltrain::nn

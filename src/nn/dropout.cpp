@@ -14,18 +14,21 @@ std::string DropoutLayer::Describe() const {
 }
 
 void DropoutLayer::Forward(const Batch& in, Batch& out,
-                           const LayerContext& ctx) {
+                           const LayerContext& ctx) const {
   if (!ctx.training || probability_ == 0.0F) {
     out.data = in.data;
     return;
   }
   CALTRAIN_CHECK(ctx.rng != nullptr, "dropout requires an RNG when training");
+  CALTRAIN_CHECK(ctx.scratch != nullptr,
+                 "dropout requires workspace scratch when training");
   const float keep = 1.0F - probability_;
   const float scale = 1.0F / keep;
-  mask_.assign(in.data.size(), 0);
+  std::vector<std::uint8_t>& mask = ctx.scratch->mask;
+  mask.assign(in.data.size(), 0);
   for (std::size_t i = 0; i < in.data.size(); ++i) {
     if (ctx.rng->UniformFloat() < keep) {
-      mask_[i] = 1;
+      mask[i] = 1;
       out.data[i] = in.data[i] * scale;
     } else {
       out.data[i] = 0.0F;
@@ -35,14 +38,18 @@ void DropoutLayer::Forward(const Batch& in, Batch& out,
 
 void DropoutLayer::Backward(const Batch& /*in*/, const Batch& /*out*/,
                             const Batch& delta_out, Batch& delta_in,
-                            const LayerContext& ctx) {
+                            const LayerContext& ctx) const {
   if (!ctx.training || probability_ == 0.0F) {
     delta_in.data = delta_out.data;
     return;
   }
+  CALTRAIN_CHECK(ctx.scratch != nullptr &&
+                     ctx.scratch->mask.size() == delta_out.data.size(),
+                 "dropout backward without a matching forward mask");
+  const std::vector<std::uint8_t>& mask = ctx.scratch->mask;
   const float scale = 1.0F / (1.0F - probability_);
   for (std::size_t i = 0; i < delta_out.data.size(); ++i) {
-    delta_in.data[i] = mask_[i] ? delta_out.data[i] * scale : 0.0F;
+    delta_in.data[i] = mask[i] ? delta_out.data[i] * scale : 0.0F;
   }
 }
 

@@ -16,15 +16,15 @@ class DropoutLayer final : public Layer {
   }
   [[nodiscard]] std::string Describe() const override;
 
-  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Forward(const Batch& in, Batch& out,
+               const LayerContext& ctx) const override;
   void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
-                Batch& delta_in, const LayerContext& ctx) override;
+                Batch& delta_in, const LayerContext& ctx) const override;
 
   [[nodiscard]] float probability() const noexcept { return probability_; }
 
  private:
-  float probability_;
-  std::vector<std::uint8_t> mask_;  ///< 1 = kept
+  float probability_;  ///< the keep mask lives in LayerScratch::mask
 };
 
 }  // namespace caltrain::nn

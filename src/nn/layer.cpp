@@ -35,7 +35,8 @@ void ApplyDpSanitization(const SgdConfig& config,
 
 }  // namespace detail
 
-void Layer::Update(const SgdConfig& /*config*/, int /*batch_size*/) {}
+void Layer::Update(const SgdConfig& /*config*/, int /*batch_size*/,
+                   LayerGrads& /*grads*/) {}
 
 void Layer::InitWeights(Rng& /*rng*/) {}
 

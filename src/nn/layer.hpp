@@ -15,6 +15,7 @@
 
 #include "nn/kernels.hpp"
 #include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 #include "util/serial.hpp"
 
@@ -62,12 +63,18 @@ void ApplyDpSanitization(const SgdConfig& config,
                          std::vector<float>& bias_grads);
 }  // namespace detail
 
-/// Per-pass execution context.
+/// Per-pass execution context.  `scratch` and `grads` point into the
+/// caller's LayerWorkspace slots for the executing layer; layers hold
+/// no mutable per-pass state of their own, so a const Layer (and a
+/// const Network) is safely shareable across threads as long as each
+/// worker brings its own workspace.
 struct LayerContext {
   bool training = false;
   Rng* rng = nullptr;                             ///< dropout randomness
   KernelProfile profile = KernelProfile::kFast;   ///< compute path
   const std::vector<int>* labels = nullptr;       ///< for the cost layer
+  LayerScratch* scratch = nullptr;  ///< this layer's per-pass scratch
+  LayerGrads* grads = nullptr;      ///< this layer's gradient buffers
 };
 
 class Layer {
@@ -81,21 +88,27 @@ class Layer {
   [[nodiscard]] Shape out_shape() const noexcept { return out_shape_; }
 
   /// Computes out from in.  `out` is resized by the caller (Network) to
-  /// the batch size and this layer's out_shape.
+  /// the batch size and this layer's out_shape.  Layers requiring
+  /// scratch (conv, maxpool, training-mode dropout, labeled cost)
+  /// demand ctx.scratch != nullptr.
   virtual void Forward(const Batch& in, Batch& out,
-                       const LayerContext& ctx) = 0;
+                       const LayerContext& ctx) const = 0;
 
   /// Given the forward input/output and dL/d(out), computes
   /// dL/d(in) into delta_in (overwriting it) and accumulates weight
-  /// gradients internally.
+  /// gradients into ctx.grads.  ctx.scratch must be the slot the
+  /// matching Forward used (masks/argmax/labels persist there).
   virtual void Backward(const Batch& in, const Batch& out,
                         const Batch& delta_out, Batch& delta_in,
-                        const LayerContext& ctx) = 0;
+                        const LayerContext& ctx) const = 0;
 
-  /// Applies accumulated gradients (scaled by 1/batch_size) with
-  /// momentum and weight decay, then clears them.  No-op for
-  /// weight-free layers.
-  virtual void Update(const SgdConfig& config, int batch_size);
+  /// Applies `grads` (scaled by 1/batch_size) with momentum and weight
+  /// decay — after DP sanitization, when configured — then zeroes
+  /// them.  No-op for weight-free layers.  Unlike Forward/Backward
+  /// this mutates the layer and runs serially, once per step, on the
+  /// reduced gradients.
+  virtual void Update(const SgdConfig& config, int batch_size,
+                      LayerGrads& grads);
 
   [[nodiscard]] virtual bool HasWeights() const noexcept { return false; }
 

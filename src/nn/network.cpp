@@ -7,6 +7,7 @@
 #include "nn/dropout.hpp"
 #include "nn/pool.hpp"
 #include "nn/softmax.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::nn {
 
@@ -107,8 +108,7 @@ Network::Network(const NetworkSpec& spec) : spec_(spec) {
     current = layers_.back()->out_shape();
   }
   (void)saw_softmax;
-  activations_.resize(layers_.size());
-  deltas_.resize(layers_.size());
+  default_ws_.Reset(*this);
 }
 
 void Network::InitWeights(Rng& rng) {
@@ -134,104 +134,170 @@ int Network::PenultimateIndex() const {
   return idx - 1;
 }
 
+int Network::CostIndex() const noexcept {
+  for (std::size_t i = layers_.size(); i > 0; --i) {
+    if (layers_[i - 1]->kind() == LayerKind::kCost) {
+      return static_cast<int>(i - 1);
+    }
+  }
+  return -1;
+}
+
 void Network::CheckRange(int from, int to) const {
   CALTRAIN_REQUIRE(from >= 0 && to <= NumLayers() && from < to,
                    "bad layer range");
 }
 
 void Network::ForwardRange(const Batch* input, int from, int to,
-                           const LayerContext& ctx) {
+                           const LayerContext& ctx, LayerWorkspace& ws) const {
   CheckRange(from, to);
+  if (static_cast<int>(ws.activations.size()) != NumLayers()) {
+    ws.Reset(*this);
+  }
   const Batch* current;
   if (from == 0) {
     CALTRAIN_REQUIRE(input != nullptr, "ForwardRange from 0 needs an input");
     CALTRAIN_REQUIRE(input->shape == spec_.input, "input shape mismatch");
-    input_ = *input;
-    current_batch_ = input->n;
-    current = &input_;
+    if (input != &ws.input) ws.input = *input;
+    ws.batch = ws.input.n;
+    current = &ws.input;
   } else {
-    CALTRAIN_REQUIRE(activations_[static_cast<std::size_t>(from - 1)].n ==
-                         current_batch_,
+    CALTRAIN_REQUIRE(ws.activations[static_cast<std::size_t>(from - 1)].n ==
+                         ws.batch,
                      "ForwardRange continuation without prior forward");
-    current = &activations_[static_cast<std::size_t>(from - 1)];
+    current = &ws.activations[static_cast<std::size_t>(from - 1)];
   }
   for (int i = from; i < to; ++i) {
-    Layer& layer = *layers_[static_cast<std::size_t>(i)];
-    Batch& out = activations_[static_cast<std::size_t>(i)];
-    if (out.n != current_batch_ || out.shape != layer.out_shape()) {
-      out = Batch(current_batch_, layer.out_shape());
+    const Layer& layer = *layers_[static_cast<std::size_t>(i)];
+    Batch& out = ws.activations[static_cast<std::size_t>(i)];
+    if (out.n != ws.batch || out.shape != layer.out_shape()) {
+      out = Batch(ws.batch, layer.out_shape());
     }
-    layer.Forward(*current, out, ctx);
+    LayerContext layer_ctx = ctx;
+    layer_ctx.scratch = &ws.scratch[static_cast<std::size_t>(i)];
+    layer_ctx.grads = &ws.grads.at(i);
+    layer.Forward(*current, out, layer_ctx);
     current = &out;
   }
 }
 
-void Network::BackwardRange(int from, int to, const LayerContext& ctx) {
+void Network::BackwardRange(int from, int to, const LayerContext& ctx,
+                            LayerWorkspace& ws) const {
   CheckRange(from, to);
+  CALTRAIN_REQUIRE(static_cast<int>(ws.activations.size()) == NumLayers(),
+                   "BackwardRange without a prior forward in this workspace");
   for (int i = to - 1; i >= from; --i) {
-    Layer& layer = *layers_[static_cast<std::size_t>(i)];
+    const Layer& layer = *layers_[static_cast<std::size_t>(i)];
     const Batch& in =
-        (i == 0) ? input_ : activations_[static_cast<std::size_t>(i - 1)];
-    const Batch& out = activations_[static_cast<std::size_t>(i)];
-    Batch& delta_out = deltas_[static_cast<std::size_t>(i)];
-    if (delta_out.n != current_batch_ || delta_out.shape != layer.out_shape()) {
-      delta_out = Batch(current_batch_, layer.out_shape());
+        (i == 0) ? ws.input : ws.activations[static_cast<std::size_t>(i - 1)];
+    const Batch& out = ws.activations[static_cast<std::size_t>(i)];
+    Batch& delta_out = ws.deltas[static_cast<std::size_t>(i)];
+    if (delta_out.n != ws.batch || delta_out.shape != layer.out_shape()) {
+      delta_out = Batch(ws.batch, layer.out_shape());
     }
     Batch& delta_in =
-        (i == 0) ? input_delta_ : deltas_[static_cast<std::size_t>(i - 1)];
-    if (delta_in.n != current_batch_ || delta_in.shape != layer.in_shape()) {
-      delta_in = Batch(current_batch_, layer.in_shape());
+        (i == 0) ? ws.input_delta : ws.deltas[static_cast<std::size_t>(i - 1)];
+    if (delta_in.n != ws.batch || delta_in.shape != layer.in_shape()) {
+      delta_in = Batch(ws.batch, layer.in_shape());
     }
-    layer.Backward(in, out, delta_out, delta_in, ctx);
+    LayerContext layer_ctx = ctx;
+    layer_ctx.scratch = &ws.scratch[static_cast<std::size_t>(i)];
+    layer_ctx.grads = &ws.grads.at(i);
+    layer.Backward(in, out, delta_out, delta_in, layer_ctx);
   }
 }
 
 void Network::UpdateRange(int from, int to, const SgdConfig& config,
-                          int batch_size) {
+                          int batch_size, GradientAccumulator& grads) {
   CheckRange(from, to);
   for (int i = from; i < to; ++i) {
-    layers_[static_cast<std::size_t>(i)]->Update(config, batch_size);
+    layers_[static_cast<std::size_t>(i)]->Update(config, batch_size,
+                                                 grads.at(i));
   }
+}
+
+void Network::ForwardRange(const Batch* input, int from, int to,
+                           const LayerContext& ctx) {
+  ForwardRange(input, from, to, ctx, default_ws_);
+}
+
+void Network::BackwardRange(int from, int to, const LayerContext& ctx) {
+  BackwardRange(from, to, ctx, default_ws_);
+}
+
+void Network::UpdateRange(int from, int to, const SgdConfig& config,
+                          int batch_size) {
+  UpdateRange(from, to, config, batch_size, default_ws_.grads);
 }
 
 const Batch& Network::ActivationAt(int i) const {
   CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
-  return activations_[static_cast<std::size_t>(i)];
+  return default_ws_.activations[static_cast<std::size_t>(i)];
 }
 
 const Batch& Network::DeltaAt(int i) const {
   CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
-  return deltas_[static_cast<std::size_t>(i)];
+  return default_ws_.deltas[static_cast<std::size_t>(i)];
 }
 
 void Network::SetActivationAt(int i, Batch batch) {
   CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
   CALTRAIN_REQUIRE(batch.shape == layers_[static_cast<std::size_t>(i)]->out_shape(),
                    "activation shape mismatch");
-  current_batch_ = batch.n;
-  activations_[static_cast<std::size_t>(i)] = std::move(batch);
+  default_ws_.batch = batch.n;
+  default_ws_.activations[static_cast<std::size_t>(i)] = std::move(batch);
 }
 
 void Network::SetDeltaAt(int i, Batch batch) {
   CALTRAIN_REQUIRE(i >= 0 && i < NumLayers(), "layer index out of range");
   CALTRAIN_REQUIRE(batch.shape == layers_[static_cast<std::size_t>(i)]->out_shape(),
                    "delta shape mismatch");
-  deltas_[static_cast<std::size_t>(i)] = std::move(batch);
+  default_ws_.deltas[static_cast<std::size_t>(i)] = std::move(batch);
 }
 
 float Network::TrainStep(const Batch& input, const std::vector<int>& labels,
                          const SgdConfig& config, Rng& rng,
                          KernelProfile profile) {
-  LayerContext ctx;
-  ctx.training = true;
-  ctx.rng = &rng;
-  ctx.profile = profile;
-  ctx.labels = &labels;
-  ForwardRange(&input, 0, NumLayers(), ctx);
-  BackwardRange(0, NumLayers(), ctx);
-  UpdateRange(0, NumLayers(), config, input.n);
-  return LastLoss();
+  CALTRAIN_REQUIRE(static_cast<int>(labels.size()) == input.n,
+                   "label count != batch size");
+  const int total = NumLayers();
+  const int cost = CostIndex();
+  CALTRAIN_REQUIRE(cost >= 0, "network has no cost layer");
+
+  // Fixed-size shards and per-shard RNG streams, both independent of
+  // the thread count (see workspace.hpp).
+  const std::vector<TrainShard> shards = MakeTrainShards(input.n, rng);
+  EnsureShardWorkspaces(*this, shard_ws_, shards.size());
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(shards.size());
+  for (const TrainShard& shard : shards) shard_rngs.emplace_back(shard.rng_seed);
+
+  util::ParallelFor(0, shards.size(), [&](std::size_t s) {
+    const TrainShard& shard = shards[s];
+    LayerWorkspace& ws = *shard_ws_[s];
+    SliceBatch(input, shard.begin, shard.end, ws.input);
+    const std::vector<int> shard_labels(
+        labels.begin() + shard.begin, labels.begin() + shard.end);
+    LayerContext ctx;
+    ctx.training = true;
+    ctx.rng = &shard_rngs[s];
+    ctx.profile = profile;
+    ctx.labels = &shard_labels;
+    ForwardRange(&ws.input, 0, total, ctx, ws);
+    BackwardRange(0, total, ctx, ws);
+  });
+
+  // Fixed-order gradient reduction: shard order, never thread order.
+  UpdateRange(0, total, config, input.n,
+              ReduceShardGrads(shard_ws_, shards.size()));
+  const float loss = SumShardLosses(shard_ws_, shards.size(), cost, input.n);
+  // Keep the documented TrainStep -> LastLoss() pairing working even
+  // though the pass ran in the shard workspaces.
+  default_ws_.scratch[static_cast<std::size_t>(cost)].loss = loss;
+  return loss;
 }
+
+void Network::ReleaseTrainingWorkspaces() noexcept { shard_ws_.clear(); }
 
 std::vector<std::vector<float>> Network::Predict(const Batch& input,
                                                  KernelProfile profile) {
@@ -239,7 +305,7 @@ std::vector<std::vector<float>> Network::Predict(const Batch& input,
   ctx.profile = profile;
   const int out_layer = SoftmaxIndex() >= 0 ? SoftmaxIndex() + 1 : NumLayers();
   ForwardRange(&input, 0, out_layer, ctx);
-  const Batch& out = activations_[static_cast<std::size_t>(out_layer - 1)];
+  const Batch& out = default_ws_.activations[static_cast<std::size_t>(out_layer - 1)];
   std::vector<std::vector<float>> result(static_cast<std::size_t>(input.n));
   for (int s = 0; s < input.n; ++s) {
     result[static_cast<std::size_t>(s)].assign(
@@ -262,14 +328,22 @@ std::vector<float> Network::EmbeddingOf(const Image& image,
 
 std::vector<float> Network::EmbeddingAtLayer(const Image& image, int layer,
                                              KernelProfile profile) {
+  return EmbeddingAtLayer(image, layer, profile, default_ws_);
+}
+
+std::vector<float> Network::EmbeddingAtLayer(const Image& image, int layer,
+                                             KernelProfile profile,
+                                             LayerWorkspace& ws) const {
   CALTRAIN_REQUIRE(layer >= 0 && layer < NumLayers(),
                    "embedding layer out of range");
   LayerContext ctx;
   ctx.profile = profile;
-  Batch batch(1, image.shape);
-  batch.data = image.pixels;
-  ForwardRange(&batch, 0, layer + 1, ctx);
-  const Batch& out = activations_[static_cast<std::size_t>(layer)];
+  if (ws.input.n != 1 || ws.input.shape != image.shape) {
+    ws.input = Batch(1, image.shape);
+  }
+  ws.input.data = image.pixels;
+  ForwardRange(&ws.input, 0, layer + 1, ctx, ws);
+  const Batch& out = ws.activations[static_cast<std::size_t>(layer)];
   return std::vector<float>(out.data.begin(), out.data.end());
 }
 
@@ -282,19 +356,20 @@ std::vector<std::vector<float>> Network::AllActivations(
   ForwardRange(&batch, 0, NumLayers(), ctx);
   std::vector<std::vector<float>> result;
   result.reserve(layers_.size());
-  for (const Batch& act : activations_) {
+  for (const Batch& act : default_ws_.activations) {
     result.emplace_back(act.data.begin(), act.data.end());
   }
   return result;
 }
 
-float Network::LastLoss() const {
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    if ((*it)->kind() == LayerKind::kCost) {
-      return static_cast<const CostLayer&>(**it).last_loss();
-    }
-  }
-  ThrowError(ErrorKind::kFailedPrecondition, "network has no cost layer");
+float Network::LastLoss() const { return LossOf(default_ws_); }
+
+float Network::LossOf(const LayerWorkspace& ws) const {
+  const int cost = CostIndex();
+  CALTRAIN_REQUIRE(cost >= 0, "network has no cost layer");
+  CALTRAIN_REQUIRE(ws.scratch.size() == layers_.size(),
+                   "workspace not sized for this network");
+  return ws.scratch[static_cast<std::size_t>(cost)].loss;
 }
 
 Bytes Network::SerializeModel() const {

@@ -7,6 +7,17 @@
 // BackNet range outside, shuttling intermediate representations and
 // deltas across the boundary.  The convenience Train/Predict helpers
 // run the whole stack.
+//
+// Each range primitive exists in two forms: a const overload taking an
+// explicit LayerWorkspace (thread-safe — a const Network is shareable
+// across workers, each with its own workspace) and a legacy overload
+// bound to the network's built-in default workspace for single-threaded
+// convenience callers.  TrainStep is the deterministic data-parallel
+// SGD step: the batch is decomposed into fixed-size shards (never a
+// function of the thread count), each shard runs forward/backward in
+// its own workspace with its own derived RNG stream, and gradients are
+// reduced in shard order — so the result is bit-identical at any
+// thread count.
 #pragma once
 
 #include <memory>
@@ -16,6 +27,7 @@
 
 #include "nn/layer.hpp"
 #include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
 
 namespace caltrain::nn {
 
@@ -67,18 +79,29 @@ class Network {
   /// Index of the first softmax layer, or -1.
   [[nodiscard]] int SoftmaxIndex() const noexcept;
 
-  // --- range execution ------------------------------------------------
-  /// Runs layers [from, to).  `input` must be provided when from == 0
-  /// and is ignored otherwise (the stored activation of layer from-1 is
-  /// used).  Activations are cached for Backward.
+  // --- range execution (explicit workspace; const, thread-safe) -------
+  /// Runs layers [from, to) into `ws`.  `input` must be provided when
+  /// from == 0 and is ignored otherwise (the stored activation of layer
+  /// from-1 in `ws` is used).  Activations are cached for Backward.
+  /// Passing `&ws.input` as `input` is allowed (no self-copy).
+  void ForwardRange(const Batch* input, int from, int to,
+                    const LayerContext& ctx, LayerWorkspace& ws) const;
+
+  /// Runs layers [from, to) backwards (i.e. to-1 down to from) in `ws`.
+  /// The forward pass for the same batch must have happened already;
+  /// weight gradients accumulate into ws.grads.
+  void BackwardRange(int from, int to, const LayerContext& ctx,
+                     LayerWorkspace& ws) const;
+
+  /// Applies `grads` (reduced across workers) for layers [from, to),
+  /// zeroing them.  Serial; mutates the weights.
+  void UpdateRange(int from, int to, const SgdConfig& config, int batch_size,
+                   GradientAccumulator& grads);
+
+  // --- range execution (built-in default workspace) --------------------
   void ForwardRange(const Batch* input, int from, int to,
                     const LayerContext& ctx);
-
-  /// Runs layers [from, to) backwards (i.e. to-1 down to from).  The
-  /// forward pass for the same batch must have happened already.
   void BackwardRange(int from, int to, const LayerContext& ctx);
-
-  /// Applies accumulated gradients for layers [from, to).
   void UpdateRange(int from, int to, const SgdConfig& config, int batch_size);
 
   /// Output activation of layer i for the current batch.
@@ -93,15 +116,22 @@ class Network {
   /// dL/d(network input) after a BackwardRange that reached layer 0
   /// (used by gradient-based input reconstruction, attack/inversion.hpp).
   [[nodiscard]] const Batch& InputDelta() const noexcept {
-    return input_delta_;
+    return default_ws_.input_delta;
   }
 
   // --- convenience ----------------------------------------------------
-  /// One SGD step on a labeled batch (full stack, single profile).
-  /// Returns the mean cross-entropy loss.
+  /// One deterministic data-parallel SGD step on a labeled batch (full
+  /// stack, single profile): fixed-size shards, per-shard workspaces
+  /// and RNG streams, fixed-order gradient reduction.  Bit-identical at
+  /// any thread count.  Returns the mean cross-entropy loss.
   float TrainStep(const Batch& input, const std::vector<int>& labels,
                   const SgdConfig& config, Rng& rng,
                   KernelProfile profile = KernelProfile::kFast);
+
+  /// Frees the per-shard TrainStep workspaces (activation/delta/grad
+  /// buffers sized for the largest batch seen).  Call when training is
+  /// finished and the network will only serve inference.
+  void ReleaseTrainingWorkspaces() noexcept;
 
   /// Class probabilities for a batch (eval mode).
   [[nodiscard]] std::vector<std::vector<float>> Predict(
@@ -120,14 +150,27 @@ class Network {
       const Image& image, int layer,
       KernelProfile profile = KernelProfile::kFast);
 
+  /// Thread-safe embedding extraction: const forward into an explicit
+  /// workspace (the replica-free fingerprint stage runs many workers
+  /// against one shared network this way).
+  [[nodiscard]] std::vector<float> EmbeddingAtLayer(
+      const Image& image, int layer, KernelProfile profile,
+      LayerWorkspace& ws) const;
+
   /// Activations of every layer for one image (the IRs of Sec. IV-B's
   /// assessment framework).  Entry i is the output of layer i.
   [[nodiscard]] std::vector<std::vector<float>> AllActivations(
       const Image& image, KernelProfile profile = KernelProfile::kFast);
 
   /// Mean cross-entropy loss recorded by the cost layer on the most
-  /// recent labeled forward pass.
+  /// recent labeled forward pass through the default workspace.
   [[nodiscard]] float LastLoss() const;
+
+  /// Same, read from an explicit workspace.
+  [[nodiscard]] float LossOf(const LayerWorkspace& ws) const;
+
+  /// Index of the cost layer, or -1.
+  [[nodiscard]] int CostIndex() const noexcept;
 
   // --- persistence -----------------------------------------------------
   /// Serializes spec + all weights.
@@ -153,11 +196,10 @@ class Network {
 
   NetworkSpec spec_;
   std::vector<LayerPtr> layers_;
-  Batch input_;                  ///< copy of the current batch input
-  std::vector<Batch> activations_;
-  std::vector<Batch> deltas_;
-  Batch input_delta_;
-  int current_batch_ = 0;
+  /// Workspace behind the legacy single-threaded convenience API.
+  LayerWorkspace default_ws_;
+  /// Per-shard workspaces reused across TrainStep calls.
+  std::vector<std::unique_ptr<LayerWorkspace>> shard_ws_;
 };
 
 /// Builds a Network from a spec and throws if the spec is malformed

@@ -19,16 +19,19 @@ std::string MaxPoolLayer::Describe() const {
 }
 
 void MaxPoolLayer::Forward(const Batch& in, Batch& out,
-                           const LayerContext& /*ctx*/) {
+                           const LayerContext& ctx) const {
+  CALTRAIN_CHECK(ctx.scratch != nullptr,
+                 "maxpool forward needs workspace scratch");
   const std::size_t out_plane =
       static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
-  argmax_.assign(static_cast<std::size_t>(in.n) * out_shape_.Flat(), 0);
+  std::vector<std::int32_t>& argmax = ctx.scratch->argmax;
+  argmax.assign(static_cast<std::size_t>(in.n) * out_shape_.Flat(), 0);
 
   for (int s = 0; s < in.n; ++s) {
     const float* src = in.Sample(s);
     float* dst = out.Sample(s);
     std::int32_t* winners =
-        argmax_.data() + static_cast<std::size_t>(s) * out_shape_.Flat();
+        argmax.data() + static_cast<std::size_t>(s) * out_shape_.Flat();
     for (int c = 0; c < in_shape_.c; ++c) {
       const float* plane =
           src + static_cast<std::size_t>(c) * in_shape_.h * in_shape_.w;
@@ -61,7 +64,11 @@ void MaxPoolLayer::Forward(const Batch& in, Batch& out,
 
 void MaxPoolLayer::Backward(const Batch& in, const Batch& /*out*/,
                             const Batch& delta_out, Batch& delta_in,
-                            const LayerContext& /*ctx*/) {
+                            const LayerContext& ctx) const {
+  CALTRAIN_CHECK(ctx.scratch != nullptr &&
+                     ctx.scratch->argmax.size() ==
+                         static_cast<std::size_t>(in.n) * out_shape_.Flat(),
+                 "maxpool backward without a matching forward argmax");
   delta_in.Zero();
   const std::size_t in_plane =
       static_cast<std::size_t>(in_shape_.w) * in_shape_.h;
@@ -71,7 +78,8 @@ void MaxPoolLayer::Backward(const Batch& in, const Batch& /*out*/,
     const float* d_out = delta_out.Sample(s);
     float* d_in = delta_in.Sample(s);
     const std::int32_t* winners =
-        argmax_.data() + static_cast<std::size_t>(s) * out_shape_.Flat();
+        ctx.scratch->argmax.data() +
+        static_cast<std::size_t>(s) * out_shape_.Flat();
     for (int c = 0; c < in_shape_.c; ++c) {
       float* d_in_plane = d_in + static_cast<std::size_t>(c) * in_plane;
       const std::size_t base = static_cast<std::size_t>(c) * out_plane;
@@ -89,7 +97,7 @@ std::string AvgPoolLayer::Describe() const {
 }
 
 void AvgPoolLayer::Forward(const Batch& in, Batch& out,
-                           const LayerContext& /*ctx*/) {
+                           const LayerContext& /*ctx*/) const {
   const std::size_t plane =
       static_cast<std::size_t>(in_shape_.w) * in_shape_.h;
   for (int s = 0; s < in.n; ++s) {
@@ -106,7 +114,7 @@ void AvgPoolLayer::Forward(const Batch& in, Batch& out,
 
 void AvgPoolLayer::Backward(const Batch& in, const Batch& /*out*/,
                             const Batch& delta_out, Batch& delta_in,
-                            const LayerContext& /*ctx*/) {
+                            const LayerContext& /*ctx*/) const {
   const std::size_t plane =
       static_cast<std::size_t>(in_shape_.w) * in_shape_.h;
   const float inv = 1.0F / static_cast<float>(plane);

@@ -6,6 +6,7 @@
 
 namespace caltrain::nn {
 
+/// Winner indices from the forward pass live in LayerScratch::argmax.
 class MaxPoolLayer final : public Layer {
  public:
   MaxPoolLayer(Shape in, int ksize, int stride);
@@ -15,14 +16,14 @@ class MaxPoolLayer final : public Layer {
   }
   [[nodiscard]] std::string Describe() const override;
 
-  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Forward(const Batch& in, Batch& out,
+               const LayerContext& ctx) const override;
   void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
-                Batch& delta_in, const LayerContext& ctx) override;
+                Batch& delta_in, const LayerContext& ctx) const override;
 
  private:
   int ksize_;
   int stride_;
-  std::vector<std::int32_t> argmax_;  ///< winner index per output element
 };
 
 /// Global average pooling: WxHxC -> 1x1xC.
@@ -35,9 +36,10 @@ class AvgPoolLayer final : public Layer {
   }
   [[nodiscard]] std::string Describe() const override;
 
-  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Forward(const Batch& in, Batch& out,
+               const LayerContext& ctx) const override;
   void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
-                Batch& delta_in, const LayerContext& ctx) override;
+                Batch& delta_in, const LayerContext& ctx) const override;
 };
 
 }  // namespace caltrain::nn

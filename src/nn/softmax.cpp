@@ -16,7 +16,7 @@ std::string SoftmaxLayer::Describe() const {
 }
 
 void SoftmaxLayer::Forward(const Batch& in, Batch& out,
-                           const LayerContext& /*ctx*/) {
+                           const LayerContext& /*ctx*/) const {
   const std::size_t classes = static_cast<std::size_t>(in_shape_.c);
   for (int s = 0; s < in.n; ++s) {
     const auto probs =
@@ -27,7 +27,7 @@ void SoftmaxLayer::Forward(const Batch& in, Batch& out,
 
 void SoftmaxLayer::Backward(const Batch& /*in*/, const Batch& /*out*/,
                             const Batch& delta_out, Batch& delta_in,
-                            const LayerContext& /*ctx*/) {
+                            const LayerContext& /*ctx*/) const {
   // Combined with the cross-entropy cost layer (see header), the delta
   // arriving here is already d(loss)/d(logits); pass through.
   delta_in.data = delta_out.data;
@@ -39,12 +39,17 @@ std::string CostLayer::Describe() const {
   return "cost " + std::to_string(in_shape_.c);
 }
 
-void CostLayer::Forward(const Batch& in, Batch& out, const LayerContext& ctx) {
+void CostLayer::Forward(const Batch& in, Batch& out,
+                        const LayerContext& ctx) const {
   out.data = in.data;
   if (ctx.labels == nullptr) return;
   CALTRAIN_REQUIRE(static_cast<int>(ctx.labels->size()) == in.n,
                    "label count != batch size");
-  last_labels_ = *ctx.labels;
+  CALTRAIN_CHECK(ctx.scratch != nullptr,
+                 "labeled cost forward needs workspace scratch");
+  LayerScratch& scratch = *ctx.scratch;
+  scratch.labels = *ctx.labels;
+  scratch.sample_losses.resize(static_cast<std::size_t>(in.n));
   const std::size_t classes = static_cast<std::size_t>(in_shape_.c);
   double loss = 0.0;
   for (int s = 0; s < in.n; ++s) {
@@ -52,22 +57,24 @@ void CostLayer::Forward(const Batch& in, Batch& out, const LayerContext& ctx) {
     CALTRAIN_REQUIRE(label >= 0 && static_cast<std::size_t>(label) < classes,
                      "label out of range");
     const float p = in.Sample(s)[label];
-    loss -= std::log(std::max(p, 1e-12F));
+    const double sample_loss = -std::log(std::max(p, 1e-12F));
+    scratch.sample_losses[static_cast<std::size_t>(s)] = sample_loss;
+    loss += sample_loss;
   }
-  last_loss_ = static_cast<float>(loss / in.n);
+  scratch.loss = static_cast<float>(loss / in.n);
 }
 
 void CostLayer::Backward(const Batch& in, const Batch& /*out*/,
                          const Batch& /*delta_out*/, Batch& delta_in,
-                         const LayerContext& /*ctx*/) {
-  CALTRAIN_CHECK(static_cast<int>(last_labels_.size()) == in.n,
+                         const LayerContext& ctx) const {
+  CALTRAIN_CHECK(ctx.scratch != nullptr &&
+                     static_cast<int>(ctx.scratch->labels.size()) == in.n,
                  "cost backward without a labeled forward pass");
   delta_in.data = in.data;  // probabilities
-  const std::size_t classes = static_cast<std::size_t>(in_shape_.c);
   for (int s = 0; s < in.n; ++s) {
-    delta_in.Sample(s)[last_labels_[static_cast<std::size_t>(s)]] -= 1.0F;
+    delta_in.Sample(s)[ctx.scratch->labels[static_cast<std::size_t>(s)]] -=
+        1.0F;
   }
-  (void)classes;
 }
 
 }  // namespace caltrain::nn

@@ -21,9 +21,10 @@ class SoftmaxLayer final : public Layer {
   }
   [[nodiscard]] std::string Describe() const override;
 
-  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  void Forward(const Batch& in, Batch& out,
+               const LayerContext& ctx) const override;
   void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
-                Batch& delta_in, const LayerContext& ctx) override;
+                Batch& delta_in, const LayerContext& ctx) const override;
 };
 
 class CostLayer final : public Layer {
@@ -36,19 +37,16 @@ class CostLayer final : public Layer {
   [[nodiscard]] std::string Describe() const override;
 
   /// Copies probabilities through; when ctx.labels is set, records the
-  /// mean cross-entropy loss and the gradient seed for Backward.
-  void Forward(const Batch& in, Batch& out, const LayerContext& ctx) override;
+  /// labels, the per-sample losses (LayerScratch::sample_losses, used
+  /// for the thread-count-independent loss reduction), and the mean
+  /// cross-entropy loss (LayerScratch::loss) in the workspace.
+  void Forward(const Batch& in, Batch& out,
+               const LayerContext& ctx) const override;
 
   /// Emits (probs - onehot); delta_out is ignored (this is the chain
   /// terminus).
   void Backward(const Batch& in, const Batch& out, const Batch& delta_out,
-                Batch& delta_in, const LayerContext& ctx) override;
-
-  [[nodiscard]] float last_loss() const noexcept { return last_loss_; }
-
- private:
-  float last_loss_ = 0.0F;
-  std::vector<int> last_labels_;
+                Batch& delta_in, const LayerContext& ctx) const override;
 };
 
 }  // namespace caltrain::nn

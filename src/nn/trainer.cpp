@@ -109,6 +109,9 @@ std::vector<EpochStats> TrainNetwork(Network& net,
     history.push_back(stats);
     if (callback) callback(net, stats);
   }
+  // The trained model typically serves inference from here on; drop
+  // the per-shard training buffers.
+  net.ReleaseTrainingWorkspaces();
   return history;
 }
 

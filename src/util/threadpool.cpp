@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 
 namespace caltrain::util {
@@ -57,6 +58,18 @@ void Parallelism::set_threads(unsigned n) {
 }
 
 bool InParallelRegion() noexcept { return tls_in_parallel_region; }
+
+unsigned ApplyThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0) continue;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(argv[i + 1], &end, 10);
+    if (end != argv[i + 1] && *end == '\0' && v >= 1 && v <= kMaxWorkers) {
+      Parallelism::set_threads(static_cast<unsigned>(v));
+    }
+  }
+  return Parallelism::threads();
+}
 
 ThreadPool::ThreadPool(unsigned workers) { EnsureWorkers(workers); }
 

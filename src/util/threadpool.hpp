@@ -63,6 +63,12 @@ class ScopedThreads {
 /// block (used to serialize nested parallel regions).
 [[nodiscard]] bool InParallelRegion() noexcept;
 
+/// Scans argv for `--threads N` and, when present and valid, applies it
+/// via Parallelism::set_threads — the flag therefore wins over the
+/// CALTRAIN_THREADS environment variable.  Returns the thread count in
+/// effect afterwards.  Shared by the benches and the examples.
+unsigned ApplyThreadsFlag(int argc, char** argv);
+
 class ThreadPool {
  public:
   /// Spawns `workers` threads immediately (0 is allowed; the pool then

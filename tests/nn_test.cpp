@@ -196,7 +196,9 @@ TEST(ConvTest, IdentityKernelForward) {
   Batch in(1, Shape{3, 3, 1});
   std::iota(in.data.begin(), in.data.end(), 1.0F);
   Batch out(1, conv.out_shape());
+  LayerScratch scratch;
   LayerContext ctx;
+  ctx.scratch = &scratch;
   conv.Forward(in, out, ctx);
   for (std::size_t i = 0; i < in.data.size(); ++i) {
     EXPECT_FLOAT_EQ(out.data[i], in.data[i]);
@@ -209,7 +211,9 @@ TEST(ConvTest, LeakyActivationApplied) {
   Batch in(1, Shape{1, 1, 1});
   in.data[0] = -2.0F;
   Batch out(1, conv.out_shape());
+  LayerScratch scratch;
   LayerContext ctx;
+  ctx.scratch = &scratch;
   conv.Forward(in, out, ctx);
   EXPECT_FLOAT_EQ(out.data[0], -0.2F);
 }
@@ -223,13 +227,17 @@ TEST(ConvTest, GradientCheckWeightsAndInput) {
   Batch in(1, Shape{5, 5, 2});
   for (float& x : in.data) x = rng.Gaussian();
 
+  LayerScratch scratch;
+  LayerGrads grads;
   LayerContext ctx;
+  ctx.scratch = &scratch;
+  ctx.grads = &grads;
   Batch out(1, conv.out_shape());
   conv.Forward(in, out, ctx);
   Batch delta_out = out;  // dL/dout = out for the quadratic loss
   Batch delta_in(1, conv.in_shape());
   conv.Backward(in, out, delta_out, delta_in, ctx);
-  const std::vector<float> analytic_wgrad = conv.weight_grads();
+  const std::vector<float> analytic_wgrad = grads.weight_grads;
 
   const auto loss = [&]() {
     Batch tmp(1, conv.out_shape());
@@ -272,13 +280,17 @@ TEST(ConnectedTest, GradientCheck) {
   Batch in(2, Shape{2, 2, 2});
   for (float& x : in.data) x = rng.Gaussian();
 
+  LayerScratch scratch;
+  LayerGrads grads;
   LayerContext ctx;
+  ctx.scratch = &scratch;
+  ctx.grads = &grads;
   Batch out(2, fc.out_shape());
   fc.Forward(in, out, ctx);
   Batch delta_out = out;
   Batch delta_in(2, fc.in_shape());
   fc.Backward(in, out, delta_out, delta_in, ctx);
-  const std::vector<float> analytic = fc.weight_grads();
+  const std::vector<float> analytic = grads.weight_grads;
 
   const auto loss = [&]() {
     Batch tmp(2, fc.out_shape());
@@ -304,7 +316,9 @@ TEST(MaxPoolTest, ForwardPicksMaxAndBackwardRoutes) {
   Batch in(1, Shape{4, 4, 1});
   std::iota(in.data.begin(), in.data.end(), 1.0F);  // 1..16 row-major
   Batch out(1, pool.out_shape());
+  LayerScratch scratch;
   LayerContext ctx;
+  ctx.scratch = &scratch;
   pool.Forward(in, out, ctx);
   EXPECT_EQ(out.shape, (Shape{2, 2, 1}));
   EXPECT_FLOAT_EQ(out.data[0], 6.0F);
@@ -360,9 +374,11 @@ TEST(DropoutTest, TrainModeZerosAndScales) {
   std::fill(in.data.begin(), in.data.end(), 1.0F);
   Batch out(1, drop.out_shape());
   Rng rng(5);
+  LayerScratch scratch;
   LayerContext ctx;
   ctx.training = true;
   ctx.rng = &rng;
+  ctx.scratch = &scratch;
   drop.Forward(in, out, ctx);
   int zeros = 0, scaled = 0;
   for (float v : out.data) {
@@ -558,6 +574,42 @@ TEST(TrainerTest, LearnsSeparableProblem) {
   ASSERT_EQ(history.size(), 3U);
   EXPECT_GE(history.back().top1, 0.9);
   EXPECT_GE(history.back().top2, 0.999);  // 2 classes -> top2 is always hit
+}
+
+TEST(TrainerTest, TrainStepBitIdenticalAcrossThreadCounts) {
+  // The deterministic data-parallel TrainStep: fixed-size shards,
+  // per-shard dropout RNG streams, and fixed-order gradient reduction
+  // make trained weights and losses bit-identical at any thread count.
+  // Table-2 topology so dropout masks (workspace scratch + derived RNG
+  // streams) are exercised.
+  const auto run = [](unsigned threads) {
+    util::ScopedThreads guard(threads);
+    Rng rng(55);
+    Network net = BuildNetwork(Table2Spec(32, 2), rng);
+    Batch batch(16, Shape{28, 28, 3});
+    Rng fill(56);
+    for (float& x : batch.data) x = fill.UniformFloat();
+    std::vector<int> labels(16);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<int>(i % 2);
+    }
+    SgdConfig sgd;
+    Rng train_rng(57);
+    std::vector<float> losses;
+    for (int step = 0; step < 3; ++step) {
+      losses.push_back(net.TrainStep(batch, labels, sgd, train_rng));
+    }
+    return std::make_pair(losses,
+                          net.SerializeWeightRange(0, net.NumLayers()));
+  };
+  const auto serial = run(1);
+  for (const unsigned threads : {2U, 3U, 8U}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(parallel.first, serial.first)
+        << "losses diverged at threads=" << threads;
+    EXPECT_EQ(parallel.second, serial.second)
+        << "weights diverged at threads=" << threads;
+  }
 }
 
 TEST(TrainerTest, EvaluateTopKBounds) {

@@ -148,13 +148,17 @@ TEST_P(ConvGradProperty, WeightGradientMatchesNumeric) {
   nn::Batch in(1, nn::Shape{6, 6, 2});
   for (float& x : in.data) x = rng.Gaussian();
 
+  nn::LayerScratch scratch;
+  nn::LayerGrads grads;
   nn::LayerContext ctx;
+  ctx.scratch = &scratch;
+  ctx.grads = &grads;
   nn::Batch out(1, conv.out_shape());
   conv.Forward(in, out, ctx);
   nn::Batch delta_out = out;  // quadratic loss: dL/dout = out
   nn::Batch delta_in(1, conv.in_shape());
   conv.Backward(in, out, delta_out, delta_in, ctx);
-  const auto analytic = conv.weight_grads();
+  const auto analytic = grads.weight_grads;
 
   const auto loss = [&]() {
     nn::Batch tmp(1, conv.out_shape());
@@ -194,7 +198,9 @@ TEST_P(MaxPoolProperty, BackwardConservesGradientMass) {
   nn::Batch in(2, nn::Shape{size, size, channels});
   for (float& x : in.data) x = rng.Gaussian();
   nn::Batch out(2, pool.out_shape());
+  nn::LayerScratch scratch;
   nn::LayerContext ctx;
+  ctx.scratch = &scratch;
   pool.Forward(in, out, ctx);
 
   nn::Batch delta_out(2, pool.out_shape());
@@ -370,9 +376,11 @@ TEST_P(DropoutProperty, InvertedScalingPreservesExpectation) {
   std::fill(in.data.begin(), in.data.end(), 1.0F);
   nn::Batch out(1, drop.out_shape());
   Rng rng(static_cast<std::uint64_t>(p * 1000) + 1);
+  nn::LayerScratch scratch;
   nn::LayerContext ctx;
   ctx.training = true;
   ctx.rng = &rng;
+  ctx.scratch = &scratch;
   double mass = 0.0;
   constexpr int kTrials = 8;
   for (int t = 0; t < kTrials; ++t) {
