@@ -8,11 +8,15 @@
 //   --seed N     experiment seed (default 42).
 //   --threads N  worker threads for the parallel runtime; wins over the
 //                CALTRAIN_THREADS environment variable.
+//   --json PATH  (bench_micro_substrates) machine-readable results: one
+//                JSON array of {op, shape, ns_per_op, gflops, threads}
+//                rows, the perf-trajectory format (BENCH_micro.json).
 #pragma once
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/threadpool.hpp"
 
@@ -62,6 +66,52 @@ inline BenchProfile ParseArgs(int argc, char** argv) {
     }
   }
   return profile;
+}
+
+/// One machine-readable micro-benchmark result.
+struct JsonBenchRow {
+  std::string op;     ///< benchmark name, e.g. "BM_ConvGemm/L2_block8"
+  std::string shape;  ///< operand shape, e.g. "128x6272x1152"
+  double ns_per_op = 0.0;
+  double gflops = 0.0;  ///< 0 when the op has no FLOP accounting
+  int threads = 1;
+};
+
+/// Scans argv for `--flag PATH` and, when present, removes both tokens
+/// (so downstream parsers never see them) and returns the value.
+/// Returns an empty string when the flag is absent.
+inline std::string ExtractFlagValue(int& argc, char** argv,
+                                    const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      std::string value = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return value;
+    }
+  }
+  return {};
+}
+
+/// Writes `rows` to `path` as a JSON array (the BENCH_micro.json
+/// perf-trajectory format).  Returns false if the file cannot be
+/// opened.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<JsonBenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonBenchRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"shape\": \"%s\", "
+                 "\"ns_per_op\": %.1f, \"gflops\": %.2f, \"threads\": %d}%s\n",
+                 r.op.c_str(), r.shape.c_str(), r.ns_per_op, r.gflops,
+                 r.threads, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
 }
 
 inline void PrintHeader(const char* artifact, const BenchProfile& profile) {

@@ -1,9 +1,15 @@
 // Substrate micro-benchmarks (google-benchmark): crypto throughput,
 // enclave transition and EPC paging costs, secure-channel overhead,
-// GEMM fast vs strict-FP (the Fig. 6 mechanism in isolation), k-NN
-// query latency, and fingerprint extraction.
+// GEMM fast vs strict-FP (the Fig. 6 mechanism in isolation), the
+// tiled-vs-naive conv GEMM shapes, k-NN query latency, and fingerprint
+// extraction.
+//
+// `--json PATH` additionally writes every result as a machine-readable
+// {op, shape, ns_per_op, gflops, threads} row (the BENCH_micro.json
+// perf-trajectory format; see bench_common.hpp).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/partitioned.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/drbg.hpp"
@@ -199,6 +205,51 @@ void BM_GemmTransBPrecise(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_GemmTransBPrecise)->Arg(64)->Arg(128);
+
+// The training hot path in isolation: the Table-1 (10-layer) conv GEMM
+// shapes at paper scale, single-thread, through the same
+// ConvGemmBatched entry the conv layer issues.  batch=1 is the
+// pre-batching per-sample lowering; batch=8 is the wide Fast-profile
+// block (kConvBatchBlock).  Fast runs the cache-blocked register-tiled
+// kernel, Precise the naive serial-order reference — the Fast/Precise
+// ratio at batch=1 is the tiled-vs-naive speedup the PR-3 acceptance
+// tracks, and SetItemsProcessed counts FLOPs so the reported
+// items_per_second is FLOP/s.
+void BM_ConvGemm(benchmark::State& state, nn::KernelProfile profile,
+                 std::size_t m, std::size_t n, std::size_t k, int batch) {
+  util::ScopedThreads guard(1);
+  Rng rng(3);
+  const std::size_t wide_n = n * static_cast<std::size_t>(batch);
+  std::vector<float> w(m * k), col(k * wide_n), bias(m), out(m * wide_n);
+  for (float& x : w) x = rng.Gaussian();
+  for (float& x : col) x = rng.Gaussian();
+  for (float& x : bias) x = rng.Gaussian();
+  for (auto _ : state) {
+    nn::ConvGemmBatched(profile, m, n, k, batch, w.data(), col.data(),
+                        bias.data(), 0.1F, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["n"] = static_cast<double>(wide_n);
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["threads"] = 1;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(m * wide_n * k));
+}
+#define CALTRAIN_CONV_GEMM_BENCH(layer, m, n, k)                            \
+  BENCHMARK_CAPTURE(BM_ConvGemm, layer##_fast_b1, nn::KernelProfile::kFast, \
+                    m, n, k, 1);                                            \
+  BENCHMARK_CAPTURE(BM_ConvGemm, layer##_fast_b8, nn::KernelProfile::kFast, \
+                    m, n, k, 8);                                            \
+  BENCHMARK_CAPTURE(BM_ConvGemm, layer##_precise_b1,                        \
+                    nn::KernelProfile::kPrecise, m, n, k, 1)
+// Table-1 conv lowerings at paper scale (28x28x3 input):
+CALTRAIN_CONV_GEMM_BENCH(L1_conv128_3x3, 128, 784, 27);
+CALTRAIN_CONV_GEMM_BENCH(L2_conv128_3x3, 128, 784, 1152);
+CALTRAIN_CONV_GEMM_BENCH(L4_conv64_3x3, 64, 196, 1152);
+CALTRAIN_CONV_GEMM_BENCH(L6_conv128_3x3, 128, 49, 576);
+CALTRAIN_CONV_GEMM_BENCH(L7_conv10_1x1, 10, 49, 128);
+#undef CALTRAIN_CONV_GEMM_BENCH
 
 // Serial-vs-parallel comparison for the row-blocked parallel GEMM
 // runtime (util::ParallelFor over contiguous row blocks).  threads=1 is
@@ -397,7 +448,70 @@ void BM_BruteForceQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(10000);
 
+// Console output plus a captured {op, shape, ns/op, GFLOP/s, threads}
+// row per run for the --json emitter.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      bench::JsonBenchRow row;
+      row.op = run.benchmark_name();
+      row.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                    * 1e9
+              : 0.0;
+      const auto m = run.counters.find("m");
+      const auto n = run.counters.find("n");
+      const auto k = run.counters.find("k");
+      if (m != run.counters.end() && n != run.counters.end() &&
+          k != run.counters.end()) {
+        row.shape = std::to_string(static_cast<long long>(m->second.value)) +
+                    "x" +
+                    std::to_string(static_cast<long long>(n->second.value)) +
+                    "x" +
+                    std::to_string(static_cast<long long>(k->second.value));
+      }
+      // The GEMM benches account items as FLOPs; other ops (hashes,
+      // queries, samples) have no FLOP meaning.
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end() &&
+          row.op.find("Gemm") != std::string::npos) {
+        row.gflops = items->second.value / 1e9;
+      }
+      const auto threads = run.counters.find("threads");
+      row.threads = threads != run.counters.end()
+                        ? static_cast<int>(threads->second.value)
+                        : 1;
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  [[nodiscard]] const std::vector<bench::JsonBenchRow>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<bench::JsonBenchRow> rows_;
+};
+
 }  // namespace
 }  // namespace caltrain
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      caltrain::bench::ExtractFlagValue(argc, argv, "--json");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  caltrain::JsonCapturingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !caltrain::bench::WriteBenchJson(json_path, reporter.rows())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

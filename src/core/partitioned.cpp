@@ -94,6 +94,7 @@ float PartitionedTrainer::TrainBatch(const nn::Batch& input,
     ctx.rng = &shard_rngs[s];
     ctx.profile = profile;
     ctx.labels = &shard_labels[s];
+    ctx.want_input_grad = false;  // nothing consumes dL/d(input) here
     return ctx;
   };
 

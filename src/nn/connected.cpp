@@ -32,18 +32,15 @@ void ConnectedLayer::Forward(const Batch& in, Batch& out,
   const std::size_t m = static_cast<std::size_t>(out.n);
   const std::size_t n = static_cast<std::size_t>(outputs_);
   const std::size_t k = static_cast<std::size_t>(inputs_);
-  for (int s = 0; s < out.n; ++s) {
-    float* dst = out.Sample(s);
-    for (std::size_t j = 0; j < n; ++j) dst[j] = biases_[j];
-  }
-  // out[m x n] += in[m x k] * W^T (W stored [n x k]).
-  GemmTransB(ctx.profile, m, n, k, in.data.data(), weights_.data(),
-             out.data.data());
-  if (activation_ == Activation::kLeakyRelu) {
-    for (float& x : out.data) {
-      if (x < 0.0F) x *= kLeakySlope;
-    }
-  }
+  // out[m x n] = leaky(in[m x k] * W^T + bias) (W stored [n x k]); the
+  // bias broadcast and activation live in the GEMM epilogue.
+  GemmEpilogue epi;
+  epi.accumulate = false;
+  epi.col_bias = biases_.data();
+  epi.negative_slope =
+      activation_ == Activation::kLeakyRelu ? kLeakySlope : 1.0F;
+  GemmTransBEx(ctx.profile, m, n, k, in.data.data(), weights_.data(),
+               out.data.data(), epi);
 }
 
 void ConnectedLayer::Backward(const Batch& in, const Batch& out,
@@ -76,10 +73,14 @@ void ConnectedLayer::Backward(const Batch& in, const Batch& out,
   GemmTransA(ctx.profile, n, k, m, delta.data(), in.data.data(),
              grads.weight_grads.data());
 
-  // Input gradients: d_in[m x k] = delta[m x n] * W[n x k].
-  delta_in.Zero();
-  Gemm(ctx.profile, m, k, n, delta.data(), weights_.data(),
-       delta_in.data.data());
+  // Input gradients: d_in[m x k] = delta[m x n] * W[n x k], overwrite
+  // mode (no zero fill); skipped when nothing consumes them.
+  if (ctx.want_input_grad) {
+    GemmEpilogue overwrite;
+    overwrite.accumulate = false;
+    GemmEx(ctx.profile, m, k, n, delta.data(), weights_.data(),
+           delta_in.data.data(), overwrite);
+  }
 }
 
 void ConnectedLayer::Update(const SgdConfig& config, int batch_size,

@@ -1,5 +1,6 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace caltrain::nn {
@@ -41,26 +42,29 @@ std::string ConvLayer::Describe() const {
          in_shape_.ToString() + " -> " + out_shape_.ToString();
 }
 
-std::size_t ConvLayer::ColSize() const noexcept {
-  return static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_ *
-         out_shape_.w * out_shape_.h;
+int ConvLayer::BlockSamples(int batch_n) noexcept {
+  return std::min(batch_n, kConvBatchBlock);
 }
 
-void ConvLayer::ApplyActivation(float* data, std::size_t n) const noexcept {
-  if (activation_ == Activation::kLinear) return;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (data[i] < 0.0F) data[i] *= kLeakySlope;
-  }
+float ConvLayer::EpilogueSlope() const noexcept {
+  return activation_ == Activation::kLeakyRelu ? kLeakySlope : 1.0F;
 }
 
-void ConvLayer::ActivationGradient(const float* out, float* delta,
-                                   std::size_t n) const noexcept {
-  if (activation_ == Activation::kLinear) return;
-  // Leaky ReLU preserves sign, so the post-activation output determines
-  // which branch was taken.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (out[i] < 0.0F) delta[i] *= kLeakySlope;
-  }
+void ConvLayer::SizeScratch(LayerScratch& scratch, int batch_n) const {
+  // Sized once per batch shape from the network (no zero fill: every
+  // element is overwritten by im2col / the activation-gradient copy /
+  // the overwrite-mode GEMM before it is read).  Capacity is the Fast
+  // block size; the Precise profile simply uses a 1-sample prefix.
+  const std::size_t m = static_cast<std::size_t>(filters_);
+  const std::size_t k =
+      static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_;
+  const std::size_t n = static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
+  const std::size_t bb =
+      static_cast<std::size_t>(std::min(std::max(batch_n, 1),
+                                        kConvBatchBlock));
+  scratch.col.resize(k * n * bb);
+  scratch.delta.resize(m * n * bb);
+  scratch.col_delta.resize(k * n * bb);
 }
 
 void ConvLayer::Forward(const Batch& in, Batch& out,
@@ -70,23 +74,26 @@ void ConvLayer::Forward(const Batch& in, Batch& out,
   const std::size_t k = static_cast<std::size_t>(in_shape_.c) * ksize_ * ksize_;
   const std::size_t n = static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
 
-  std::vector<float>& col = ctx.scratch->col;
-  if (col.size() != ColSize()) col.assign(ColSize(), 0.0F);
-
-  for (int s = 0; s < in.n; ++s) {
-    const float* src = in.Sample(s);
-    float* dst = out.Sample(s);
-    // Initialize output with biases.
-    for (std::size_t f = 0; f < m; ++f) {
-      const float b = biases_[f];
-      float* row = dst + f * n;
-      for (std::size_t j = 0; j < n; ++j) row[j] = b;
-    }
-    Im2Col(src, in_shape_.c, in_shape_.h, in_shape_.w, ksize_, stride_, pad_,
-           col.data());
-    Gemm(ctx.profile, m, n, k, weights_.data(), col.data(), dst);
-    ApplyActivation(dst, m * n);
+  LayerScratch& scratch = *ctx.scratch;
+  const int bb = BlockSamples(in.n);
+  if (scratch.col.size() < k * n * static_cast<std::size_t>(bb)) {
+    SizeScratch(scratch, in.n);
   }
+
+  const float slope = EpilogueSlope();
+  for (int s0 = 0; s0 < in.n; s0 += bb) {
+    const int cur = std::min(bb, in.n - s0);
+    Im2ColBatch(in.Sample(s0), in.SampleSize(), cur, in_shape_.c, in_shape_.h,
+                in_shape_.w, ksize_, stride_, pad_, scratch.col.data());
+    // One wide GEMM per block; bias and activation live in the store
+    // epilogue (no separate init/activation passes).
+    ConvGemmBatched(ctx.profile, m, n, k, cur, weights_.data(),
+                    scratch.col.data(), biases_.data(), slope,
+                    out.Sample(s0));
+  }
+  // A single-block batch leaves the whole lowering in `col`; Backward
+  // on the same pass (the workspace contract) reuses it.
+  scratch.col_samples = in.n <= bb ? in.n : 0;
 }
 
 void ConvLayer::Backward(const Batch& in, const Batch& out,
@@ -99,39 +106,81 @@ void ConvLayer::Backward(const Batch& in, const Batch& out,
   const std::size_t n = static_cast<std::size_t>(out_shape_.w) * out_shape_.h;
 
   LayerScratch& scratch = *ctx.scratch;
-  if (scratch.col.size() != ColSize()) scratch.col.assign(ColSize(), 0.0F);
-  if (scratch.delta.size() != m * n) scratch.delta.assign(m * n, 0.0F);
-  if (scratch.col_delta.size() != k * n) scratch.col_delta.assign(k * n, 0.0F);
+  const int bb = BlockSamples(in.n);
+  if (scratch.col.size() < k * n * static_cast<std::size_t>(bb) ||
+      scratch.delta.size() < m * n * static_cast<std::size_t>(bb) ||
+      scratch.col_delta.size() < k * n * static_cast<std::size_t>(bb)) {
+    SizeScratch(scratch, in.n);
+  }
   LayerGrads& grads = *ctx.grads;
   grads.EnsureSized(weights_.size(), biases_.size());
 
-  delta_in.Zero();
-  for (int s = 0; s < in.n; ++s) {
-    // Activation gradient (in a scratch copy so delta_out stays intact).
-    const float* d_out = delta_out.Sample(s);
-    std::copy(d_out, d_out + m * n, scratch.delta.data());
-    ActivationGradient(out.Sample(s), scratch.delta.data(), m * n);
+  const bool leaky = activation_ == Activation::kLeakyRelu;
+  if (ctx.want_input_grad) delta_in.Zero();
+  for (int s0 = 0; s0 < in.n; s0 += bb) {
+    const int cur = std::min(bb, in.n - s0);
+    const std::size_t wn = static_cast<std::size_t>(cur) * n;
 
-    // Bias gradients: row sums of delta.
-    for (std::size_t f = 0; f < m; ++f) {
-      float acc = 0.0F;
-      const float* row = scratch.delta.data() + f * n;
-      for (std::size_t j = 0; j < n; ++j) acc += row[j];
-      grads.bias_grads[f] += acc;
+    // Activation gradient, fused into the copy that lays delta out
+    // wide: row f of delta_wide[m x cur*n] holds sample s0+si's filter
+    // row at column offset si*n (matching the wide im2col layout).
+    for (int si = 0; si < cur; ++si) {
+      const float* d_out = delta_out.Sample(s0 + si);
+      const float* o = out.Sample(s0 + si);
+      for (std::size_t f = 0; f < m; ++f) {
+        const float* src = d_out + f * n;
+        const float* out_row = o + f * n;
+        float* dst = scratch.delta.data() + f * wn +
+                     static_cast<std::size_t>(si) * n;
+        if (!leaky) {
+          std::copy(src, src + n, dst);
+        } else {
+          // Leaky ReLU preserves sign, so the post-activation output
+          // determines which branch was taken.
+          for (std::size_t j = 0; j < n; ++j) {
+            dst[j] = out_row[j] < 0.0F ? src[j] * kLeakySlope : src[j];
+          }
+        }
+      }
     }
 
-    // Weight gradients: dW[m x k] += delta[m x n] * col^T[n x k].
-    Im2Col(in.Sample(s), in_shape_.c, in_shape_.h, in_shape_.w, ksize_,
-           stride_, pad_, scratch.col.data());
-    GemmTransB(ctx.profile, m, k, n, scratch.delta.data(), scratch.col.data(),
-               grads.weight_grads.data());
+    // Bias gradients: per-sample row sums of delta_wide (sample order,
+    // matching the seed's accumulation grouping on both profiles).
+    for (int si = 0; si < cur; ++si) {
+      for (std::size_t f = 0; f < m; ++f) {
+        float acc = 0.0F;
+        const float* row =
+            scratch.delta.data() + f * wn + static_cast<std::size_t>(si) * n;
+        for (std::size_t j = 0; j < n; ++j) acc += row[j];
+        grads.bias_grads[f] += acc;
+      }
+    }
 
-    // Input gradients: col_delta[k x n] = W^T[k x m] * delta[m x n].
-    std::fill(scratch.col_delta.begin(), scratch.col_delta.end(), 0.0F);
-    GemmTransA(ctx.profile, k, n, m, weights_.data(), scratch.delta.data(),
-               scratch.col_delta.data());
-    Col2Im(scratch.col_delta.data(), in_shape_.c, in_shape_.h, in_shape_.w,
-           ksize_, stride_, pad_, delta_in.Sample(s));
+    // Column buffer: when the whole batch was lowered as one block in
+    // Forward (training shards always are), `col` still holds exactly
+    // this block's lowering — skip the im2col re-run.  The cache is
+    // consume-once (reset below): a second Backward without a fresh
+    // Forward re-lowers instead of trusting a stale buffer.
+    if (scratch.col_samples != in.n || in.n > bb) {
+      Im2ColBatch(in.Sample(s0), in.SampleSize(), cur, in_shape_.c,
+                  in_shape_.h, in_shape_.w, ksize_, stride_, pad_,
+                  scratch.col.data());
+    }
+    scratch.col_samples = 0;
+
+    // Weight gradients (dW += delta_wide * col^T) and, when requested,
+    // the column-space input gradient (col_delta = W^T * delta_wide,
+    // overwrite mode — no zero fill).
+    float* col_delta =
+        ctx.want_input_grad ? scratch.col_delta.data() : nullptr;
+    ConvGemmBackward(ctx.profile, m, n, k, cur, weights_.data(),
+                     scratch.delta.data(), scratch.col.data(),
+                     grads.weight_grads.data(), col_delta);
+    if (col_delta != nullptr) {
+      Col2ImBatch(col_delta, cur, in_shape_.c, in_shape_.h, in_shape_.w,
+                  ksize_, stride_, pad_, delta_in.Sample(s0),
+                  delta_in.SampleSize());
+    }
   }
 }
 

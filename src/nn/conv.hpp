@@ -1,11 +1,29 @@
 // 2-D convolutional layer (same-padding square kernels, as in
 // Tables I/II) with optional leaky-ReLU activation, trained via
 // im2col + GEMM.
+//
+// Lowering (PR 3): both profiles im2col a block of up to
+// kConvBatchBlock samples into one wide [k x block*n] column buffer.
+// The Fast profile issues a single tiled GEMM per block with the bias
+// broadcast and leaky-ReLU folded into the GEMM epilogue; the Precise
+// profile iterates the wide buffer sample by sample at the seed's
+// exact serial arithmetic order (in-enclave fidelity).  When the whole
+// batch fits one block — always true for training shards — Backward
+// reuses the forward im2col instead of re-lowering, and training
+// passes skip the first layer's input gradient entirely
+// (LayerContext::want_input_grad).
 #pragma once
 
 #include "nn/layer.hpp"
 
 namespace caltrain::nn {
+
+/// Samples lowered per wide im2col block.  A fixed constant (never
+/// derived from the thread count) so the lowering — and therefore
+/// every float grouping in the batched GEMMs — is identical at any
+/// thread count.  Training shards hold kTrainShardSamples (< this)
+/// samples, so a shard lowers as one block.
+inline constexpr int kConvBatchBlock = 8;
 
 class ConvLayer final : public Layer {
  public:
@@ -26,6 +44,8 @@ class ConvLayer final : public Layer {
   void Update(const SgdConfig& config, int batch_size,
               LayerGrads& grads) override;
 
+  void SizeScratch(LayerScratch& scratch, int batch_n) const override;
+
   [[nodiscard]] bool HasWeights() const noexcept override { return true; }
   void InitWeights(Rng& rng) override;
   void SerializeWeights(ByteWriter& writer) const override;
@@ -40,10 +60,12 @@ class ConvLayer final : public Layer {
   [[nodiscard]] int ksize() const noexcept { return ksize_; }
 
  private:
-  [[nodiscard]] std::size_t ColSize() const noexcept;
-  void ApplyActivation(float* data, std::size_t n) const noexcept;
-  void ActivationGradient(const float* out, float* delta,
-                          std::size_t n) const noexcept;
+  /// Samples per lowered block (both profiles share the wide buffer
+  /// layout; the Precise GEMMs iterate it per sample, so its
+  /// arithmetic stays the exact seed order).
+  [[nodiscard]] static int BlockSamples(int batch_n) noexcept;
+  /// Leaky-ReLU negative slope for the GEMM epilogue; 1 = linear.
+  [[nodiscard]] float EpilogueSlope() const noexcept;
 
   int filters_;
   int ksize_;

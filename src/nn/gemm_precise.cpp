@@ -1,4 +1,6 @@
 // Strict-FP GEMM build modeling in-enclave execution; see kernels.hpp.
+// The Precise profile keeps the exact serial-order naive loops of
+// gemm_body.inc (no tiling, no fast-math) for in-enclave fidelity.
 #include "nn/kernels.hpp"
 
 #define CALTRAIN_GEMM_SUFFIX Precise

@@ -7,6 +7,17 @@
 // floating acceleration is ineffective for enclaved code.  Both compute
 // the same GEMM; the measured speed difference is what the Fig. 6
 // benchmark reports as in-enclave overhead.
+//
+// Kernel architecture (PR 3): the Fast profile routes non-trivial
+// shapes through a cache-blocked, register-tiled micro-kernel
+// (gemm_tile.inc) — A/B packed into per-thread workspace panels, a
+// 6x16 register tile with zero-padded edges, runtime ISA dispatch via
+// target_clones — while the Precise profile keeps the exact
+// serial-order AXPY/dot loops (gemm_body.inc) for in-enclave fidelity.
+// The tiled block plan (KC/MC/NC/MR/NR) is fixed and independent of
+// the thread count, and parallel dispatch only ever splits disjoint
+// output tiles, so Fast results stay bit-identical at any thread count
+// (the PR 2 determinism contract).
 #pragma once
 
 #include <cstddef>
@@ -16,6 +27,21 @@ namespace caltrain::nn {
 enum class KernelProfile {
   kFast,     ///< host path (fast-math, vectorizable)
   kPrecise,  ///< in-enclave path (strict FP semantics)
+};
+
+/// Optional fused tail applied by the *Ex GEMM entry points.
+///
+/// Semantics (per output element, after the full k-reduction):
+///   base = accumulate ? C_old : 0
+///   v    = base + sum_k + row_bias[i] + col_bias[j]
+///   C    = (v < 0) ? v * negative_slope : v
+/// negative_slope == 1 is the identity activation; 0.1 is the leaky
+/// ReLU used by the conv/connected layers.  Null biases contribute 0.
+struct GemmEpilogue {
+  bool accumulate = true;           ///< false: overwrite C with the result
+  const float* row_bias = nullptr;  ///< added to every element of row i
+  const float* col_bias = nullptr;  ///< added to every element of col j
+  float negative_slope = 1.0F;      ///< leaky-ReLU slope; 1 = identity
 };
 
 /// C[m x n] += A[m x k] * B[k x n], row-major, fast-math build.
@@ -38,6 +64,64 @@ void GemmTransBFast(std::size_t m, std::size_t n, std::size_t k,
 void GemmTransBPrecise(std::size_t m, std::size_t n, std::size_t k,
                        const float* a, const float* b, float* c) noexcept;
 
+/// Epilogue-fused variants of the three forms above.  With the default
+/// epilogue they are exactly the legacy accumulate kernels; with
+/// accumulate=false they overwrite C (no caller-side zero fill needed),
+/// and bias/activation fold into the final store.
+void GemmExFast(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                const float* b, float* c, const GemmEpilogue& epi) noexcept;
+void GemmExPrecise(std::size_t m, std::size_t n, std::size_t k,
+                   const float* a, const float* b, float* c,
+                   const GemmEpilogue& epi) noexcept;
+void GemmTransAExFast(std::size_t m, std::size_t n, std::size_t k,
+                      const float* a, const float* b, float* c,
+                      const GemmEpilogue& epi) noexcept;
+void GemmTransAExPrecise(std::size_t m, std::size_t n, std::size_t k,
+                         const float* a, const float* b, float* c,
+                         const GemmEpilogue& epi) noexcept;
+void GemmTransBExFast(std::size_t m, std::size_t n, std::size_t k,
+                      const float* a, const float* b, float* c,
+                      const GemmEpilogue& epi) noexcept;
+void GemmTransBExPrecise(std::size_t m, std::size_t n, std::size_t k,
+                         const float* a, const float* b, float* c,
+                         const GemmEpilogue& epi) noexcept;
+
+/// Batched conv forward GEMM over a block of `batch` samples lowered
+/// side by side: col_wide is [k x batch*n] with sample s occupying
+/// columns [s*n, (s+1)*n), out is `batch` consecutive sample planes of
+/// [m x n] each (the network's batch layout), and for every sample
+///   out_s = leaky(weights[m x k] * col_s + bias)   (overwrite).
+/// The Fast build issues one wide tiled GEMM whose store phase scatters
+/// tile columns across sample planes; the Precise build runs the exact
+/// per-sample serial loop (bias-seeded AXPY, then activation) so the
+/// in-enclave arithmetic order is unchanged from the unbatched path.
+void ConvGemmBatchedFast(std::size_t m, std::size_t n, std::size_t k,
+                         int batch, const float* weights,
+                         const float* col_wide, const float* bias,
+                         float negative_slope, float* out) noexcept;
+void ConvGemmBatchedPrecise(std::size_t m, std::size_t n, std::size_t k,
+                            int batch, const float* weights,
+                            const float* col_wide, const float* bias,
+                            float negative_slope, float* out) noexcept;
+
+/// Batched conv backward GEMMs over one lowered block (wide layout as
+/// ConvGemmBatched; delta_wide is [m x batch*n], sample s at column
+/// offset s*n):
+///   weight_grads[m x k] += delta_wide * col_wide^T
+///   col_delta[k x batch*n] = weights^T * delta_wide    (overwrite;
+///                            skipped when col_delta == nullptr)
+/// The Fast build issues two wide tiled GEMMs; the Precise build runs
+/// the exact per-sample serial loops of the unbatched lowering
+/// (bit-identical to the seed arithmetic, sample by sample).
+void ConvGemmBackwardFast(std::size_t m, std::size_t n, std::size_t k,
+                          int batch, const float* weights,
+                          const float* delta_wide, const float* col_wide,
+                          float* weight_grads, float* col_delta) noexcept;
+void ConvGemmBackwardPrecise(std::size_t m, std::size_t n, std::size_t k,
+                             int batch, const float* weights,
+                             const float* delta_wide, const float* col_wide,
+                             float* weight_grads, float* col_delta) noexcept;
+
 /// Dispatch helpers.
 inline void Gemm(KernelProfile p, std::size_t m, std::size_t n, std::size_t k,
                  const float* a, const float* b, float* c) noexcept {
@@ -56,6 +140,44 @@ inline void GemmTransB(KernelProfile p, std::size_t m, std::size_t n,
   (p == KernelProfile::kFast) ? GemmTransBFast(m, n, k, a, b, c)
                               : GemmTransBPrecise(m, n, k, a, b, c);
 }
+inline void GemmEx(KernelProfile p, std::size_t m, std::size_t n,
+                   std::size_t k, const float* a, const float* b, float* c,
+                   const GemmEpilogue& epi) noexcept {
+  (p == KernelProfile::kFast) ? GemmExFast(m, n, k, a, b, c, epi)
+                              : GemmExPrecise(m, n, k, a, b, c, epi);
+}
+inline void GemmTransAEx(KernelProfile p, std::size_t m, std::size_t n,
+                         std::size_t k, const float* a, const float* b,
+                         float* c, const GemmEpilogue& epi) noexcept {
+  (p == KernelProfile::kFast) ? GemmTransAExFast(m, n, k, a, b, c, epi)
+                              : GemmTransAExPrecise(m, n, k, a, b, c, epi);
+}
+inline void GemmTransBEx(KernelProfile p, std::size_t m, std::size_t n,
+                         std::size_t k, const float* a, const float* b,
+                         float* c, const GemmEpilogue& epi) noexcept {
+  (p == KernelProfile::kFast) ? GemmTransBExFast(m, n, k, a, b, c, epi)
+                              : GemmTransBExPrecise(m, n, k, a, b, c, epi);
+}
+inline void ConvGemmBatched(KernelProfile p, std::size_t m, std::size_t n,
+                            std::size_t k, int batch, const float* weights,
+                            const float* col_wide, const float* bias,
+                            float negative_slope, float* out) noexcept {
+  (p == KernelProfile::kFast)
+      ? ConvGemmBatchedFast(m, n, k, batch, weights, col_wide, bias,
+                            negative_slope, out)
+      : ConvGemmBatchedPrecise(m, n, k, batch, weights, col_wide, bias,
+                               negative_slope, out);
+}
+inline void ConvGemmBackward(KernelProfile p, std::size_t m, std::size_t n,
+                             std::size_t k, int batch, const float* weights,
+                             const float* delta_wide, const float* col_wide,
+                             float* weight_grads, float* col_delta) noexcept {
+  (p == KernelProfile::kFast)
+      ? ConvGemmBackwardFast(m, n, k, batch, weights, delta_wide, col_wide,
+                             weight_grads, col_delta)
+      : ConvGemmBackwardPrecise(m, n, k, batch, weights, delta_wide, col_wide,
+                                weight_grads, col_delta);
+}
 
 /// im2col for 3x3/1x1 convolutions with `stride` and symmetric `pad`.
 /// in: [c][h][w]; col: [c*ksize*ksize][out_h*out_w].
@@ -65,5 +187,25 @@ void Im2Col(const float* in, int channels, int height, int width, int ksize,
 /// Scatter-add inverse of Im2Col (for input gradients).
 void Col2Im(const float* col, int channels, int height, int width, int ksize,
             int stride, int pad, float* in) noexcept;
+
+/// Batched im2col into a wide column buffer: samples [0, batch) of `in`
+/// (consecutive planes of `sample_stride` floats) land side by side in
+/// col_wide [c*ksize*ksize x batch*out_h*out_w], sample s at column
+/// offset s*out_h*out_w.  Row ranges are dispatched through the thread
+/// pool — across samples and, within one sample, across column rows —
+/// with every row written by exactly one thread (pure copies, so the
+/// result is identical at any thread count).
+void Im2ColBatch(const float* in, std::size_t sample_stride, int batch,
+                 int channels, int height, int width, int ksize, int stride,
+                 int pad, float* col_wide);
+
+/// Batched inverse: scatter-adds sample s's columns (offset
+/// s*out_h*out_w, leading dimension batch*out_h*out_w) of col_wide into
+/// the s-th output plane.  Parallelized over (sample, channel) pairs —
+/// each pair's scatter region is disjoint, and the within-pair order
+/// matches the serial loop, so results are thread-count independent.
+void Col2ImBatch(const float* col_wide, int batch, int channels, int height,
+                 int width, int ksize, int stride, int pad, float* in,
+                 std::size_t sample_stride);
 
 }  // namespace caltrain::nn

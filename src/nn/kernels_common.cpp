@@ -1,5 +1,15 @@
-// Profile-independent kernels: im2col / col2im.
+// Profile-independent kernels: im2col / col2im, single-sample and
+// batched-wide variants.
+//
+// The batched variants lower a block of samples side by side into one
+// wide column buffer (see kernels.hpp) and dispatch row ranges through
+// the thread pool.  Every parallel unit writes a disjoint region with
+// the same inner order as the serial loop, so results are identical at
+// any thread count; inside an existing parallel region (the
+// data-parallel training shards) everything runs inline.
 #include "nn/kernels.hpp"
+
+#include "util/threadpool.hpp"
 
 namespace caltrain::nn {
 
@@ -7,33 +17,82 @@ namespace {
 constexpr bool InBounds(int v, int limit) noexcept {
   return v >= 0 && v < limit;
 }
+
+/// Writes one im2col row (channel plane `in_c`, kernel offset ky/kx)
+/// of out_h*out_w values into `col_row`.
+inline void Im2ColRow(const float* in_c, int height, int width, int ky,
+                      int kx, int stride, int pad, int out_h, int out_w,
+                      float* col_row) noexcept {
+  std::size_t idx = 0;
+  for (int oy = 0; oy < out_h; ++oy) {
+    const int iy = oy * stride - pad + ky;
+    if (!InBounds(iy, height)) {
+      for (int ox = 0; ox < out_w; ++ox) col_row[idx++] = 0.0F;
+      continue;
+    }
+    const float* in_row = in_c + static_cast<std::size_t>(iy) * width;
+    for (int ox = 0; ox < out_w; ++ox) {
+      const int ix = ox * stride - pad + kx;
+      col_row[idx++] = InBounds(ix, width) ? in_row[ix] : 0.0F;
+    }
+  }
+}
+
+/// Scatter-adds one channel's ksize*ksize column rows back into the
+/// channel plane `in_c`.  Rows of the column block are `ld` floats
+/// apart.
+inline void Col2ImChannel(const float* col_c, std::size_t ld, int height,
+                          int width, int ksize, int stride, int pad,
+                          int out_h, int out_w, float* in_c) noexcept {
+  const int channel_cols = ksize * ksize;
+  for (int kidx = 0; kidx < channel_cols; ++kidx) {
+    const int ky = kidx / ksize;
+    const int kx = kidx % ksize;
+    const float* col_row = col_c + static_cast<std::size_t>(kidx) * ld;
+    std::size_t idx = 0;
+    for (int oy = 0; oy < out_h; ++oy) {
+      const int iy = oy * stride - pad + ky;
+      if (!InBounds(iy, height)) {
+        idx += static_cast<std::size_t>(out_w);
+        continue;
+      }
+      float* in_row = in_c + static_cast<std::size_t>(iy) * width;
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int ix = ox * stride - pad + kx;
+        if (InBounds(ix, width)) in_row[ix] += col_row[idx];
+        ++idx;
+      }
+    }
+  }
+}
+
+// The guard deliberately short-circuits *before* the std::function
+// type erasure inside ParallelFor (same pattern as the GEMM bodies'
+// ForEachRowBlock): the nested/serial case is the per-shard training
+// hot path and must cost exactly the plain loop.
+template <typename Fn>
+inline void ForEachUnit(std::size_t count, Fn&& fn) {
+  if (count < 2 || util::Parallelism::threads() <= 1 ||
+      util::InParallelRegion()) {
+    for (std::size_t u = 0; u < count; ++u) fn(u);
+    return;
+  }
+  util::ParallelFor(0, count, std::forward<Fn>(fn));
+}
 }  // namespace
 
 void Im2Col(const float* in, int channels, int height, int width, int ksize,
             int stride, int pad, float* col) noexcept {
   const int out_h = (height + 2 * pad - ksize) / stride + 1;
   const int out_w = (width + 2 * pad - ksize) / stride + 1;
+  const std::size_t out_hw = static_cast<std::size_t>(out_h) * out_w;
   const int channel_cols = ksize * ksize;
   std::size_t row = 0;
   for (int c = 0; c < channels; ++c) {
     const float* in_c = in + static_cast<std::size_t>(c) * height * width;
     for (int kidx = 0; kidx < channel_cols; ++kidx) {
-      const int ky = kidx / ksize;
-      const int kx = kidx % ksize;
-      float* col_row = col + row * static_cast<std::size_t>(out_h) * out_w;
-      std::size_t idx = 0;
-      for (int oy = 0; oy < out_h; ++oy) {
-        const int iy = oy * stride - pad + ky;
-        if (!InBounds(iy, height)) {
-          for (int ox = 0; ox < out_w; ++ox) col_row[idx++] = 0.0F;
-          continue;
-        }
-        const float* in_row = in_c + static_cast<std::size_t>(iy) * width;
-        for (int ox = 0; ox < out_w; ++ox) {
-          const int ix = ox * stride - pad + kx;
-          col_row[idx++] = InBounds(ix, width) ? in_row[ix] : 0.0F;
-        }
-      }
+      Im2ColRow(in_c, height, width, kidx / ksize, kidx % ksize, stride, pad,
+                out_h, out_w, col + row * out_hw);
       ++row;
     }
   }
@@ -43,32 +102,58 @@ void Col2Im(const float* col, int channels, int height, int width, int ksize,
             int stride, int pad, float* in) noexcept {
   const int out_h = (height + 2 * pad - ksize) / stride + 1;
   const int out_w = (width + 2 * pad - ksize) / stride + 1;
-  const int channel_cols = ksize * ksize;
-  std::size_t row = 0;
+  const std::size_t out_hw = static_cast<std::size_t>(out_h) * out_w;
+  const std::size_t channel_cols = static_cast<std::size_t>(ksize) * ksize;
   for (int c = 0; c < channels; ++c) {
-    float* in_c = in + static_cast<std::size_t>(c) * height * width;
-    for (int kidx = 0; kidx < channel_cols; ++kidx) {
-      const int ky = kidx / ksize;
-      const int kx = kidx % ksize;
-      const float* col_row =
-          col + row * static_cast<std::size_t>(out_h) * out_w;
-      std::size_t idx = 0;
-      for (int oy = 0; oy < out_h; ++oy) {
-        const int iy = oy * stride - pad + ky;
-        if (!InBounds(iy, height)) {
-          idx += static_cast<std::size_t>(out_w);
-          continue;
-        }
-        float* in_row = in_c + static_cast<std::size_t>(iy) * width;
-        for (int ox = 0; ox < out_w; ++ox) {
-          const int ix = ox * stride - pad + kx;
-          if (InBounds(ix, width)) in_row[ix] += col_row[idx];
-          ++idx;
-        }
-      }
-      ++row;
-    }
+    Col2ImChannel(col + static_cast<std::size_t>(c) * channel_cols * out_hw,
+                  out_hw, height, width, ksize, stride, pad, out_h, out_w,
+                  in + static_cast<std::size_t>(c) * height * width);
   }
+}
+
+void Im2ColBatch(const float* in, std::size_t sample_stride, int batch,
+                 int channels, int height, int width, int ksize, int stride,
+                 int pad, float* col_wide) {
+  const int out_h = (height + 2 * pad - ksize) / stride + 1;
+  const int out_w = (width + 2 * pad - ksize) / stride + 1;
+  const std::size_t out_hw = static_cast<std::size_t>(out_h) * out_w;
+  const std::size_t rows =
+      static_cast<std::size_t>(channels) * ksize * ksize;
+  const std::size_t ld = static_cast<std::size_t>(batch) * out_hw;
+  const int channel_cols = ksize * ksize;
+  // One unit per (sample, column-row): disjoint destination rows, so
+  // the parallel sweep is a pure deterministic copy.
+  ForEachUnit(static_cast<std::size_t>(batch) * rows, [=](std::size_t u) {
+    const std::size_t s = u / rows;
+    const std::size_t row = u % rows;
+    const int c = static_cast<int>(row) / channel_cols;
+    const int kidx = static_cast<int>(row) % channel_cols;
+    const float* in_c = in + s * sample_stride +
+                        static_cast<std::size_t>(c) * height * width;
+    Im2ColRow(in_c, height, width, kidx / ksize, kidx % ksize, stride, pad,
+              out_h, out_w, col_wide + row * ld + s * out_hw);
+  });
+}
+
+void Col2ImBatch(const float* col_wide, int batch, int channels, int height,
+                 int width, int ksize, int stride, int pad, float* in,
+                 std::size_t sample_stride) {
+  const int out_h = (height + 2 * pad - ksize) / stride + 1;
+  const int out_w = (width + 2 * pad - ksize) / stride + 1;
+  const std::size_t out_hw = static_cast<std::size_t>(out_h) * out_w;
+  const std::size_t ld = static_cast<std::size_t>(batch) * out_hw;
+  const std::size_t channel_cols = static_cast<std::size_t>(ksize) * ksize;
+  // One unit per (sample, channel): each scatter region is disjoint
+  // and keeps the serial within-channel accumulation order.
+  ForEachUnit(static_cast<std::size_t>(batch) * channels, [=](std::size_t u) {
+    const std::size_t s = u / static_cast<std::size_t>(channels);
+    const int c = static_cast<int>(u % static_cast<std::size_t>(channels));
+    Col2ImChannel(col_wide + s * out_hw +
+                      static_cast<std::size_t>(c) * channel_cols * ld,
+                  ld, height, width, ksize, stride, pad, out_h, out_w,
+                  in + s * sample_stride +
+                      static_cast<std::size_t>(c) * height * width);
+  });
 }
 
 }  // namespace caltrain::nn

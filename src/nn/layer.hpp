@@ -75,6 +75,13 @@ struct LayerContext {
   const std::vector<int>* labels = nullptr;       ///< for the cost layer
   LayerScratch* scratch = nullptr;  ///< this layer's per-pass scratch
   LayerGrads* grads = nullptr;      ///< this layer's gradient buffers
+  /// False lets the *bottom* layer of a backward pass skip computing
+  /// delta_in (weight gradients are unaffected).  Training loops set
+  /// this false — nothing consumes dL/d(input) there — while the
+  /// model-inversion attack keeps the default.  Network::BackwardRange
+  /// forces it true for every layer above index 0, whose delta_in is
+  /// the chain input of the layer below.
+  bool want_input_grad = true;
 };
 
 class Layer {
@@ -101,6 +108,16 @@ class Layer {
   virtual void Backward(const Batch& in, const Batch& out,
                         const Batch& delta_out, Batch& delta_in,
                         const LayerContext& ctx) const = 0;
+
+  /// Pre-sizes this layer's per-pass scratch for a batch of `batch_n`
+  /// samples.  The Network calls this once per batch shape so the hot
+  /// Forward/Backward loops never reallocate (and never zero-fill)
+  /// their buffers; layers that size scratch lazily keep doing so when
+  /// invoked standalone.  Default: no scratch.
+  virtual void SizeScratch(LayerScratch& scratch, int batch_n) const {
+    (void)scratch;
+    (void)batch_n;
+  }
 
   /// Applies `grads` (scaled by 1/batch_size) with momentum and weight
   /// decay — after DP sanitization, when configured — then zeroes

@@ -172,6 +172,9 @@ void Network::ForwardRange(const Batch* input, int from, int to,
     Batch& out = ws.activations[static_cast<std::size_t>(i)];
     if (out.n != ws.batch || out.shape != layer.out_shape()) {
       out = Batch(ws.batch, layer.out_shape());
+      // Size the layer's scratch once per batch shape so the hot loop
+      // below never reallocates (or zero-fills) inside Forward/Backward.
+      layer.SizeScratch(ws.scratch[static_cast<std::size_t>(i)], ws.batch);
     }
     LayerContext layer_ctx = ctx;
     layer_ctx.scratch = &ws.scratch[static_cast<std::size_t>(i)];
@@ -203,6 +206,9 @@ void Network::BackwardRange(int from, int to, const LayerContext& ctx,
     LayerContext layer_ctx = ctx;
     layer_ctx.scratch = &ws.scratch[static_cast<std::size_t>(i)];
     layer_ctx.grads = &ws.grads.at(i);
+    // Every layer above index 0 feeds the layer below; only the true
+    // network input gradient is optional.
+    layer_ctx.want_input_grad = i > 0 || ctx.want_input_grad;
     layer.Backward(in, out, delta_out, delta_in, layer_ctx);
   }
 }
@@ -265,7 +271,9 @@ float Network::TrainStep(const Batch& input, const std::vector<int>& labels,
   CALTRAIN_REQUIRE(cost >= 0, "network has no cost layer");
 
   // Fixed-size shards and per-shard RNG streams, both independent of
-  // the thread count (see workspace.hpp).
+  // the thread count (see workspace.hpp).  A shard's kTrainShardSamples
+  // samples are below kConvBatchBlock, so every conv layer lowers a
+  // whole shard as one wide im2col + batched GEMM block.
   const std::vector<TrainShard> shards = MakeTrainShards(input.n, rng);
   EnsureShardWorkspaces(*this, shard_ws_, shards.size());
   std::vector<Rng> shard_rngs;
@@ -283,6 +291,7 @@ float Network::TrainStep(const Batch& input, const std::vector<int>& labels,
     ctx.rng = &shard_rngs[s];
     ctx.profile = profile;
     ctx.labels = &shard_labels;
+    ctx.want_input_grad = false;  // nothing consumes dL/d(input) here
     ForwardRange(&ws.input, 0, total, ctx, ws);
     BackwardRange(0, total, ctx, ws);
   });

@@ -68,11 +68,21 @@ class GradientAccumulator {
 };
 
 /// Per-pass mutable scratch of one layer.  Which fields a layer uses
-/// is the layer's business; unused fields stay empty.
+/// is the layer's business; unused fields stay empty.  Conv layers
+/// size their three float buffers for a whole lowering block (up to
+/// kConvBatchBlock samples side by side) via Layer::SizeScratch —
+/// sized once per batch shape, never zero-filled (every element is
+/// overwritten before it is read).
 struct LayerScratch {
-  std::vector<float> col;            ///< conv: im2col buffer (one sample)
-  std::vector<float> delta;          ///< conv/connected: activation-grad copy
-  std::vector<float> col_delta;      ///< conv: column-space input gradient
+  std::vector<float> col;            ///< conv: wide im2col [k x block*n]
+  std::vector<float> delta;          ///< conv: wide act-grad [m x block*n];
+                                     ///< connected: activation-grad copy
+  std::vector<float> col_delta;      ///< conv: wide input grad [k x block*n]
+  int col_samples = 0;               ///< conv: samples `col` currently holds
+                                     ///< (when the whole batch fit one
+                                     ///< block); lets Backward reuse the
+                                     ///< forward lowering instead of
+                                     ///< re-running im2col
   std::vector<std::uint8_t> mask;    ///< dropout: 1 = kept
   std::vector<std::int32_t> argmax;  ///< maxpool: winner index per output
   float loss = 0.0F;                 ///< cost: mean loss of the last forward
@@ -118,7 +128,10 @@ struct TrainShard {
 
 /// Samples per shard.  Fixed (never derived from the thread count) so
 /// the shard decomposition — and therefore every float grouping in the
-/// gradient reduction — is identical at any thread count.
+/// gradient reduction — is identical at any thread count.  Kept at 4
+/// (below nn::kConvBatchBlock) so a batch of 32 still fans out to 8
+/// workers while each shard's conv layers lower all of its samples in
+/// a single wide im2col + batched-GEMM block.
 inline constexpr int kTrainShardSamples = 4;
 
 /// Decomposes a batch of `batch_n` samples into fixed-size shards and
