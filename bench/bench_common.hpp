@@ -8,9 +8,11 @@
 //   --seed N     experiment seed (default 42).
 //   --threads N  worker threads for the parallel runtime; wins over the
 //                CALTRAIN_THREADS environment variable.
-//   --json PATH  (bench_micro_substrates) machine-readable results: one
-//                JSON array of {op, shape, ns_per_op, gflops, threads}
-//                rows, the perf-trajectory format (BENCH_micro.json).
+//   --json PATH  (bench_micro_substrates, bench_fig8_neighbor_query)
+//                machine-readable results: one JSON array of
+//                {op, shape, ns_per_op, gflops, threads} rows, the
+//                perf-trajectory format (BENCH_micro.json; fig8 emits
+//                linkage insert-throughput and kNN query-latency rows).
 #pragma once
 
 #include <cstdio>

@@ -29,14 +29,17 @@ class QueryService {
   QueryService(nn::Network model, linkage::LinkageDatabase database,
                int fingerprint_layer = -1);
 
-  /// Investigates one (mis)predicted input: predicts, fingerprints, and
-  /// returns the k nearest same-class training instances with sources.
+  /// Investigates one (mis)predicted input: one forward pass yields
+  /// both the prediction and the fingerprint, then the k nearest
+  /// same-class training instances are returned with sources.
   [[nodiscard]] MispredictionReport Investigate(const nn::Image& input,
                                                 std::size_t k);
 
-  /// Batched Investigate: predicts and fingerprints each input against
-  /// the held model, then answers every kNN lookup through the parallel
-  /// batched database query.  result[i] == Investigate(inputs[i], k).
+  /// Batched Investigate: the per-input forward passes fan out over
+  /// the pool (shared const model, one workspace per worker), then
+  /// every kNN lookup goes through the parallel batched database
+  /// query.  result[i] == Investigate(inputs[i], k), element-wise
+  /// identical at every thread count.
   [[nodiscard]] std::vector<MispredictionReport> InvestigateBatch(
       const std::vector<nn::Image>& inputs, std::size_t k);
 
@@ -54,6 +57,9 @@ class QueryService {
   nn::Network model_;
   linkage::LinkageDatabase database_;
   int fingerprint_layer_;
+  /// Reusable workspace for the serial Investigate path (the batched
+  /// path brings one workspace per worker instead).
+  nn::LayerWorkspace ws_;
 };
 
 }  // namespace caltrain::core

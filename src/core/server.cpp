@@ -277,8 +277,10 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
     // *single shared enclaved model* (each worker brings only an
     // activation workspace — no per-worker model replica and no
     // serialization round-trip); every record's arithmetic is
-    // identical to the serial extraction.  Phase 3 inserts in record
-    // order, so ids and tuples match the serial database element-wise.
+    // identical to the serial extraction.  Phase 3 goes through the
+    // segmented database's batched insert: ids are reserved in record
+    // order before the per-class appends fan out over the pool, so ids
+    // and tuples match the serial database element-wise.
     std::vector<linkage::Fingerprint> fingerprints =
         fingerprint_enclave_->Ecall([&] {
           return linkage::ExtractFingerprintsBatch(
@@ -287,12 +289,21 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
                 return verified[i].image;
               });
         });
+    std::vector<linkage::LinkageRecord> records(verified.size());
+    for (std::size_t i = 0; i < verified.size(); ++i) {
+      records[i].fingerprint = std::move(fingerprints[i]);
+      records[i].label = verified[i].label;
+      records[i].source = verified[i].participant_id;
+      records[i].hash = verified[i].content_hash;
+    }
     fingerprint_enclave_->Ecall([&] {
-      for (std::size_t i = 0; i < verified.size(); ++i) {
-        (void)db.Insert(std::move(fingerprints[i]), verified[i].label,
-                        verified[i].participant_id, verified[i].content_hash);
-      }
+      (void)db.InsertBatch(std::move(records));
     });
+    // Fold every class's tail into its VP-tree on the pool before the
+    // database is handed to the query stage (indexes are derived data;
+    // queries answer identically either way, just without the first-hit
+    // build cost).
+    db.RebuildIndexes();
   }
   fingerprint_enclave_->epc().Free(model_region);
   return db;

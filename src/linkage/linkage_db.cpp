@@ -1,6 +1,7 @@
 #include "linkage/linkage_db.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "data/packaging.hpp"
 #include "util/error.hpp"
@@ -8,63 +9,243 @@
 
 namespace caltrain::linkage {
 
+namespace {
+
+void ValidateRecord(const Fingerprint& fingerprint, int label) {
+  CALTRAIN_REQUIRE(!fingerprint.empty(), "empty fingerprint");
+  // The serialized form stores Y as uint32; reject out-of-range labels
+  // at the door instead of corrupting them at Serialize time.
+  CALTRAIN_REQUIRE(label >= 0, "negative class label");
+}
+
+bool MatchOrder(const QueryMatch& a, const QueryMatch& b) {
+  return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+}
+
+}  // namespace
+
+LinkageDatabase::LinkageDatabase(LinkageDatabase&& other) noexcept
+    : segments_(std::move(other.segments_)),
+      locator_(std::move(other.locator_)),
+      tail_limit_(other.tail_limit_) {}
+
+LinkageDatabase& LinkageDatabase::operator=(LinkageDatabase&& other) noexcept {
+  segments_ = std::move(other.segments_);
+  locator_ = std::move(other.locator_);
+  tail_limit_ = other.tail_limit_;
+  return *this;
+}
+
 std::uint64_t LinkageDatabase::Insert(Fingerprint fingerprint, int label,
                                       std::string source,
                                       const crypto::Sha256Digest& hash) {
-  CALTRAIN_REQUIRE(!fingerprint.empty(), "empty fingerprint");
-  LinkageTuple tuple;
-  tuple.id = tuples_.size();
-  tuple.fingerprint = std::move(fingerprint);
-  tuple.label = label;
-  tuple.source = std::move(source);
-  tuple.hash = hash;
-  tuples_.push_back(std::move(tuple));
-  indexes_dirty_ = true;
-  return tuples_.back().id;
+  ValidateRecord(fingerprint, label);
+  Segment* segment = nullptr;
+  std::uint64_t id = 0;
+  std::size_t pos = 0;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    id = locator_.size();
+    segment = EnsureSegmentLocked(label);
+    pos = segment->reserved++;
+    locator_.push_back(Location{segment, pos});
+  }
+  {
+    std::unique_lock<std::mutex> lock(segment->mu);
+    // Waits only when a concurrent InsertBatch reserved an earlier,
+    // still-unlanded slot in this segment; uncontended inserts append
+    // immediately.
+    segment->appended.wait(lock,
+                           [&] { return segment->tuples.size() == pos; });
+    LinkageTuple tuple;
+    tuple.id = id;
+    tuple.fingerprint = std::move(fingerprint);
+    tuple.label = label;
+    tuple.source = std::move(source);
+    tuple.hash = hash;
+    segment->tuples.push_back(std::move(tuple));
+  }
+  segment->appended.notify_all();
+  return id;
+}
+
+std::vector<std::uint64_t> LinkageDatabase::InsertBatch(
+    std::vector<LinkageRecord> records) {
+  const std::size_t n = records.size();
+  std::vector<std::uint64_t> ids(n);
+  if (n == 0) return ids;
+  for (const LinkageRecord& r : records) {
+    ValidateRecord(r.fingerprint, r.label);
+  }
+
+  // Phase 1 (serial, under the directory lock): assign ids and segment
+  // slots in input order.  This fixes every tuple's id and position
+  // before any parallel work, so the database contents are identical
+  // to a serial Insert loop at any thread count.
+  struct Group {
+    Segment* segment = nullptr;
+    std::size_t first_pos = 0;           ///< reserved slot of items[0]
+    std::vector<std::size_t> items;      ///< record indices, ascending
+  };
+  std::vector<Group> groups;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    const std::uint64_t base = locator_.size();
+    std::unordered_map<int, std::size_t> group_of;
+    locator_.reserve(locator_.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Segment* segment = EnsureSegmentLocked(records[i].label);
+      const auto [it, fresh] =
+          group_of.try_emplace(records[i].label, groups.size());
+      if (fresh) groups.push_back(Group{segment, segment->reserved, {}});
+      groups[it->second].items.push_back(i);
+      locator_.push_back(Location{segment, segment->reserved++});
+      ids[i] = base + static_cast<std::uint64_t>(i);
+    }
+  }
+
+  // Phase 2: append each class's tuples under its own segment lock —
+  // distinct classes proceed concurrently.  Appends land in
+  // reservation order, keeping every segment in ascending-id order: a
+  // group whose segment still misses an *earlier* reservation (only
+  // possible with a concurrent InsertBatch from another thread) is
+  // deferred and retried on the calling thread below, so pool workers
+  // never block on another call's progress.
+  const auto append_group = [&](const Group& group) {
+    Segment& seg = *group.segment;
+    for (const std::size_t i : group.items) {
+      LinkageTuple tuple;
+      tuple.id = ids[i];
+      tuple.fingerprint = std::move(records[i].fingerprint);
+      tuple.label = records[i].label;
+      tuple.source = std::move(records[i].source);
+      tuple.hash = records[i].hash;
+      seg.tuples.push_back(std::move(tuple));
+    }
+  };
+  std::vector<std::uint8_t> done(groups.size(), 0);
+  util::ParallelFor(0, groups.size(), [&](std::size_t g) {
+    Segment& seg = *groups[g].segment;
+    std::unique_lock<std::mutex> lock(seg.mu);
+    if (seg.tuples.size() != groups[g].first_pos) return;  // deferred
+    append_group(groups[g]);
+    lock.unlock();
+    seg.appended.notify_all();
+    done[g] = 1;
+  });
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (done[g] != 0) continue;
+    Segment& seg = *groups[g].segment;
+    std::unique_lock<std::mutex> lock(seg.mu);
+    seg.appended.wait(lock,
+                      [&] { return seg.tuples.size() == groups[g].first_pos; });
+    append_group(groups[g]);
+    lock.unlock();
+    seg.appended.notify_all();
+  }
+  return ids;
+}
+
+std::size_t LinkageDatabase::size() const {
+  std::lock_guard<std::mutex> lock(directory_mu_);
+  return locator_.size();
 }
 
 const LinkageTuple& LinkageDatabase::tuple(std::uint64_t id) const {
-  CALTRAIN_REQUIRE(id < tuples_.size(), "unknown linkage tuple id");
-  return tuples_[id];
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    CALTRAIN_REQUIRE(id < locator_.size(), "unknown linkage tuple id");
+    loc = locator_[id];
+  }
+  std::lock_guard<std::mutex> lock(loc.segment->mu);
+  CALTRAIN_REQUIRE(loc.pos < loc.segment->tuples.size(),
+                   "linkage tuple not yet visible");
+  // Deque references stay valid across appends, and tuples are never
+  // mutated after insertion, so the reference outlives the lock.
+  return loc.segment->tuples[loc.pos];
 }
 
-LinkageDatabase::ClassIndex& LinkageDatabase::EnsureIndex(int label) {
-  if (indexes_dirty_) {
-    indexes_.clear();
-    indexes_dirty_ = false;
+LinkageDatabase::Segment* LinkageDatabase::EnsureSegmentLocked(int label) {
+  auto it = segments_.find(label);
+  if (it == segments_.end()) {
+    auto segment = std::make_unique<Segment>();
+    segment->label = label;
+    it = segments_.emplace(label, std::move(segment)).first;
   }
-  auto it = indexes_.find(label);
-  if (it == indexes_.end()) {
-    ClassIndex index;
-    std::vector<std::vector<float>> points;
-    for (const LinkageTuple& t : tuples_) {
-      if (t.label != label) continue;
-      index.ids.push_back(t.id);
-      points.push_back(t.fingerprint);
-    }
-    index.tree = std::make_unique<VpTree>(std::move(points));
-    it = indexes_.emplace(label, std::move(index)).first;
-  }
-  return it->second;
+  return it->second.get();
 }
 
-std::vector<QueryMatch> LinkageDatabase::QueryIndex(const ClassIndex& index,
-                                                    const Fingerprint& query,
-                                                    std::size_t k) const {
-  const std::vector<Neighbor> neighbors = index.tree->Search(query, k);
+LinkageDatabase::Segment* LinkageDatabase::FindSegment(int label) const {
+  std::lock_guard<std::mutex> lock(directory_mu_);
+  const auto it = segments_.find(label);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+void LinkageDatabase::RebuildSegmentLocked(Segment& seg) {
+  if (seg.index != nullptr && seg.indexed == seg.tuples.size()) return;
+  std::vector<std::vector<float>> points;
+  std::vector<std::uint64_t> ids;
+  std::vector<std::string> sources;
+  points.reserve(seg.tuples.size());
+  ids.reserve(seg.tuples.size());
+  sources.reserve(seg.tuples.size());
+  for (const LinkageTuple& t : seg.tuples) {
+    points.push_back(t.fingerprint);
+    ids.push_back(t.id);
+    sources.push_back(t.source);
+  }
+  auto index = std::make_shared<SegmentIndex>(std::move(points));
+  index->ids = std::move(ids);
+  index->sources = std::move(sources);
+  seg.indexed = seg.tuples.size();
+  seg.index = std::move(index);
+  ++seg.generation;
+}
+
+std::vector<QueryMatch> LinkageDatabase::QuerySegment(
+    Segment& seg, const Fingerprint& query, std::size_t k,
+    bool allow_rebuild) const {
   std::vector<QueryMatch> matches;
-  matches.reserve(neighbors.size());
-  for (const Neighbor& n : neighbors) {
-    const LinkageTuple& t = tuples_[index.ids[n.index]];
-    matches.push_back(QueryMatch{t.id, n.distance, t.label, t.source});
+  std::shared_ptr<const SegmentIndex> index;
+  {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    if (allow_rebuild &&
+        (seg.index == nullptr ||
+         seg.tuples.size() - seg.indexed > tail_limit_)) {
+      RebuildSegmentLocked(seg);
+    }
+    index = seg.index;
+    // Brute-force the unindexed tail under the lock (it is bounded by
+    // tail_limit_); the tree snapshot is searched lock-free below.
+    for (std::size_t pos = seg.indexed; pos < seg.tuples.size(); ++pos) {
+      const LinkageTuple& t = seg.tuples[pos];
+      matches.push_back(QueryMatch{
+          t.id, FingerprintDistance(t.fingerprint, query), t.label, t.source});
+    }
   }
+  if (index != nullptr) {
+    const std::vector<Neighbor> neighbors = index->tree.Search(query, k);
+    for (const Neighbor& n : neighbors) {
+      matches.push_back(QueryMatch{index->ids[n.index], n.distance, seg.label,
+                                   index->sources[n.index]});
+    }
+  }
+  // The tree already returns its k best in (distance, index) ==
+  // (distance, id) order; merging with the tail and re-sorting yields
+  // the exact global top-k with (distance, id) tie-breaking — the same
+  // order as QueryNearestBruteForce.
+  std::sort(matches.begin(), matches.end(), MatchOrder);
+  if (matches.size() > k) matches.resize(k);
   return matches;
 }
 
 std::vector<QueryMatch> LinkageDatabase::QueryNearest(const Fingerprint& query,
                                                       int label,
                                                       std::size_t k) {
-  return QueryIndex(EnsureIndex(label), query, k);
+  Segment* seg = FindSegment(label);
+  if (seg == nullptr) return {};
+  return QuerySegment(*seg, query, k, /*allow_rebuild=*/true);
 }
 
 std::vector<std::vector<QueryMatch>> LinkageDatabase::QueryNearestBatch(
@@ -72,32 +253,90 @@ std::vector<std::vector<QueryMatch>> LinkageDatabase::QueryNearestBatch(
     std::size_t k) {
   CALTRAIN_REQUIRE(queries.size() == labels.size(),
                    "batch query/label size mismatch");
-  // Index construction mutates the database, so it happens serially
-  // before the (read-only) parallel query phase.
-  for (int label : labels) (void)EnsureIndex(label);
-
+  // Fold the queried classes' tails in first (parallel across
+  // segments), then answer the queries in parallel over the immutable
+  // index snapshots.  Only the distinct labels of this batch are
+  // touched — results are identical either way (the tail scan keeps
+  // unfolded segments exact), this just avoids building indexes no
+  // query needs.
+  std::unordered_map<int, Segment*> needed;  // distinct queried classes
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    for (const int label : labels) {
+      const auto it = segments_.find(label);
+      needed.emplace(label, it == segments_.end() ? nullptr
+                                                  : it->second.get());
+    }
+  }
+  std::vector<Segment*> to_fold;
+  for (const auto& [label, seg] : needed) {
+    if (seg != nullptr) to_fold.push_back(seg);
+  }
+  util::ParallelFor(0, to_fold.size(), [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(to_fold[i]->mu);
+    RebuildSegmentLocked(*to_fold[i]);
+  });
+  // The query loop reads segments through the prefold's snapshot — no
+  // per-query directory lock.
   std::vector<std::vector<QueryMatch>> results(queries.size());
   util::ParallelFor(0, queries.size(), [&](std::size_t i) {
-    results[i] = QueryIndex(indexes_.at(labels[i]), queries[i], k);
+    Segment* seg = needed.at(labels[i]);
+    if (seg != nullptr) {
+      results[i] = QuerySegment(*seg, queries[i], k, /*allow_rebuild=*/false);
+    }
   });
   return results;
 }
 
 std::vector<QueryMatch> LinkageDatabase::QueryNearestBruteForce(
     const Fingerprint& query, int label, std::size_t k) const {
+  Segment* seg = FindSegment(label);
+  if (seg == nullptr) return {};
   std::vector<QueryMatch> all;
-  for (const LinkageTuple& t : tuples_) {
-    if (t.label != label) continue;
-    all.push_back(QueryMatch{t.id, FingerprintDistance(t.fingerprint, query),
-                             t.label, t.source});
+  {
+    std::lock_guard<std::mutex> lock(seg->mu);
+    all.reserve(seg->tuples.size());
+    for (const LinkageTuple& t : seg->tuples) {
+      all.push_back(QueryMatch{t.id, FingerprintDistance(t.fingerprint, query),
+                               t.label, t.source});
+    }
   }
-  std::sort(all.begin(), all.end(), [](const QueryMatch& a,
-                                       const QueryMatch& b) {
-    return a.distance < b.distance ||
-           (a.distance == b.distance && a.id < b.id);
-  });
+  std::sort(all.begin(), all.end(), MatchOrder);
   if (all.size() > k) all.resize(k);
   return all;
+}
+
+void LinkageDatabase::RebuildIndexes() {
+  std::vector<Segment*> segments;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    segments.reserve(segments_.size());
+    for (const auto& [label, seg] : segments_) segments.push_back(seg.get());
+  }
+  // Stable order for the fan-out (segments are independent, so this
+  // only affects scheduling, not results).
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment* a, const Segment* b) {
+              return a->label < b->label;
+            });
+  util::ParallelFor(0, segments.size(), [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(segments[i]->mu);
+    RebuildSegmentLocked(*segments[i]);
+  });
+}
+
+std::uint64_t LinkageDatabase::IndexGeneration(int label) const {
+  Segment* seg = FindSegment(label);
+  if (seg == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(seg->mu);
+  return seg->generation;
+}
+
+std::size_t LinkageDatabase::UnindexedTailSize(int label) const {
+  Segment* seg = FindSegment(label);
+  if (seg == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(seg->mu);
+  return seg->tuples.size() - seg->indexed;
 }
 
 bool LinkageDatabase::VerifySubmission(std::uint64_t id,
@@ -111,17 +350,28 @@ bool LinkageDatabase::VerifySubmission(std::uint64_t id,
 }
 
 std::vector<std::uint64_t> LinkageDatabase::IdsForLabel(int label) const {
+  Segment* seg = FindSegment(label);
+  if (seg == nullptr) return {};
+  std::lock_guard<std::mutex> lock(seg->mu);
   std::vector<std::uint64_t> ids;
-  for (const LinkageTuple& t : tuples_) {
-    if (t.label == label) ids.push_back(t.id);
-  }
+  ids.reserve(seg->tuples.size());
+  for (const LinkageTuple& t : seg->tuples) ids.push_back(t.id);
   return ids;
 }
 
 Bytes LinkageDatabase::Serialize() const {
   ByteWriter writer;
-  writer.WriteU64(tuples_.size());
-  for (const LinkageTuple& t : tuples_) {
+  std::lock_guard<std::mutex> lock(directory_mu_);
+  // Fail cleanly (instead of racing the appenders) if a concurrent
+  // insert still has reserved-but-unlanded slots.
+  for (const auto& [label, seg] : segments_) {
+    std::lock_guard<std::mutex> seg_lock(seg->mu);
+    CALTRAIN_REQUIRE(seg->tuples.size() == seg->reserved,
+                     "Serialize during in-flight insert");
+  }
+  writer.WriteU64(locator_.size());
+  for (const Location& loc : locator_) {
+    const LinkageTuple& t = loc.segment->tuples[loc.pos];
     writer.WriteF32Vector(t.fingerprint);
     writer.WriteU32(static_cast<std::uint32_t>(t.label));
     writer.WriteString(t.source);
@@ -134,18 +384,21 @@ LinkageDatabase LinkageDatabase::Deserialize(BytesView blob) {
   ByteReader reader(blob);
   LinkageDatabase db;
   const std::uint64_t count = reader.ReadU64();
+  std::vector<LinkageRecord> records;
+  records.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    Fingerprint fp = reader.ReadF32Vector();
-    const int label = static_cast<int>(reader.ReadU32());
-    std::string source = reader.ReadString();
+    LinkageRecord record;
+    record.fingerprint = reader.ReadF32Vector();
+    record.label = static_cast<int>(reader.ReadU32());
+    record.source = reader.ReadString();
     const Bytes hash = reader.ReadBytes();
     CALTRAIN_REQUIRE(hash.size() == crypto::kSha256DigestSize,
                      "bad hash size in linkage blob");
-    crypto::Sha256Digest digest{};
-    std::copy(hash.begin(), hash.end(), digest.begin());
-    (void)db.Insert(std::move(fp), label, std::move(source), digest);
+    std::copy(hash.begin(), hash.end(), record.hash.begin());
+    records.push_back(std::move(record));
   }
   CALTRAIN_REQUIRE(reader.AtEnd(), "trailing bytes in linkage blob");
+  (void)db.InsertBatch(std::move(records));
   return db;
 }
 

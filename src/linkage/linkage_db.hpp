@@ -12,9 +12,29 @@
 // fingerprints in that class with their sources, and can later verify
 // that data a participant turns in is byte-identical to what was
 // trained on.
+//
+// Storage is sharded into per-class *segments*: each segment owns its
+// class's tuples (in ascending-id order), its own VP-tree index
+// snapshot, a generation counter, and a mutex.  Inserting into class Y
+// touches only Y's segment, so inserts into different classes proceed
+// concurrently and never invalidate another class's index.  Index
+// maintenance is incremental: a query is answered from the segment's
+// last-built tree plus a brute-force scan of the small unindexed tail;
+// RebuildIndexes() (or a tail outgrowing tail_limit()) folds the tail
+// into a fresh tree.
+//
+// Determinism contract: ids are assigned in insertion order
+// (InsertBatch i-th record gets id base+i regardless of thread count),
+// results are exact kNN ordered by (distance, id), and Serialize()
+// iterates tuples by id — so batched/parallel and serial call
+// sequences are element-wise and byte-for-byte identical.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,6 +55,16 @@ struct LinkageTuple {
   crypto::Sha256Digest hash{};   ///< H
 };
 
+/// One insert request (a LinkageTuple before the database assigns it
+/// an id).  Labels must be non-negative — the serialized form stores
+/// them as uint32.
+struct LinkageRecord {
+  Fingerprint fingerprint;
+  int label = 0;
+  std::string source;
+  crypto::Sha256Digest hash{};
+};
+
 struct QueryMatch {
   std::uint64_t id = 0;
   double distance = 0.0;
@@ -45,25 +75,40 @@ struct QueryMatch {
 class LinkageDatabase {
  public:
   LinkageDatabase() = default;
+  LinkageDatabase(LinkageDatabase&& other) noexcept;
+  LinkageDatabase& operator=(LinkageDatabase&& other) noexcept;
 
-  /// Inserts a tuple; returns the assigned id.  Invalidates indexes.
+  /// Inserts a tuple; returns the assigned id.  Only the target
+  /// class's segment is touched (its unindexed tail grows by one) —
+  /// every other class's index stays valid.
   std::uint64_t Insert(Fingerprint fingerprint, int label, std::string source,
                        const crypto::Sha256Digest& hash);
 
-  [[nodiscard]] std::size_t size() const noexcept { return tuples_.size(); }
+  /// Batched insert: records[i] gets id base+i in input order (ids are
+  /// reserved up front, so the result is identical to calling Insert
+  /// serially), while the per-class segment appends fan out over the
+  /// thread pool.  Concurrent InsertBatch calls from different threads
+  /// are safe; each call's id range is contiguous.
+  std::vector<std::uint64_t> InsertBatch(std::vector<LinkageRecord> records);
+
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const LinkageTuple& tuple(std::uint64_t id) const;
 
   /// The k nearest training fingerprints *within class `label`*
-  /// (Y = Y_test restriction), closest first.  Uses per-class VP-tree
-  /// indexes, built lazily.
+  /// (Y = Y_test restriction), closest first with (distance, id)
+  /// tie-breaking.  Answered from the class segment's VP-tree plus a
+  /// brute-force scan of its unindexed tail; a tail larger than
+  /// tail_limit() (or a missing tree) triggers a segment rebuild
+  /// first.  An unknown class returns an empty result.
   [[nodiscard]] std::vector<QueryMatch> QueryNearest(
       const Fingerprint& query, int label, std::size_t k);
 
   /// Batched form of QueryNearest: result[i] answers
-  /// (queries[i], labels[i], k).  Builds every needed per-class index
-  /// up front, then runs the queries in parallel over the immutable
-  /// indexes; results are element-wise identical to calling
-  /// QueryNearest serially, at every thread count.
+  /// (queries[i], labels[i], k).  Folds the queried classes' tails in
+  /// up front (parallel across segments), then runs the queries in
+  /// parallel over the immutable index snapshots; results are
+  /// element-wise identical to calling QueryNearest serially, at every
+  /// thread count.
   [[nodiscard]] std::vector<std::vector<QueryMatch>> QueryNearestBatch(
       const std::vector<Fingerprint>& queries, const std::vector<int>& labels,
       std::size_t k);
@@ -72,36 +117,99 @@ class LinkageDatabase {
   [[nodiscard]] std::vector<QueryMatch> QueryNearestBruteForce(
       const Fingerprint& query, int label, std::size_t k) const;
 
+  /// Folds every segment's unindexed tail into a fresh VP-tree, one
+  /// segment per pool task.  Deterministic: each segment's tree is
+  /// built over its tuples in ascending-id order.  Segments that are
+  /// already fully indexed are left untouched (their generation does
+  /// not change).
+  void RebuildIndexes();
+
+  /// Number of times class `label`'s index has been (re)built (0 if
+  /// the class is unknown or its index was never built).  Tests use
+  /// this to enforce that inserts into one class never invalidate
+  /// another class's index.
+  [[nodiscard]] std::uint64_t IndexGeneration(int label) const;
+
+  /// Tuples of class `label` not yet covered by its index (answered by
+  /// the brute-force tail scan until the next rebuild).
+  [[nodiscard]] std::size_t UnindexedTailSize(int label) const;
+
+  /// Tail size beyond which a serial QueryNearest folds the tail into
+  /// a fresh tree before answering (default 256).
+  [[nodiscard]] std::size_t tail_limit() const noexcept {
+    return tail_limit_;
+  }
+  void set_tail_limit(std::size_t limit) noexcept { tail_limit_ = limit; }
+
   /// Forensic step: a participant turns in (image, label) claimed to be
   /// training instance `id`; verifies the hash digest H matches.
   [[nodiscard]] bool VerifySubmission(std::uint64_t id,
                                       const nn::Image& image,
                                       int label) const;
 
-  /// All tuple ids for one class (e.g. to visualize a class cluster).
+  /// All tuple ids for one class, ascending (e.g. to visualize a class
+  /// cluster).
   [[nodiscard]] std::vector<std::uint64_t> IdsForLabel(int label) const;
 
-  /// Persistence.
+  /// Persistence.  The blob format is segment-agnostic (tuples in id
+  /// order), so sharded and pre-sharding databases serialize
+  /// byte-identically.  Not safe concurrently with inserts.
   [[nodiscard]] Bytes Serialize() const;
   [[nodiscard]] static LinkageDatabase Deserialize(BytesView blob);
 
  private:
-  struct ClassIndex {
-    std::vector<std::uint64_t> ids;   ///< position -> tuple id
-    std::unique_ptr<VpTree> tree;
+  /// Immutable index snapshot of one segment: a VP-tree over the
+  /// fingerprints of the first `ids.size()` tuples (ascending id, so
+  /// the tree's (distance, index) tie-break order equals the
+  /// database's (distance, id) order) plus the id/source columns
+  /// needed to materialize QueryMatch rows without touching the
+  /// segment.
+  struct SegmentIndex {
+    explicit SegmentIndex(std::vector<std::vector<float>> points)
+        : tree(std::move(points)) {}
+    VpTree tree;
+    std::vector<std::uint64_t> ids;      ///< tree position -> tuple id
+    std::vector<std::string> sources;    ///< tree position -> source
   };
 
-  ClassIndex& EnsureIndex(int label);
+  /// One class's shard.  `tuples` only ever grows, in ascending-id
+  /// order (a deque keeps references stable across appends); `index`
+  /// covers the first `indexed` tuples and is replaced wholesale on
+  /// rebuild, so in-flight queries holding the old snapshot stay
+  /// valid.
+  struct Segment {
+    int label = 0;
+    std::deque<LinkageTuple> tuples;
+    std::shared_ptr<const SegmentIndex> index;
+    std::size_t indexed = 0;       ///< tuples covered by `index`
+    std::uint64_t generation = 0;  ///< number of index builds
+    std::size_t reserved = 0;      ///< slots handed out (>= tuples.size();
+                                   ///< guarded by directory_mu_)
+    std::mutex mu;
+    std::condition_variable appended;  ///< signals tuples.size() growth
+  };
 
-  /// Read-only match construction over a built index (shared by the
-  /// serial and batched query paths so they cannot diverge).
-  [[nodiscard]] std::vector<QueryMatch> QueryIndex(const ClassIndex& index,
-                                                   const Fingerprint& query,
-                                                   std::size_t k) const;
+  /// id -> owning segment and position within it.
+  struct Location {
+    Segment* segment = nullptr;
+    std::size_t pos = 0;
+  };
 
-  std::vector<LinkageTuple> tuples_;  ///< id == position
-  std::unordered_map<int, ClassIndex> indexes_;
-  bool indexes_dirty_ = false;
+  Segment* EnsureSegmentLocked(int label);
+  [[nodiscard]] Segment* FindSegment(int label) const;
+  static void RebuildSegmentLocked(Segment& seg);
+  [[nodiscard]] std::vector<QueryMatch> QuerySegment(Segment& seg,
+                                                     const Fingerprint& query,
+                                                     std::size_t k,
+                                                     bool allow_rebuild) const;
+
+  /// Guards segments_ (the label -> segment map), locator_, and every
+  /// segment's `reserved` counter.  Lock order: directory_mu_ before
+  /// any Segment::mu, never the reverse.
+  mutable std::mutex directory_mu_;
+  std::unordered_map<int, std::unique_ptr<Segment>> segments_;
+  std::vector<Location> locator_;  ///< id == position
+  std::size_t tail_limit_ = 256;
 };
 
 }  // namespace caltrain::linkage

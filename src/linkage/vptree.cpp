@@ -12,7 +12,12 @@ namespace caltrain::linkage {
 namespace {
 
 bool FartherFirst(const Neighbor& a, const Neighbor& b) {
-  return a.distance < b.distance;  // max-heap by distance
+  // Max-heap by (distance, index): the top is the current *worst*
+  // candidate, ties resolved toward the larger index, so equal-distance
+  // lower-index points win — matching BruteForceKnn's (distance, index)
+  // order (and, at the database layer, (distance, id)).
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.index < b.index);
 }
 
 }  // namespace
@@ -72,10 +77,18 @@ void VpTree::SearchNode(
   if (best.size() < k) {
     best.push(Neighbor{node.point_index, dist});
     if (best.size() == k) tau = best.top().distance;
-  } else if (dist < tau) {
-    best.pop();
-    best.push(Neighbor{node.point_index, dist});
-    tau = best.top().distance;
+  } else {
+    // Replace the current worst when strictly closer, or when equally
+    // distant with a smaller index (deterministic tie-break; the
+    // pruning bounds below use >=/<= so equal-distance candidates in
+    // sibling subtrees are still visited).
+    const Neighbor& worst = best.top();
+    if (dist < worst.distance ||
+        (dist == worst.distance && node.point_index < worst.index)) {
+      best.pop();
+      best.push(Neighbor{node.point_index, dist});
+      tau = best.top().distance;
+    }
   }
 
   if (node.inside < 0 && node.outside < 0) return;

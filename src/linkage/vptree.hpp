@@ -25,7 +25,10 @@ class VpTree {
   /// Search refer to positions in this vector.
   explicit VpTree(std::vector<std::vector<float>> points);
 
-  /// The k nearest neighbours of `query`, closest first.
+  /// The k nearest neighbours of `query`, closest first; equal
+  /// distances tie-break on ascending index, so the result is
+  /// element-wise identical to BruteForceKnn even with duplicate
+  /// points.
   [[nodiscard]] std::vector<Neighbor> Search(const std::vector<float>& query,
                                              std::size_t k) const;
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "data/packaging.hpp"
 #include "linkage/fingerprint.hpp"
@@ -78,8 +79,44 @@ TEST(VpTreeTest, MatchesBruteForce) {
     const auto fast = tree.Search(query, 7);
     ASSERT_EQ(fast.size(), exact.size());
     for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(fast[i].index, exact[i].index)
+          << "rank " << i << " trial " << trial;
       EXPECT_NEAR(fast[i].distance, exact[i].distance, 1e-9)
           << "rank " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(VpTreeTest, TieHeavyDuplicatesMatchBruteForceElementWise) {
+  // Five exact copies of each of eight centers: every query hits
+  // 4-way (or, querying a center, zero-distance) ties, so the result
+  // set is only well-defined with the (distance, index) tie-break —
+  // tree and brute force must then agree element-wise.
+  const auto centers = RandomPoints(8, 4, 71);
+  std::vector<std::vector<float>> points;
+  for (int copy = 0; copy < 5; ++copy) {
+    for (const auto& c : centers) points.push_back(c);
+  }
+  const VpTree tree(points);
+  Rng rng(72);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::vector<float> query;
+    if (trial < 8) {
+      query = centers[static_cast<std::size_t>(trial)];  // exact dup probe
+    } else {
+      query.resize(4);
+      for (float& x : query) x = rng.Gaussian();
+    }
+    for (const std::size_t k : {1U, 3U, 10U, 40U}) {
+      const auto exact = BruteForceKnn(points, query, k);
+      const auto fast = tree.Search(query, k);
+      ASSERT_EQ(fast.size(), exact.size()) << "k " << k << " trial " << trial;
+      for (std::size_t i = 0; i < exact.size(); ++i) {
+        EXPECT_EQ(fast[i].index, exact[i].index)
+            << "rank " << i << " k " << k << " trial " << trial;
+        EXPECT_EQ(fast[i].distance, exact[i].distance)
+            << "rank " << i << " k " << k << " trial " << trial;
+      }
     }
   }
 }
@@ -243,16 +280,340 @@ TEST_F(LinkageDbTest, SerializationRoundTrip) {
     EXPECT_EQ(a[i].id, b[i].id);
     EXPECT_EQ(a[i].source, b[i].source);
   }
+  // The blob format is segment-agnostic: a re-serialized round trip is
+  // byte-identical, even after index builds on either side.
+  (void)restored.QueryNearest(probe, 0, 3);
+  db_.RebuildIndexes();
+  EXPECT_EQ(restored.Serialize(), blob);
+  EXPECT_EQ(db_.Serialize(), blob);
 }
 
-TEST_F(LinkageDbTest, InsertAfterQueryRebuildIndex) {
+TEST_F(LinkageDbTest, InsertAfterQueryAnsweredFromTail) {
   Fingerprint probe = {1.0F, 0.0F, 0.0F, 0.0F};
   (void)db_.QueryNearest(probe, 0, 3);  // builds the class-0 index
+  const std::uint64_t gen = db_.IndexGeneration(0);
+  EXPECT_EQ(gen, 1U);
   const auto id = db_.Insert({1.0F, 0.0F, 0.0F, 0.0F}, 0, "late",
                              FakeHash(0xFF));
+  EXPECT_EQ(db_.UnindexedTailSize(0), 1U);
   const auto matches = db_.QueryNearest(probe, 0, 1);
   ASSERT_EQ(matches.size(), 1U);
   EXPECT_EQ(matches[0].id, id);  // exact match must now be nearest
+  // The small tail was answered by the brute-force scan — no rebuild.
+  EXPECT_EQ(db_.IndexGeneration(0), gen);
+  EXPECT_EQ(db_.UnindexedTailSize(0), 1U);
+  // Folding the tail in changes nothing observable.
+  db_.RebuildIndexes();
+  EXPECT_EQ(db_.IndexGeneration(0), gen + 1);
+  EXPECT_EQ(db_.UnindexedTailSize(0), 0U);
+  const auto after = db_.QueryNearest(probe, 0, 1);
+  ASSERT_EQ(after.size(), 1U);
+  EXPECT_EQ(after[0].id, id);
+  EXPECT_EQ(after[0].distance, matches[0].distance);
+}
+
+TEST_F(LinkageDbTest, InsertLeavesOtherClassIndexesIntact) {
+  Fingerprint probe0 = {1.0F, 0.0F, 0.0F, 0.0F};
+  Fingerprint probe1 = {0.0F, 1.0F, 0.0F, 0.0F};
+  (void)db_.QueryNearest(probe0, 0, 3);
+  (void)db_.QueryNearest(probe1, 1, 3);
+  ASSERT_EQ(db_.IndexGeneration(0), 1U);
+  ASSERT_EQ(db_.IndexGeneration(1), 1U);
+
+  Rng rng(34);
+  for (int i = 0; i < 300; ++i) {  // well past the rebuild threshold
+    db_.Insert(Jitter({0.0F, 1.0F, 0.0F, 0.0F}, rng), 1, "late-B",
+               FakeHash(static_cast<std::uint8_t>(i)));
+  }
+  (void)db_.QueryNearest(probe1, 1, 3);        // folds class 1's tail
+  EXPECT_EQ(db_.IndexGeneration(1), 2U);
+  EXPECT_EQ(db_.IndexGeneration(0), 1U)        // class 0 untouched
+      << "insert into class 1 must not invalidate class 0's index";
+  EXPECT_EQ(db_.UnindexedTailSize(0), 0U);
+
+  // And class-0 queries still agree with brute force exactly.
+  for (int trial = 0; trial < 5; ++trial) {
+    Fingerprint probe(4);
+    for (float& x : probe) x = rng.Gaussian();
+    L2NormalizeInPlace(probe);
+    const auto fast = db_.QueryNearest(probe, 0, 6);
+    const auto exact = db_.QueryNearestBruteForce(probe, 0, 6);
+    ASSERT_EQ(fast.size(), exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(fast[i].id, exact[i].id);
+      EXPECT_EQ(fast[i].distance, exact[i].distance);
+    }
+  }
+}
+
+TEST_F(LinkageDbTest, AutoRebuildFoldsLargeTail) {
+  db_.set_tail_limit(4);
+  Fingerprint probe = {1.0F, 0.0F, 0.0F, 0.0F};
+  (void)db_.QueryNearest(probe, 0, 3);
+  const std::uint64_t gen = db_.IndexGeneration(0);
+  Rng rng(35);
+  for (int i = 0; i < 6; ++i) {
+    db_.Insert(Jitter({1.0F, 0.0F, 0.0F, 0.0F}, rng), 0, "late",
+               FakeHash(static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(db_.UnindexedTailSize(0), 6U);  // tail (6) > limit (4)
+  const auto fast = db_.QueryNearest(probe, 0, 8);
+  EXPECT_EQ(db_.IndexGeneration(0), gen + 1);
+  EXPECT_EQ(db_.UnindexedTailSize(0), 0U);
+  const auto exact = db_.QueryNearestBruteForce(probe, 0, 8);
+  ASSERT_EQ(fast.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(fast[i].id, exact[i].id);
+    EXPECT_EQ(fast[i].distance, exact[i].distance);
+  }
+}
+
+TEST_F(LinkageDbTest, QueryUnknownClassReturnsEmpty) {
+  Fingerprint probe = {1.0F, 0.0F, 0.0F, 0.0F};
+  EXPECT_TRUE(db_.QueryNearest(probe, 9, 5).empty());
+  EXPECT_TRUE(db_.QueryNearestBruteForce(probe, 9, 5).empty());
+  const auto batch = db_.QueryNearestBatch({probe, probe}, {9, 0}, 5);
+  ASSERT_EQ(batch.size(), 2U);
+  EXPECT_TRUE(batch[0].empty());
+  EXPECT_EQ(batch[1].size(), 5U);
+  EXPECT_EQ(db_.IndexGeneration(9), 0U);
+  EXPECT_EQ(db_.UnindexedTailSize(9), 0U);
+}
+
+TEST_F(LinkageDbTest, DuplicateFingerprintTiesAgreeWithBruteForce) {
+  // Exact duplicate fingerprints within one class: the VP-tree path
+  // must still return the same ids as brute force (the (distance, id)
+  // tie-break), at every k straddling the duplicate group.
+  Fingerprint dup = {0.6F, 0.8F, 0.0F, 0.0F};
+  for (int i = 0; i < 6; ++i) {
+    db_.Insert(dup, 0, "dup", FakeHash(static_cast<std::uint8_t>(240 + i)));
+  }
+  db_.RebuildIndexes();
+  Rng rng(36);
+  for (int trial = 0; trial < 8; ++trial) {
+    Fingerprint probe = dup;
+    if (trial >= 4) {  // also probe from a distance
+      for (float& x : probe) x += 0.3F * rng.Gaussian();
+      L2NormalizeInPlace(probe);
+    }
+    for (const std::size_t k : {1U, 3U, 6U, 9U, 40U}) {
+      const auto fast = db_.QueryNearest(probe, 0, k);
+      const auto exact = db_.QueryNearestBruteForce(probe, 0, k);
+      ASSERT_EQ(fast.size(), exact.size());
+      for (std::size_t i = 0; i < exact.size(); ++i) {
+        EXPECT_EQ(fast[i].id, exact[i].id)
+            << "rank " << i << " k " << k << " trial " << trial;
+        EXPECT_EQ(fast[i].distance, exact[i].distance);
+      }
+    }
+  }
+}
+
+std::vector<LinkageRecord> RandomRecords(std::size_t n, int classes,
+                                         std::size_t dim,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LinkageRecord> records(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records[i].fingerprint.resize(dim);
+    for (float& x : records[i].fingerprint) x = rng.Gaussian();
+    L2NormalizeInPlace(records[i].fingerprint);
+    records[i].label = static_cast<int>(i) % classes;
+    records[i].source = "src" + std::to_string(i % 3);
+    records[i].hash[0] = static_cast<std::uint8_t>(i);
+  }
+  return records;
+}
+
+TEST(LinkageDbBatchTest, InsertBatchMatchesSerialInsertsAtEveryThreadCount) {
+  const auto records = RandomRecords(200, 5, 6, 81);
+
+  // Serial reference: one Insert per record, queried serially.
+  LinkageDatabase reference;
+  for (const LinkageRecord& r : records) {
+    (void)reference.Insert(r.fingerprint, r.label, r.source, r.hash);
+  }
+  const Bytes reference_blob = reference.Serialize();
+  const auto probes = RandomRecords(40, 5, 6, 82);
+  std::vector<std::vector<QueryMatch>> reference_answers;
+  for (const LinkageRecord& p : probes) {
+    reference_answers.push_back(reference.QueryNearest(p.fingerprint,
+                                                       p.label, 7));
+  }
+
+  for (const unsigned threads : {1U, 2U, 3U, 8U}) {
+    util::ScopedThreads guard(threads);
+    LinkageDatabase db;
+    const auto ids = db.InsertBatch(records);
+    ASSERT_EQ(ids.size(), records.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(ids[i], i) << "ids must be insertion-order stable";
+    }
+    EXPECT_EQ(db.Serialize(), reference_blob)
+        << "InsertBatch diverged from serial inserts at threads=" << threads;
+
+    std::vector<Fingerprint> queries;
+    std::vector<int> labels;
+    for (const LinkageRecord& p : probes) {
+      queries.push_back(p.fingerprint);
+      labels.push_back(p.label);
+    }
+    const auto batch = db.QueryNearestBatch(queries, labels, 7);
+    ASSERT_EQ(batch.size(), reference_answers.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(batch[i].size(), reference_answers[i].size())
+          << "query " << i << " threads " << threads;
+      for (std::size_t r = 0; r < batch[i].size(); ++r) {
+        EXPECT_EQ(batch[i][r].id, reference_answers[i][r].id)
+            << "query " << i << " rank " << r << " threads " << threads;
+        EXPECT_EQ(batch[i][r].distance, reference_answers[i][r].distance);
+        EXPECT_EQ(batch[i][r].source, reference_answers[i][r].source);
+      }
+    }
+  }
+}
+
+TEST(LinkageDbBatchTest, InterleavedInsertQueryMatchesSerialReference) {
+  // Rounds of InsertBatch + QueryNearestBatch (the sharded parallel
+  // path, indexes folding incrementally between rounds) must be
+  // element-wise identical to a serial Insert/QueryNearest sequence,
+  // at every thread count.
+  constexpr int kRounds = 4;
+  std::vector<std::vector<LinkageRecord>> chunks;
+  std::vector<std::vector<LinkageRecord>> probes;
+  for (int round = 0; round < kRounds; ++round) {
+    chunks.push_back(RandomRecords(60, 4, 6,
+                                   91 + static_cast<std::uint64_t>(round)));
+    probes.push_back(RandomRecords(20, 4, 6,
+                                   95 + static_cast<std::uint64_t>(round)));
+  }
+
+  LinkageDatabase reference;
+  std::vector<std::vector<std::vector<QueryMatch>>> reference_rounds;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const LinkageRecord& r : chunks[static_cast<std::size_t>(round)]) {
+      (void)reference.Insert(r.fingerprint, r.label, r.source, r.hash);
+    }
+    std::vector<std::vector<QueryMatch>> answers;
+    for (const LinkageRecord& p : probes[static_cast<std::size_t>(round)]) {
+      answers.push_back(reference.QueryNearest(p.fingerprint, p.label, 5));
+    }
+    reference_rounds.push_back(std::move(answers));
+  }
+  const Bytes reference_blob = reference.Serialize();
+
+  for (const unsigned threads : {1U, 2U, 3U, 8U}) {
+    util::ScopedThreads guard(threads);
+    LinkageDatabase db;
+    db.set_tail_limit(16);  // force tail folds between rounds
+    for (int round = 0; round < kRounds; ++round) {
+      (void)db.InsertBatch(chunks[static_cast<std::size_t>(round)]);
+      std::vector<Fingerprint> queries;
+      std::vector<int> labels;
+      for (const LinkageRecord& p : probes[static_cast<std::size_t>(round)]) {
+        queries.push_back(p.fingerprint);
+        labels.push_back(p.label);
+      }
+      const auto batch = db.QueryNearestBatch(queries, labels, 5);
+      const auto& expected =
+          reference_rounds[static_cast<std::size_t>(round)];
+      ASSERT_EQ(batch.size(), expected.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(batch[i].size(), expected[i].size())
+            << "round " << round << " query " << i << " threads " << threads;
+        for (std::size_t r = 0; r < batch[i].size(); ++r) {
+          EXPECT_EQ(batch[i][r].id, expected[i][r].id)
+              << "round " << round << " query " << i << " rank " << r
+              << " threads " << threads;
+          EXPECT_EQ(batch[i][r].distance, expected[i][r].distance);
+        }
+      }
+    }
+    EXPECT_EQ(db.Serialize(), reference_blob);
+  }
+}
+
+TEST(LinkageDbBatchTest, ConcurrentInsertAndQueryOnDisjointClasses) {
+  // An external writer thread batch-inserting into class 1 while the
+  // main thread batch-queries class 0: class-0 answers must stay
+  // identical to the pre-insert reference (segment isolation), and the
+  // class-1 segment must end up complete and brute-force-consistent.
+  LinkageDatabase db;
+  const auto base = RandomRecords(120, 1, 6, 101);  // all class 0
+  (void)db.InsertBatch(base);
+  db.RebuildIndexes();
+
+  const auto probes = RandomRecords(32, 1, 6, 102);
+  std::vector<Fingerprint> queries;
+  std::vector<int> labels;
+  for (const LinkageRecord& p : probes) {
+    queries.push_back(p.fingerprint);
+    labels.push_back(0);
+  }
+  const auto reference = db.QueryNearestBatch(queries, labels, 7);
+
+  auto writer_records = RandomRecords(400, 1, 6, 103);
+  for (LinkageRecord& r : writer_records) r.label = 1;
+  std::thread writer([&] {
+    for (std::size_t first = 0; first < writer_records.size(); first += 50) {
+      std::vector<LinkageRecord> chunk(
+          writer_records.begin() + static_cast<std::ptrdiff_t>(first),
+          writer_records.begin() + static_cast<std::ptrdiff_t>(first + 50));
+      (void)db.InsertBatch(std::move(chunk));
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    const auto answers = db.QueryNearestBatch(queries, labels, 7);
+    ASSERT_EQ(answers.size(), reference.size());
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      ASSERT_EQ(answers[i].size(), reference[i].size()) << "round " << round;
+      for (std::size_t r = 0; r < answers[i].size(); ++r) {
+        EXPECT_EQ(answers[i][r].id, reference[i][r].id)
+            << "concurrent class-1 inserts disturbed class-0 results";
+        EXPECT_EQ(answers[i][r].distance, reference[i][r].distance);
+      }
+    }
+  }
+  writer.join();
+
+  ASSERT_EQ(db.size(), base.size() + writer_records.size());
+  ASSERT_EQ(db.IdsForLabel(1).size(), writer_records.size());
+  Rng rng(104);
+  Fingerprint probe(6);
+  for (float& x : probe) x = rng.Gaussian();
+  const auto fast = db.QueryNearest(probe, 1, 9);
+  const auto exact = db.QueryNearestBruteForce(probe, 1, 9);
+  ASSERT_EQ(fast.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(fast[i].id, exact[i].id);
+    EXPECT_EQ(fast[i].distance, exact[i].distance);
+  }
+}
+
+TEST(LinkageDbValidationTest, NegativeLabelRejected) {
+  LinkageDatabase db;
+  crypto::Sha256Digest h{};
+  EXPECT_THROW((void)db.Insert({1.0F, 0.0F}, -1, "x", h), Error);
+  std::vector<LinkageRecord> records(2);
+  records[0].fingerprint = {1.0F, 0.0F};
+  records[0].label = 3;
+  records[1].fingerprint = {0.0F, 1.0F};
+  records[1].label = -7;
+  EXPECT_THROW((void)db.InsertBatch(std::move(records)), Error);
+  EXPECT_EQ(db.size(), 0U) << "a rejected batch must insert nothing";
+}
+
+TEST(LinkageDbValidationTest, LargeLabelSerializationRoundTrip) {
+  LinkageDatabase db;
+  crypto::Sha256Digest h{};
+  h[0] = 0xAB;
+  const auto id = db.Insert({0.5F, 0.5F}, 1000000, "big", h);
+  const Bytes blob = db.Serialize();
+  LinkageDatabase restored = LinkageDatabase::Deserialize(blob);
+  ASSERT_EQ(restored.size(), 1U);
+  EXPECT_EQ(restored.tuple(id).label, 1000000);
+  EXPECT_EQ(restored.tuple(id).source, "big");
+  EXPECT_EQ(restored.Serialize(), blob);
 }
 
 TEST(LinkageHashTest, VerifySubmission) {

@@ -108,21 +108,27 @@ TEST(PipelineTest, FingerprintLayerSelectionFlowsThroughQuery) {
     EXPECT_EQ(n.label, report.predicted_label);
   }
 
-  // The batched API answers the same probe identically, at any
-  // thread count.
-  util::ScopedThreads four(4);
-  Rng rng_a(16);
-  Rng rng_b(16);
-  const std::vector<MispredictionReport> batch =
-      query.InvestigateBatch({gen.Sample(0, rng_a), gen.Sample(0, rng_b)}, 3);
-  ASSERT_EQ(batch.size(), 2U);
-  for (const MispredictionReport& b : batch) {
-    EXPECT_EQ(b.predicted_label, report.predicted_label);
-    EXPECT_EQ(b.fingerprint, report.fingerprint);
-    ASSERT_EQ(b.neighbors.size(), report.neighbors.size());
-    for (std::size_t i = 0; i < b.neighbors.size(); ++i) {
-      EXPECT_EQ(b.neighbors[i].id, report.neighbors[i].id);
-      EXPECT_EQ(b.neighbors[i].distance, report.neighbors[i].distance);
+  // The batched API (parallel forward passes + parallel kNN) answers
+  // the same probes identically at every thread count.
+  std::vector<nn::Image> batch_inputs;
+  for (int i = 0; i < 6; ++i) {
+    Rng per_probe(16);  // six copies of the same probe
+    batch_inputs.push_back(gen.Sample(0, per_probe));
+  }
+  for (const unsigned threads : {1U, 2U, 3U, 8U}) {
+    util::ScopedThreads guard(threads);
+    const std::vector<MispredictionReport> batch =
+        query.InvestigateBatch(batch_inputs, 3);
+    ASSERT_EQ(batch.size(), batch_inputs.size());
+    for (const MispredictionReport& b : batch) {
+      EXPECT_EQ(b.predicted_label, report.predicted_label)
+          << "threads " << threads;
+      EXPECT_EQ(b.fingerprint, report.fingerprint) << "threads " << threads;
+      ASSERT_EQ(b.neighbors.size(), report.neighbors.size());
+      for (std::size_t i = 0; i < b.neighbors.size(); ++i) {
+        EXPECT_EQ(b.neighbors[i].id, report.neighbors[i].id);
+        EXPECT_EQ(b.neighbors[i].distance, report.neighbors[i].distance);
+      }
     }
   }
 }
