@@ -8,11 +8,14 @@
 //   --seed N     experiment seed (default 42).
 //   --threads N  worker threads for the parallel runtime; wins over the
 //                CALTRAIN_THREADS environment variable.
-//   --json PATH  (bench_micro_substrates, bench_fig8_neighbor_query)
+//   --json PATH  (bench_micro_substrates, bench_fig8_neighbor_query,
+//                bench_fig6_partition_overhead)
 //                machine-readable results: one JSON array of
 //                {op, shape, ns_per_op, gflops, threads} rows, the
 //                perf-trajectory format (BENCH_micro.json; fig8 emits
-//                linkage insert-throughput and kNN query-latency rows).
+//                linkage insert-throughput and kNN query-latency rows;
+//                fig6 emits serve-ingest throughput and
+//                transitions-per-record rows — BENCH_serve.json).
 #pragma once
 
 #include <cstdio>
@@ -107,7 +110,7 @@ inline bool WriteBenchJson(const std::string& path,
     const JsonBenchRow& r = rows[i];
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"shape\": \"%s\", "
-                 "\"ns_per_op\": %.1f, \"gflops\": %.2f, \"threads\": %d}%s\n",
+                 "\"ns_per_op\": %.3f, \"gflops\": %.2f, \"threads\": %d}%s\n",
                  r.op.c_str(), r.shape.c_str(), r.ns_per_op, r.gflops,
                  r.threads, i + 1 < rows.size() ? "," : "");
   }

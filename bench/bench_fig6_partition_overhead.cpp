@@ -9,14 +9,28 @@
 // what this harness measures: the FrontNet runs the strict-FP GEMM
 // build while the BackNet keeps the fast-math build (see
 // nn/kernels.hpp), plus real EPC paging and transition accounting.
+//
+// With `--json PATH` the bench also measures the serving layer's
+// ingest path (BENCH_serve.json): upload throughput through the
+// blocking UploadRecords call (one ECALL per record) vs the async
+// session API at several authentication batch sizes, plus
+// transitions-per-record rows showing the TransitionGuard
+// amortization.  (For the BM_ServeTransitionsPerRecord rows the
+// ns_per_op field carries the transition count per uploaded record,
+// not a time.)
 #include <cstdio>
+#include <future>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/participant.hpp"
 #include "core/partitioned.hpp"
+#include "core/server.hpp"
 #include "data/synthetic_cifar.hpp"
 #include "nn/presets.hpp"
+#include "serve/service.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace caltrain;
@@ -47,9 +61,73 @@ int FrontLayersForConvCount(const nn::Network& net, int convs) {
   return boundary;
 }
 
+// One serve-ingest measurement: a provisioned participant's corpus
+// uploaded once through the blocking API (batch == 1) or through the
+// async session API at the given authentication batch size.  Appends
+// an ingest-throughput row and a transitions-per-record row.
+void RunServeIngest(const data::LabeledDataset& dataset, std::uint64_t seed,
+                    std::size_t batch, bool async,
+                    std::vector<bench::JsonBenchRow>& rows) {
+  core::TrainingServer server;
+  core::Participant uploader("p0", dataset, seed);
+  uploader.Provision(server, server.training_measurement());
+  std::vector<data::EncryptedRecord> records = uploader.PackRecords();
+  const std::size_t count = records.size();
+  server.training_enclave().ResetTransitions();
+
+  double seconds = 0.0;
+  if (async) {
+    serve::ServiceConfig config;
+    config.ingest_batch = batch;
+    serve::Service service(server, config);
+    const serve::Result<serve::SessionId> session =
+        service.OpenUploadSession("p0");
+    // Timed region covers enqueue -> last commit only; Service
+    // construction (worker spawns) and destruction (joins) stay
+    // outside so the sync and async rows compare like for like.
+    Stopwatch timer;
+    // Stream in submission chunks like a real client would.
+    constexpr std::size_t kChunk = 64;
+    std::vector<std::future<serve::Result<serve::UploadReceipt>>> pending;
+    for (std::size_t first = 0; first < count; first += kChunk) {
+      const std::size_t last = std::min(count, first + kChunk);
+      pending.push_back(service.SubmitUpload(
+          session.value(),
+          std::vector<data::EncryptedRecord>(
+              records.begin() + static_cast<std::ptrdiff_t>(first),
+              records.begin() + static_cast<std::ptrdiff_t>(last))));
+    }
+    for (auto& f : pending) (void)f.get();
+    seconds = timer.ElapsedSeconds();
+  } else {
+    Stopwatch timer;
+    (void)server.UploadRecords(records);
+    seconds = timer.ElapsedSeconds();
+  }
+
+  const enclave::TransitionStats transitions =
+      server.training_enclave().transitions();
+  const double per_record =
+      static_cast<double>(transitions.ecalls) / static_cast<double>(count);
+  const std::string variant =
+      (async ? std::string("async_batch") : std::string("sync_batch")) +
+      std::to_string(batch);
+  const std::string shape = "records=" + std::to_string(count);
+  const int threads = static_cast<int>(util::Parallelism::threads());
+  rows.push_back({"BM_ServeIngest/" + variant, shape,
+                  seconds * 1e9 / static_cast<double>(count), 0.0, threads});
+  rows.push_back({"BM_ServeTransitionsPerRecord/" + variant, shape,
+                  per_record, 0.0, threads});
+  std::printf("[serve] %-14s %6zu records in %6.1f ms  (%7.0f rec/s, "
+              "%.3f transitions/record)\n",
+              variant.c_str(), count, seconds * 1e3,
+              static_cast<double>(count) / seconds, per_record);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractFlagValue(argc, argv, "--json");
   bench::BenchProfile profile = bench::ParseArgs(argc, argv);
   if (!profile.full && profile.train_size > 600) profile.train_size = 600;
   bench::PrintHeader("Figure 6 — in-enclave workload overhead", profile);
@@ -125,5 +203,25 @@ int main(int argc, char** argv) {
   std::printf("\npaper shape: overhead increases with the number of\n"
               "in-enclave convolutional layers (6%% -> 22%% on the paper's\n"
               "testbed); trend reproduced: %s\n", monotone ? "YES" : "NO");
+
+  if (!json_path.empty()) {
+    std::printf("\nServing-layer ingest (async session API vs blocking "
+                "upload):\n");
+    const std::size_t serve_records =
+        std::min<std::size_t>(profile.train_size, 512);
+    Rng serve_rng(profile.seed + 11);
+    const data::LabeledDataset serve_data =
+        gen.Generate(serve_records, serve_rng);
+    std::vector<bench::JsonBenchRow> rows;
+    RunServeIngest(serve_data, profile.seed, 1, /*async=*/false, rows);
+    for (const std::size_t batch : {std::size_t{8}, std::size_t{32}}) {
+      RunServeIngest(serve_data, profile.seed, batch, /*async=*/true, rows);
+    }
+    if (bench::WriteBenchJson(json_path, rows)) {
+      std::printf("wrote serve-ingest bench rows to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,136 @@
+// Asynchronous serving walkthrough: the session-based front end over
+// the whole CalTrain pipeline (ISSUE 5).
+//
+// Three participants provision keys, then stream their encrypted
+// records through concurrent upload sessions into the bounded ingest
+// queue; background workers authenticate the records in batches of 32
+// per enclave transition.  Training, fingerprinting, model release and
+// misprediction queries all go through std::future-returning requests
+// with typed errors.
+//
+//   ./example_async_serving [--threads N]
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/participant.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "nn/presets.hpp"
+#include "serve/service.hpp"
+#include "util/threadpool.hpp"
+
+using namespace caltrain;
+
+int main(int argc, char** argv) {
+  const unsigned threads = util::ApplyThreadsFlag(argc, argv);
+  std::printf("== CalTrain async serving (threads=%u) ==\n", threads);
+
+  Rng rng(7);
+  data::SyntheticCifar gen;
+  core::TrainingServer server;
+
+  std::vector<core::Participant> participants;
+  participants.reserve(3);
+  for (int p = 0; p < 3; ++p) {
+    participants.emplace_back("participant-" + std::string(1, char('A' + p)),
+                              gen.Generate(80, rng), 100 + p);
+    participants.back().Provision(server, server.training_measurement());
+  }
+
+  serve::ServiceConfig config;
+  config.ingest_batch = 32;
+  config.queue_capacity = 16;
+  serve::Service service(server, config);
+
+  // Concurrent upload sessions: each participant streams its corpus
+  // from its own thread; the bounded queue applies backpressure and
+  // the ingest workers amortize the enclave transitions.
+  std::vector<std::thread> uploaders;
+  for (core::Participant& participant : participants) {
+    uploaders.emplace_back([&service, &participant] {
+      const serve::Result<serve::SessionId> session =
+          service.OpenUploadSession(participant.id());
+      if (!session.ok()) {
+        std::printf("  [%s] session refused: %s\n", participant.id().c_str(),
+                    session.error().message.c_str());
+        return;
+      }
+      auto receipt =
+          service.SubmitUpload(session.value(), participant.PackRecords())
+              .get();
+      const serve::Result<serve::SessionStats> stats =
+          service.CloseUploadSession(session.value());
+      if (receipt.ok() && stats.ok()) {
+        std::printf("  [%s] uploaded %zu records (%zu accepted)\n",
+                    participant.id().c_str(), stats.value().submitted,
+                    stats.value().accepted);
+      }
+    });
+  }
+  for (std::thread& t : uploaders) t.join();
+
+  const enclave::TransitionStats ingest =
+      server.training_enclave().transitions();
+  std::printf("ingest: %zu records, %llu enclave transitions (%.3f per "
+              "record)\n",
+              server.accepted_records(),
+              static_cast<unsigned long long>(ingest.ecalls),
+              static_cast<double>(ingest.ecalls) /
+                  static_cast<double>(server.accepted_records()));
+
+  // A session for an unknown identity fails with a *typed* error.
+  const serve::Result<serve::SessionId> stranger =
+      service.OpenUploadSession("stranger");
+  std::printf("stranger session: %s\n",
+              stranger.ok() ? "accepted (?!)"
+                            : ToString(stranger.error().kind));
+
+  // Control plane: train + fingerprint are queued back to back; the
+  // strand runs them in order.
+  core::PartitionedTrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 16;
+  options.front_layers = 2;
+  options.sgd.learning_rate = 0.02F;
+  options.augment = false;
+  auto train = service.SubmitTrain(nn::Table1Spec(16), options);
+  auto fingerprint = service.SubmitFingerprint();
+  const auto report = train.get();
+  if (!report.ok()) {
+    std::printf("training failed: %s\n", report.error().message.c_str());
+    return 1;
+  }
+  std::printf("trained %zu records, final loss %.3f\n",
+              report.value().records_trained,
+              report.value().epochs.back().mean_loss);
+  const auto db_size = fingerprint.get();
+  std::printf("linkage database: %zu tuples\n",
+              db_size.ok() ? db_size.value() : 0);
+
+  // Query plane: concurrent misprediction investigations.
+  std::vector<std::future<serve::Result<core::MispredictionReport>>> queries;
+  for (int q = 0; q < 4; ++q) {
+    queries.push_back(service.SubmitInvestigate(gen.Sample(q % 10, rng), 5));
+  }
+  for (auto& f : queries) {
+    const auto result = f.get();
+    if (!result.ok()) continue;
+    std::printf("  probe -> class %d, closest source %s\n",
+                result.value().predicted_label,
+                result.value().neighbors.empty()
+                    ? "(none)"
+                    : result.value().neighbors[0].source.c_str());
+  }
+
+  // Release: participant A gets the model sealed under its own key.
+  const auto released = service.SubmitRelease(participants[0].id()).get();
+  if (released.ok()) {
+    const serve::Result<nn::Network> assembled = serve::Service::
+        AssembleReleased(released.value(), participants[0].data_key());
+    std::printf("release round-trip for %s: %s\n",
+                participants[0].id().c_str(),
+                assembled.ok() ? "ok" : assembled.error().message.c_str());
+  }
+  return 0;
+}

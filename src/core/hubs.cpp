@@ -5,8 +5,27 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/serial.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::core {
+
+namespace {
+
+/// Deterministic per-(hub, epoch) RNG stream (splitmix64 finalizer over
+/// the mixed coordinates).  Each hub epoch draws from its own stream,
+/// so the trained sub-models never depend on the order — serial or
+/// concurrent — in which the hubs execute.
+std::uint64_t HubEpochSeed(std::uint64_t seed, std::uint64_t hub,
+                           std::uint64_t epoch) noexcept {
+  std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (hub + 1)) ^
+                    (0xbf58476d1ce4e5b9ULL * (epoch + 1));
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 void AverageWeights(std::vector<nn::Network*>& models) {
   CALTRAIN_REQUIRE(!models.empty(), "no models to average");
@@ -105,12 +124,16 @@ HubReport HubAggregator::Train(const std::vector<nn::Image>& test_images,
                                const std::vector<int>& test_labels) {
   HubReport report;
   report.hubs = models_.size();
-  Rng rng(options_.seed ^ 0x4b5);
 
   for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
-    for (std::size_t h = 0; h < models_.size(); ++h) {
-      TrainHubEpoch(h, rng);
-    }
+    // Hubs are independent between merges (own model, own enclave, own
+    // shard, own RNG stream), so the epoch fans out over the pool.
+    // Bit-identity with the serial hub order is test-enforced.
+    util::ParallelFor(0, models_.size(), [&](std::size_t h) {
+      Rng hub_rng(HubEpochSeed(options_.seed, h,
+                               static_cast<std::uint64_t>(epoch)));
+      TrainHubEpoch(h, hub_rng);
+    });
     if (epoch % options_.merge_every == 0 || epoch == options_.epochs) {
       std::vector<nn::Network*> raw;
       raw.reserve(models_.size());

@@ -49,6 +49,10 @@ class HubAggregator {
                 const HubOptions& options);
 
   /// Runs the hub training schedule; evaluation uses the merged model.
+  /// Hubs train concurrently between merges (each on its own enclave
+  /// with a per-(hub, epoch) RNG stream); the merged model is
+  /// bit-identical to training the hubs in serial order at any thread
+  /// count.
   HubReport Train(const std::vector<nn::Image>& test_images,
                   const std::vector<int>& test_labels);
 

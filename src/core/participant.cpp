@@ -25,7 +25,7 @@ Participant::Participant(std::string id, data::LabeledDataset local_data,
   data::AssignSource(local_data_, id_);
 }
 
-std::size_t Participant::ProvisionAndUpload(
+void Participant::Provision(
     TrainingServer& server,
     const crypto::Sha256Digest& expected_measurement) {
   // 1. Attested handshake into the training enclave.
@@ -44,11 +44,20 @@ std::size_t Participant::ProvisionAndUpload(
                                                      BytesOf(id_)))) {
     ThrowError(ErrorKind::kAuthFailure, "key provisioning rejected");
   }
+}
+
+std::vector<data::EncryptedRecord> Participant::PackRecords() const {
+  data::DataPackager packager(id_, data_key_, seed_ ^ 0x9c0ffee);
+  return packager.PackAll(local_data_);
+}
+
+std::size_t Participant::ProvisionAndUpload(
+    TrainingServer& server,
+    const crypto::Sha256Digest& expected_measurement) {
+  Provision(server, expected_measurement);
 
   // 3. Seal every local record with the key and upload.
-  data::DataPackager packager(id_, data_key_, seed_ ^ 0x9c0ffee);
-  const std::vector<data::EncryptedRecord> records =
-      packager.PackAll(local_data_);
+  const std::vector<data::EncryptedRecord> records = PackRecords();
   const std::size_t accepted = server.UploadRecords(records);
   CALTRAIN_LOG(kInfo) << id_ << " uploaded " << accepted << "/"
                       << records.size() << " records";

@@ -28,10 +28,23 @@ class Participant {
   }
   [[nodiscard]] BytesView data_key() const noexcept { return data_key_; }
 
+  /// Attested handshake + key provisioning only (no upload) — the
+  /// entry point for clients that stream their records through the
+  /// async serving API (serve::Service) instead of the blocking
+  /// UploadRecords call.  Throws Error(kAuthFailure) on attestation or
+  /// provisioning failure.
+  void Provision(TrainingServer& server,
+                 const crypto::Sha256Digest& expected_measurement);
+
+  /// Seals every local record with the provisioned key (upload wire
+  /// form, in local-data order).
+  [[nodiscard]] std::vector<data::EncryptedRecord> PackRecords() const;
+
   /// Full provisioning flow against `server`: attest (verifying the
   /// expected measurement against the published attestation key),
   /// provision the data key, upload encrypted records.  Throws
   /// Error(kAuthFailure) if attestation fails.  Returns accepted count.
+  /// Thin synchronous adapter over Provision + PackRecords.
   std::size_t ProvisionAndUpload(
       TrainingServer& server,
       const crypto::Sha256Digest& expected_measurement);

@@ -51,8 +51,14 @@ QueryService::QueryService(nn::Network model,
 
 MispredictionReport QueryService::Investigate(const nn::Image& input,
                                               std::size_t k) {
+  return InvestigateWith(ws_, input, k);
+}
+
+MispredictionReport QueryService::InvestigateWith(nn::LayerWorkspace& ws,
+                                                  const nn::Image& input,
+                                                  std::size_t k) {
   MispredictionReport report;
-  PredictAndFingerprint(model_, input, fingerprint_layer_, ws_, report);
+  PredictAndFingerprint(model_, input, fingerprint_layer_, ws, report);
   report.neighbors =
       database_.QueryNearest(report.fingerprint, report.predicted_label, k);
   return report;

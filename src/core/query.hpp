@@ -31,9 +31,20 @@ class QueryService {
 
   /// Investigates one (mis)predicted input: one forward pass yields
   /// both the prediction and the fingerprint, then the k nearest
-  /// same-class training instances are returned with sources.
+  /// same-class training instances are returned with sources.  Thin
+  /// synchronous adapter over InvestigateWith (the service's reusable
+  /// workspace).
   [[nodiscard]] MispredictionReport Investigate(const nn::Image& input,
                                                 std::size_t k);
+
+  /// Core of Investigate against a caller-held workspace.  Safe for
+  /// concurrent callers with distinct workspaces: the forward pass
+  /// shares the const model, and the segmented database supports
+  /// concurrent queries — the async serving layer (serve::Service)
+  /// fans these out over the pool.
+  [[nodiscard]] MispredictionReport InvestigateWith(nn::LayerWorkspace& ws,
+                                                    const nn::Image& input,
+                                                    std::size_t k);
 
   /// Batched Investigate: the per-input forward passes fan out over
   /// the pool (shared const model, one workspace per worker), then

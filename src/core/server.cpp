@@ -1,5 +1,7 @@
 #include "core/server.hpp"
 
+#include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "util/log.hpp"
@@ -46,20 +48,18 @@ const crypto::Sha256Digest& TrainingServer::training_measurement()
 
 TrainingServer::ParticipantState& TrainingServer::StateOf(
     const std::string& participant_id) {
+  // std::map nodes are stable, so the returned reference stays valid
+  // while other sessions insert concurrently.
+  std::unique_lock lock(participants_mu_);
   return participants_[participant_id];
 }
 
-const Bytes* TrainingServer::KeyOf(const std::string& participant_id) const {
+std::shared_ptr<const TrainingServer::Credentials>
+TrainingServer::CredentialsOf(const std::string& participant_id) const {
+  std::shared_lock lock(participants_mu_);
   const auto it = participants_.find(participant_id);
-  if (it == participants_.end() || !it->second.provisioned) return nullptr;
-  return &it->second.data_key;
-}
-
-const crypto::AesGcm* TrainingServer::CipherOf(
-    const std::string& participant_id) const {
-  const auto it = participants_.find(participant_id);
-  if (it == participants_.end() || !it->second.provisioned) return nullptr;
-  return it->second.cipher.get();
+  if (it == participants_.end()) return nullptr;
+  return it->second.creds;
 }
 
 Bytes TrainingServer::HandleClientHello(const std::string& participant_id,
@@ -89,38 +89,76 @@ bool TrainingServer::HandleKeyProvision(const std::string& participant_id,
     if (!key.has_value() || (key->size() != 16 && key->size() != 32)) {
       return false;
     }
-    state.data_key = *key;
-    state.cipher = std::make_unique<crypto::AesGcm>(state.data_key);
-    state.provisioned = true;
+    // Publish a fresh immutable snapshot; readers holding the old one
+    // (e.g. ingest workers mid-batch) keep it alive via shared_ptr.
+    auto creds = std::make_shared<const Credentials>(*key);
+    {
+      std::unique_lock lock(participants_mu_);
+      state.creds = std::move(creds);
+    }
     CALTRAIN_LOG(kInfo) << "provisioned data key for " << participant_id;
     return true;
   });
 }
 
 bool TrainingServer::IsProvisioned(const std::string& participant_id) const {
-  const auto it = participants_.find(participant_id);
-  return it != participants_.end() && it->second.provisioned;
+  return CredentialsOf(participant_id) != nullptr;
 }
 
 std::size_t TrainingServer::UploadRecords(
     const std::vector<data::EncryptedRecord>& records) {
-  std::size_t accepted = 0;
-  for (const data::EncryptedRecord& record : records) {
-    const bool ok = training_enclave_->Ecall([&]() -> bool {
-      const crypto::AesGcm* cipher = CipherOf(record.participant_id);
-      if (cipher == nullptr) return false;  // unregistered source
+  return CommitRecords(records, AuthenticateRecords(records, 1));
+}
+
+std::vector<char> TrainingServer::AuthenticateRecords(
+    const std::vector<data::EncryptedRecord>& records,
+    std::size_t batch_size) {
+  CALTRAIN_REQUIRE(batch_size > 0, "authentication batch must be positive");
+  std::vector<char> accepted(records.size(), 0);
+  // Memoized credential lookup: a serve-layer batch carries one
+  // session's records, so without this every record would pay a
+  // shared-lock + map-lookup on the hot ingest path.
+  std::shared_ptr<const Credentials> creds;
+  const std::string* creds_id = nullptr;
+  for (std::size_t first = 0; first < records.size(); first += batch_size) {
+    const std::size_t last = std::min(records.size(), first + batch_size);
+    // One boundary crossing covers the whole batch: the enclave
+    // authenticates `last - first` records per transition instead of
+    // paying the ~8k-cycle ECALL cost per record.
+    const enclave::TransitionGuard transition(*training_enclave_);
+    for (std::size_t i = first; i < last; ++i) {
+      if (creds_id == nullptr || records[i].participant_id != *creds_id) {
+        creds = CredentialsOf(records[i].participant_id);
+        creds_id = &records[i].participant_id;
+      }
+      if (creds == nullptr) continue;  // unregistered source
       // Full authenticity + integrity check; the plaintext is discarded
       // here — training re-decrypts per batch inside the enclave.
-      return data::OpenRecord(record, *cipher).has_value();
-    });
-    if (ok) {
-      records_.push_back(record);
-      ++accepted;
-    } else {
-      ++rejected_;
+      accepted[i] =
+          data::OpenRecord(records[i], creds->cipher).has_value() ? 1 : 0;
     }
   }
   return accepted;
+}
+
+std::size_t TrainingServer::CommitRecords(
+    const std::vector<data::EncryptedRecord>& records,
+    const std::vector<char>& accepted) {
+  CALTRAIN_REQUIRE(records.size() == accepted.size(),
+                   "accept-flag count != record count");
+  std::size_t ok = 0;
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (accepted[i] != 0) {
+        records_.push_back(records[i]);
+        ++ok;
+      }
+    }
+  }
+  accepted_.fetch_add(ok, std::memory_order_relaxed);
+  rejected_.fetch_add(records.size() - ok, std::memory_order_relaxed);
+  return ok;
 }
 
 TrainReport TrainingServer::Train(const nn::NetworkSpec& spec,
@@ -163,10 +201,10 @@ TrainReport TrainingServer::Train(const nn::NetworkSpec& spec,
       training_enclave_->Ecall([&] {
         for (std::size_t i = 0; i < count; ++i) {
           const data::EncryptedRecord& record = records_[order[first + i]];
-          const crypto::AesGcm* cipher = CipherOf(record.participant_id);
-          CALTRAIN_CHECK(cipher != nullptr,
+          const auto creds = CredentialsOf(record.participant_id);
+          CALTRAIN_CHECK(creds != nullptr,
                          "record from deprovisioned source");
-          auto verified = data::OpenRecord(record, *cipher);
+          auto verified = data::OpenRecord(record, creds->cipher);
           CALTRAIN_CHECK(verified.has_value(),
                          "stored record failed re-authentication");
           nn::Image image = std::move(verified->image);
@@ -218,7 +256,7 @@ TrainReport TrainingServer::Train(const nn::NetworkSpec& spec,
   report.epc = training_enclave_->epc().stats();
   report.transitions = training_enclave_->transitions();
   report.records_trained = records_.size();
-  report.records_rejected = rejected_;
+  report.records_rejected = rejected_.load(std::memory_order_relaxed);
   return report;
 }
 
@@ -243,9 +281,9 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
     for (const data::EncryptedRecord& record : records_) {
       fingerprint_enclave_->Ecall([&] {
         fingerprint_enclave_->epc().Touch(model_region);
-        const crypto::AesGcm* cipher = CipherOf(record.participant_id);
-        CALTRAIN_CHECK(cipher != nullptr, "record from deprovisioned source");
-        auto verified = data::OpenRecord(record, *cipher);
+        const auto creds = CredentialsOf(record.participant_id);
+        CALTRAIN_CHECK(creds != nullptr, "record from deprovisioned source");
+        auto verified = data::OpenRecord(record, creds->cipher);
         CALTRAIN_CHECK(verified.has_value(),
                        "stored record failed re-authentication");
         linkage::Fingerprint fp = linkage::ExtractFingerprintAt(
@@ -262,9 +300,9 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
     for (std::size_t i = 0; i < records_.size(); ++i) {
       fingerprint_enclave_->Ecall([&] {
         fingerprint_enclave_->epc().Touch(model_region);
-        const crypto::AesGcm* cipher = CipherOf(records_[i].participant_id);
-        CALTRAIN_CHECK(cipher != nullptr, "record from deprovisioned source");
-        auto opened = data::OpenRecord(records_[i], *cipher);
+        const auto creds = CredentialsOf(records_[i].participant_id);
+        CALTRAIN_CHECK(creds != nullptr, "record from deprovisioned source");
+        auto opened = data::OpenRecord(records_[i], creds->cipher);
         CALTRAIN_CHECK(opened.has_value(),
                        "stored record failed re-authentication");
         verified[i] = std::move(*opened);
@@ -312,8 +350,8 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
 TrainingServer::ReleasedModel TrainingServer::ReleaseModelFor(
     const std::string& participant_id) {
   CALTRAIN_REQUIRE(model_.has_value(), "no trained model yet");
-  const Bytes* key = KeyOf(participant_id);
-  CALTRAIN_REQUIRE(key != nullptr, "participant not provisioned");
+  const auto creds = CredentialsOf(participant_id);
+  CALTRAIN_REQUIRE(creds != nullptr, "participant not provisioned");
 
   ReleasedModel released;
   released.participant_id = participant_id;
@@ -333,10 +371,9 @@ TrainingServer::ReleasedModel TrainingServer::ReleaseModelFor(
           ? model_->SerializeWeightRange(0, released_front_layers_)
           : Bytes{};
   training_enclave_->Ecall([&] {
-    const crypto::AesGcm cipher(*key);
     released.frontnet_iv = training_enclave_->drbg().Generate(
         crypto::kGcmIvSize);
-    const crypto::GcmSealed sealed = cipher.Seal(
+    const crypto::GcmSealed sealed = creds->cipher.Seal(
         released.frontnet_iv, BytesOf("frontnet:" + participant_id),
         frontnet);
     released.frontnet_ciphertext = sealed.ciphertext;

@@ -19,10 +19,13 @@
 //      encrypted under its own provisioned key.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -107,14 +110,35 @@ class TrainingServer {
 
   // --- phase 2: encrypted data upload ----------------------------------
   /// Authenticates each record inside the enclave; failures are counted
-  /// and discarded.  Returns the number of accepted records.
+  /// and discarded.  Returns the number of accepted records.  Thin
+  /// synchronous adapter over the batched core below (one record per
+  /// transition, matching the historical per-record ECALL accounting);
+  /// the async ingest pipeline (serve::Service) authenticates with
+  /// larger batches to amortize the transition cost.  Thread-safe for
+  /// concurrent upload sessions.
   std::size_t UploadRecords(const std::vector<data::EncryptedRecord>& records);
 
+  /// Batched authentication core: verifies each record against its
+  /// provisioned key, `batch_size` records per enclave transition (one
+  /// enclave::TransitionGuard per batch).  Returns per-record accept
+  /// flags; commits nothing.  Thread-safe for concurrent callers.
+  [[nodiscard]] std::vector<char> AuthenticateRecords(
+      const std::vector<data::EncryptedRecord>& records,
+      std::size_t batch_size);
+
+  /// Appends the accepted records to the training set and folds the
+  /// rest into the rejection counter; returns the number accepted.
+  /// Thread-safe; the relative order of concurrent commits is the
+  /// caller's contract (serve::Service commits in ticket order so the
+  /// async path reproduces the synchronous record order bit-for-bit).
+  std::size_t CommitRecords(const std::vector<data::EncryptedRecord>& records,
+                            const std::vector<char>& accepted);
+
   [[nodiscard]] std::size_t accepted_records() const noexcept {
-    return records_.size();
+    return accepted_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t rejected_records() const noexcept {
-    return rejected_;
+    return rejected_.load(std::memory_order_relaxed);
   }
 
   // --- phase 3: partitioned training -----------------------------------
@@ -155,26 +179,47 @@ class TrainingServer {
   }
 
  private:
+  /// Immutable provisioned key material.  Published as a shared_ptr
+  /// snapshot: concurrent ingest workers copy the pointer out under
+  /// the directory lock and keep the cipher alive even if the
+  /// participant re-provisions (which swaps in a *new* Credentials
+  /// object instead of mutating this one).
+  struct Credentials {
+    explicit Credentials(Bytes key)
+        : data_key(std::move(key)), cipher(data_key) {}
+    Bytes data_key;         ///< provisioned symmetric key (enclave-held)
+    crypto::AesGcm cipher;  ///< cached key schedule
+  };
+
   struct ParticipantState {
     std::unique_ptr<securechannel::ServerHandshake> handshake;
     std::unique_ptr<securechannel::RecordReader> reader;
-    Bytes data_key;  ///< provisioned symmetric key (enclave-held)
-    std::unique_ptr<crypto::AesGcm> cipher;  ///< cached key schedule
-    bool provisioned = false;
+    /// nullptr until provisioned; guarded by participants_mu_.
+    std::shared_ptr<const Credentials> creds;
   };
 
   ParticipantState& StateOf(const std::string& participant_id);
-  [[nodiscard]] const Bytes* KeyOf(const std::string& participant_id) const;
-  [[nodiscard]] const crypto::AesGcm* CipherOf(
+  [[nodiscard]] std::shared_ptr<const Credentials> CredentialsOf(
       const std::string& participant_id) const;
 
   ServerConfig config_;
   enclave::AttestationService attestation_;
   std::unique_ptr<enclave::Enclave> training_enclave_;
   std::unique_ptr<enclave::Enclave> fingerprint_enclave_;
+  /// Guards the participant directory's structure and the `creds`
+  /// pointer of every entry (readers copy the shared_ptr out under a
+  /// shared lock; provisioning swaps in a new immutable snapshot under
+  /// an exclusive lock).  Handshake state is owned by the provisioning
+  /// flow, which is serial per participant.
+  mutable std::shared_mutex participants_mu_;
   std::map<std::string, ParticipantState> participants_;
+  /// Guards records_ growth during concurrent upload sessions.  Train /
+  /// FingerprintAll read records_ without the lock: they run only once
+  /// ingest has quiesced (serve::Service drains its queue first).
+  std::mutex records_mu_;
   std::vector<data::EncryptedRecord> records_;
-  std::size_t rejected_ = 0;
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> rejected_{0};
   std::optional<nn::Network> model_;
   int released_front_layers_ = 0;
 };

@@ -12,6 +12,7 @@
 // would do cryptographic work.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <string>
@@ -65,9 +66,11 @@ class Enclave {
   }
 
   /// Executes `body` "inside" the enclave, counting the ECALL.
+  /// Transition accounting is atomic, so concurrent ECALLs from the
+  /// async ingest workers never lose counts.
   template <typename F>
   auto Ecall(F&& body) -> decltype(std::forward<F>(body)()) {
-    ++transitions_.ecalls;
+    CountEcall();
     return std::forward<F>(body)();
   }
 
@@ -75,14 +78,26 @@ class Enclave {
   /// BackNet).
   template <typename F>
   auto Ocall(F&& body) -> decltype(std::forward<F>(body)()) {
-    ++transitions_.ocalls;
+    ocalls_.fetch_add(1, std::memory_order_relaxed);
     return std::forward<F>(body)();
   }
 
-  [[nodiscard]] const TransitionStats& transitions() const noexcept {
-    return transitions_;
+  /// Accounts one ECALL boundary crossing without running a body (used
+  /// by TransitionGuard below).
+  void CountEcall() noexcept {
+    ecalls_.fetch_add(1, std::memory_order_relaxed);
   }
-  void ResetTransitions() noexcept { transitions_ = TransitionStats{}; }
+
+  [[nodiscard]] TransitionStats transitions() const noexcept {
+    TransitionStats snapshot;
+    snapshot.ecalls = ecalls_.load(std::memory_order_relaxed);
+    snapshot.ocalls = ocalls_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+  void ResetTransitions() noexcept {
+    ecalls_.store(0, std::memory_order_relaxed);
+    ocalls_.store(0, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] EpcManager& epc() noexcept { return epc_; }
   [[nodiscard]] const EpcManager& epc() const noexcept { return epc_; }
@@ -102,8 +117,24 @@ class Enclave {
   crypto::Sha256Digest measurement_{};
   EpcManager epc_;
   crypto::HmacDrbg drbg_;
-  TransitionStats transitions_;
+  std::atomic<std::uint64_t> ecalls_{0};
+  std::atomic<std::uint64_t> ocalls_{0};
   std::uint64_t seal_counter_ = 0;
+};
+
+/// RAII form of one enclave transition: constructing the guard pays a
+/// single ECALL's boundary crossing, and everything executed while it
+/// lives runs "inside" the enclave.  The batched ingest path holds one
+/// guard per record *batch* instead of paying one Ecall per record,
+/// which is exactly the ~8k-cycle amortization the serving layer's
+/// TransitionStats must show (ISSUE 5).
+class TransitionGuard {
+ public:
+  explicit TransitionGuard(Enclave& enclave) noexcept {
+    enclave.CountEcall();
+  }
+  TransitionGuard(const TransitionGuard&) = delete;
+  TransitionGuard& operator=(const TransitionGuard&) = delete;
 };
 
 }  // namespace caltrain::enclave

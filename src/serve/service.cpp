@@ -1,0 +1,522 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/log.hpp"
+
+namespace caltrain::serve {
+
+Service::Service(core::TrainingServer& server, ServiceConfig config)
+    : server_(server),
+      config_(config),
+      max_pumps_(std::max(1U, config.ingest_workers != 0
+                                   ? config.ingest_workers
+                                   : util::Parallelism::threads())),
+      pool_(util::ThreadPool::Global()),
+      queue_(std::max<std::size_t>(1, config.queue_capacity),
+             config.backpressure) {
+  config_.ingest_batch = std::max<std::size_t>(1, config_.ingest_batch);
+  // Pumps are pool tasks: with zero workers the pool would run them
+  // inline on the producer, which is correct but not asynchronous.
+  pool_.EnsureWorkers(max_pumps_);
+  strand_ = std::thread([this] { StrandLoop(); });
+}
+
+Service::~Service() {
+  // 1. Stop new ingest; wait for in-flight pool work (pumps and
+  // investigate tasks reference `this`).
+  queue_.Close();
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    progress_cv_.wait(lock, [this] {
+      return inflight_pool_ops_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // 2. Drain anything the pumps left behind (Close keeps queued items
+  // poppable), so every submission's future still resolves.
+  while (std::optional<IngestBatch> item = queue_.TryPop()) {
+    ProcessBatch(std::move(*item));
+  }
+  // 3. Run the strand dry (pending control-plane futures resolve), then
+  // stop it.
+  {
+    std::lock_guard<std::mutex> lock(strand_mu_);
+    strand_stop_ = true;
+  }
+  strand_cv_.notify_all();
+  if (strand_.joinable()) strand_.join();
+}
+
+// ---------------------------------------------------------------- sessions
+
+Result<SessionId> Service::OpenUploadSession(
+    const std::string& participant_id) {
+  const Phase p = phase();
+  if (p != Phase::kIngest) {
+    return ServeError{ServeErrorKind::kWrongPhase,
+                      std::string("cannot open an upload session in phase ") +
+                          ToString(p)};
+  }
+  if (!server_.IsProvisioned(participant_id)) {
+    return ServeError{
+        ServeErrorKind::kUnprovisionedParticipant,
+        "participant '" + participant_id + "' has no provisioned key"};
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const SessionId id = next_session_id_++;
+  sessions_.emplace(id, std::make_shared<Session>(participant_id));
+  return id;
+}
+
+std::future<Result<UploadReceipt>> Service::SubmitUpload(
+    SessionId session, std::vector<data::EncryptedRecord> records) {
+  auto sub = std::make_shared<Submission>();
+  std::future<Result<UploadReceipt>> fut = sub->promise.get_future();
+  const auto fail = [&sub](ServeErrorKind kind, std::string message) {
+    sub->done = true;
+    sub->promise.set_value(
+        Result<UploadReceipt>(ServeError{kind, std::move(message)}));
+  };
+  sub->submitted = records.size();
+
+  const std::size_t batch = config_.ingest_batch;
+  const std::size_t n_batches = (records.size() + batch - 1) / batch;
+
+  // ingest_mu_ orders ticket assignment across producers and fences the
+  // enqueue against a phase flip by SubmitTrain.
+  std::unique_lock<std::mutex> ingest_lock(ingest_mu_);
+  if (phase_.load(std::memory_order_acquire) != Phase::kIngest) {
+    fail(ServeErrorKind::kWrongPhase,
+         std::string("uploads are not accepted in phase ") +
+             ToString(phase()));
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> state_lock(state_mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end() || !it->second->open) {
+      fail(ServeErrorKind::kInvalidArgument,
+           "unknown or closed upload session");
+      return fut;
+    }
+    if (records.empty()) {
+      sub->done = true;
+      sub->promise.set_value(Result<UploadReceipt>(UploadReceipt{}));
+      return fut;
+    }
+    if (config_.backpressure == util::BackpressurePolicy::kReject) {
+      if (n_batches > queue_.capacity()) {
+        // Retrying can never help: the submission does not fit an
+        // empty queue.  Tell the client to split it instead of
+        // feeding a retry loop with kQueueSaturated.
+        fail(ServeErrorKind::kInvalidArgument,
+             "submission needs " + std::to_string(n_batches) +
+                 " batches but the ingest queue holds " +
+                 std::to_string(queue_.capacity()) +
+                 "; split the submission");
+        return fut;
+      }
+      if (queue_.size() + n_batches > queue_.capacity()) {
+        // All-or-nothing: a submission is never partially ingested.
+        fail(ServeErrorKind::kQueueSaturated,
+             "ingest queue full (" + std::to_string(queue_.size()) + "/" +
+                 std::to_string(queue_.capacity()) + " batches)");
+        return fut;
+      }
+    }
+    sub->session = it->second;
+    sub->remaining_batches = n_batches;
+    sub->session->submitted += records.size();
+    sub->session->outstanding_batches += n_batches;
+  }
+
+  std::size_t pushed = 0;
+  for (std::size_t first = 0; first < records.size(); first += batch) {
+    const std::size_t last = std::min(records.size(), first + batch);
+    IngestBatch item;
+    item.seq = next_enqueue_seq_;
+    item.submission = sub;
+    item.records.assign(std::make_move_iterator(records.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    first)),
+                        std::make_move_iterator(records.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    last)));
+    // Under kBlock this waits for queue room (backpressure throttles
+    // the producer); it only fails once the service is shutting down.
+    if (!queue_.Push(std::move(item))) {
+      std::lock_guard<std::mutex> state_lock(state_mu_);
+      const std::size_t unenqueued = n_batches - pushed;
+      sub->remaining_batches -= unenqueued;
+      sub->session->outstanding_batches -= unenqueued;
+      if (pushed == 0) {
+        // Nothing entered the queue: a clean all-or-nothing rejection,
+        // invisible in the session tallies.  Push only fails here once
+        // the queue is closed (shutdown) — a permanent condition, so
+        // not the retryable kQueueSaturated.
+        sub->session->submitted -= sub->submitted;
+        if (!sub->done) {
+          sub->done = true;
+          sub->promise.set_value(Result<UploadReceipt>(
+              ServeError{ServeErrorKind::kWrongPhase,
+                         "service is shutting down"}));
+        }
+      } else if (sub->remaining_batches == 0 && !sub->done) {
+        // The enqueued prefix already committed; resolve with the
+        // honest partial tally (accepted+rejected < submitted tells
+        // the caller how far the stream got before shutdown).
+        sub->done = true;
+        sub->promise.set_value(Result<UploadReceipt>(
+            UploadReceipt{sub->submitted, sub->accepted, sub->rejected}));
+      }
+      // else: the in-flight prefix resolves the future with the
+      // partial receipt when its last batch commits.
+      progress_cv_.notify_all();
+      return fut;
+    }
+    ++next_enqueue_seq_;  // a ticket exists only for enqueued batches
+    ++pushed;
+    MaybeSpawnPump();
+  }
+  return fut;
+}
+
+Result<SessionStats> Service::CloseUploadSession(SessionId session) {
+  std::shared_ptr<Session> state;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return ServeError{ServeErrorKind::kInvalidArgument,
+                        "unknown upload session"};
+    }
+    if (!it->second->open) {
+      return ServeError{ServeErrorKind::kInvalidArgument,
+                        "upload session already closed"};
+    }
+    it->second->open = false;
+    state = it->second;
+  }
+  std::unique_lock<std::mutex> lock(state_mu_);
+  progress_cv_.wait(lock, [&] { return state->outstanding_batches == 0; });
+  // Retire the bookkeeping — a closed session can never be used again,
+  // and a long-lived service must not accumulate dead sessions.
+  sessions_.erase(session);
+  SessionStats stats;
+  stats.participant_id = state->participant_id;
+  stats.submitted = state->submitted;
+  stats.accepted = state->accepted;
+  stats.rejected = state->rejected;
+  return stats;
+}
+
+void Service::DrainIngest() {
+  std::uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    target = next_enqueue_seq_;
+  }
+  std::unique_lock<std::mutex> lock(state_mu_);
+  progress_cv_.wait(lock, [&] { return next_commit_seq_ >= target; });
+}
+
+// ------------------------------------------------------------ ingest pumps
+
+void Service::MaybeSpawnPump() {
+  unsigned cur = active_pumps_.load(std::memory_order_relaxed);
+  while (cur < max_pumps_) {
+    if (active_pumps_.compare_exchange_weak(cur, cur + 1,
+                                            std::memory_order_acq_rel)) {
+      inflight_pool_ops_.fetch_add(1, std::memory_order_relaxed);
+      pool_.Submit([this] {
+        PumpIngest();
+        FinishPoolOp();
+      });
+      return;
+    }
+  }
+}
+
+void Service::PumpIngest() {
+  for (;;) {
+    std::optional<IngestBatch> item = queue_.TryPop();
+    if (item.has_value()) {
+      ProcessBatch(std::move(*item));
+      continue;
+    }
+    // The queue looked empty: retire this pump's slot, then re-check —
+    // a producer that saw the slot occupied may have skipped spawning.
+    active_pumps_.fetch_sub(1, std::memory_order_acq_rel);
+    if (queue_.empty()) return;
+    unsigned cur = active_pumps_.load(std::memory_order_relaxed);
+    bool reacquired = false;
+    while (cur < max_pumps_) {
+      if (active_pumps_.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_acq_rel)) {
+        reacquired = true;
+        break;
+      }
+    }
+    if (!reacquired) return;  // every slot is busy; they will drain it
+  }
+}
+
+void Service::ProcessBatch(IngestBatch batch) {
+  const std::uint64_t seq = batch.seq;
+  AuthedBatch done;
+  // The whole batch is authenticated under ONE enclave transition —
+  // this is the ECALL amortization the async API exists for.
+  done.accepted =
+      server_.AuthenticateRecords(batch.records, batch.records.size());
+  done.records = std::move(batch.records);
+  done.submission = std::move(batch.submission);
+  Commit(seq, std::move(done));
+}
+
+void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ready_.emplace(seq, std::move(batch));
+    // Authentication finishes out of order across pumps; commits are
+    // reordered back to ticket order so the async record sequence is
+    // identical to the synchronous one.
+    while (!ready_.empty() && ready_.begin()->first == next_commit_seq_) {
+      AuthedBatch b = std::move(ready_.begin()->second);
+      ready_.erase(ready_.begin());
+      const std::size_t ok = server_.CommitRecords(b.records, b.accepted);
+      const std::size_t bad = b.records.size() - ok;
+      Submission& sub = *b.submission;
+      Session& sess = *sub.session;
+      sub.accepted += ok;
+      sub.rejected += bad;
+      sess.accepted += ok;
+      sess.rejected += bad;
+      --sess.outstanding_batches;
+      if (--sub.remaining_batches == 0 && !sub.done) {
+        sub.done = true;
+        sub.promise.set_value(Result<UploadReceipt>(
+            UploadReceipt{sub.submitted, sub.accepted, sub.rejected}));
+      }
+      ++next_commit_seq_;
+    }
+  }
+  progress_cv_.notify_all();
+}
+
+void Service::FinishPoolOp() {
+  // Decrement and notify under the lock: the destructor destroys this
+  // condition variable as soon as its wait observes zero, so the
+  // notify must complete before the waiter can re-acquire the mutex.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  inflight_pool_ops_.fetch_sub(1, std::memory_order_acq_rel);
+  progress_cv_.notify_all();
+}
+
+// ------------------------------------------------------------ control plane
+
+void Service::StrandLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(strand_mu_);
+      strand_cv_.wait(lock,
+                      [this] { return strand_stop_ || !strand_queue_.empty(); });
+      if (strand_queue_.empty()) {
+        if (strand_stop_) return;
+        continue;
+      }
+      job = std::move(strand_queue_.front());
+      strand_queue_.pop_front();
+    }
+    job();
+  }
+}
+
+std::future<Result<core::TrainReport>> Service::SubmitTrain(
+    nn::NetworkSpec spec, core::PartitionedTrainOptions options) {
+  return Schedule<core::TrainReport>(
+      [this, spec = std::move(spec),
+       options = std::move(options)]() -> Result<core::TrainReport> {
+        {
+          // Under ingest_mu_, so no upload can slip between the phase
+          // flip and the drain target snapshot.
+          std::lock_guard<std::mutex> lock(ingest_mu_);
+          const Phase p = phase_.load(std::memory_order_acquire);
+          if (p != Phase::kIngest && p != Phase::kTrained) {
+            return ServeError{ServeErrorKind::kWrongPhase,
+                              std::string("cannot train in phase ") +
+                                  ToString(p)};
+          }
+          phase_.store(Phase::kTraining, std::memory_order_release);
+        }
+        DrainIngest();
+        try {
+          core::TrainReport report = server_.Train(spec, options);
+          phase_.store(Phase::kTrained, std::memory_order_release);
+          return report;
+        } catch (...) {
+          // Any failure — typed or not — must reopen ingestion, or the
+          // service would be stuck in kTraining forever; the strand's
+          // Guarded wrapper folds the rethrown exception into the
+          // taxonomy.
+          phase_.store(Phase::kIngest, std::memory_order_release);
+          throw;
+        }
+      });
+}
+
+std::future<Result<std::size_t>> Service::SubmitFingerprint(
+    int fingerprint_layer) {
+  return Schedule<std::size_t>(
+      [this, fingerprint_layer]() -> Result<std::size_t> {
+        {
+          // Check-and-flip under ingest_mu_, like SubmitTrain: a
+          // concurrent ReopenIngest must either win (and fail this
+          // request) or lose (and get kWrongPhase) — never be
+          // clobbered by the kServing store below.
+          std::lock_guard<std::mutex> lock(ingest_mu_);
+          const Phase p = phase_.load(std::memory_order_acquire);
+          if (p != Phase::kTrained) {
+            return ServeError{ServeErrorKind::kWrongPhase,
+                              std::string("cannot fingerprint in phase ") +
+                                  ToString(p)};
+          }
+          phase_.store(Phase::kFingerprinting, std::memory_order_release);
+        }
+        try {
+          // Escaping errors are folded into the taxonomy by the
+          // strand's Guarded wrapper.
+          linkage::LinkageDatabase db =
+              server_.FingerprintAll(fingerprint_layer);
+          const std::size_t size = db.size();
+          // The query stage gets its own clone of the trained model;
+          // the server keeps its copy for release.
+          const nn::Network& model = server_.model();
+          nn::Network clone(model.spec());
+          clone.DeserializeWeightRange(
+              0, clone.NumLayers(),
+              model.SerializeWeightRange(0, model.NumLayers()));
+          query_.emplace(std::move(clone), std::move(db), fingerprint_layer);
+          phase_.store(Phase::kServing, std::memory_order_release);
+          return size;
+        } catch (...) {
+          phase_.store(Phase::kTrained, std::memory_order_release);
+          throw;
+        }
+      });
+}
+
+std::future<Result<core::TrainingServer::ReleasedModel>>
+Service::SubmitRelease(std::string participant_id) {
+  return Schedule<core::TrainingServer::ReleasedModel>(
+      [this, participant_id = std::move(participant_id)]()
+          -> Result<core::TrainingServer::ReleasedModel> {
+        const Phase p = phase();
+        if (p != Phase::kTrained && p != Phase::kServing) {
+          return ServeError{ServeErrorKind::kWrongPhase,
+                            std::string("cannot release in phase ") +
+                                ToString(p)};
+        }
+        if (!server_.IsProvisioned(participant_id)) {
+          return ServeError{ServeErrorKind::kUnprovisionedParticipant,
+                            "participant '" + participant_id +
+                                "' has no provisioned key"};
+        }
+        return server_.ReleaseModelFor(participant_id);
+      });
+}
+
+Result<Phase> Service::ReopenIngest() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  const Phase p = phase_.load(std::memory_order_acquire);
+  if (p != Phase::kTrained) {
+    return ServeError{ServeErrorKind::kWrongPhase,
+                      std::string("cannot reopen ingestion in phase ") +
+                          ToString(p)};
+  }
+  phase_.store(Phase::kIngest, std::memory_order_release);
+  return Phase::kIngest;
+}
+
+// -------------------------------------------------------------- query plane
+
+std::future<Result<core::MispredictionReport>> Service::SubmitInvestigate(
+    nn::Image input, std::size_t k) {
+  auto prom =
+      std::make_shared<std::promise<Result<core::MispredictionReport>>>();
+  std::future<Result<core::MispredictionReport>> fut = prom->get_future();
+  const Phase p = phase();
+  if (p != Phase::kServing) {
+    prom->set_value(Result<core::MispredictionReport>(
+        ServeError{ServeErrorKind::kWrongPhase,
+                   std::string("cannot investigate in phase ") +
+                       ToString(p)}));
+    return fut;
+  }
+  inflight_pool_ops_.fetch_add(1, std::memory_order_relaxed);
+  pool_.Submit([this, prom, input = std::move(input), k] {
+    prom->set_value(Guarded<core::MispredictionReport>(
+        [&]() -> Result<core::MispredictionReport> {
+          std::unique_ptr<nn::LayerWorkspace> ws = AcquireQueryWorkspace();
+          core::MispredictionReport report =
+              query_->InvestigateWith(*ws, input, k);
+          RecycleQueryWorkspace(std::move(ws));
+          return report;
+        }));
+    FinishPoolOp();
+  });
+  return fut;
+}
+
+std::unique_ptr<nn::LayerWorkspace> Service::AcquireQueryWorkspace() {
+  {
+    std::lock_guard<std::mutex> lock(query_ws_mu_);
+    if (!query_ws_pool_.empty()) {
+      std::unique_ptr<nn::LayerWorkspace> ws =
+          std::move(query_ws_pool_.back());
+      query_ws_pool_.pop_back();
+      return ws;
+    }
+  }
+  return std::make_unique<nn::LayerWorkspace>(query_->model());
+}
+
+void Service::RecycleQueryWorkspace(std::unique_ptr<nn::LayerWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(query_ws_mu_);
+  if (query_ws_pool_.size() < max_pumps_) {
+    query_ws_pool_.push_back(std::move(ws));
+  }
+}
+
+std::future<Result<std::vector<core::MispredictionReport>>>
+Service::SubmitInvestigateBatch(std::vector<nn::Image> inputs,
+                                std::size_t k) {
+  // Runs on the strand, NOT as a pool task: a pool task counts as a
+  // parallel region, which would serialize InvestigateBatch's internal
+  // per-probe fan-out.  From the strand the batch keeps full pool
+  // parallelism; concurrent batch requests serialize against each
+  // other (single-probe SubmitInvestigate stays fully concurrent).
+  return Schedule<std::vector<core::MispredictionReport>>(
+      [this, inputs = std::move(inputs),
+       k]() -> Result<std::vector<core::MispredictionReport>> {
+        const Phase p = phase();
+        if (p != Phase::kServing) {
+          return ServeError{ServeErrorKind::kWrongPhase,
+                            std::string("cannot investigate in phase ") +
+                                ToString(p)};
+        }
+        return query_->InvestigateBatch(inputs, k);
+      });
+}
+
+Result<nn::Network> Service::AssembleReleased(
+    const core::TrainingServer::ReleasedModel& released,
+    BytesView participant_key) {
+  return Guarded<nn::Network>([&]() -> Result<nn::Network> {
+    return core::TrainingServer::AssembleReleasedModel(released,
+                                                       participant_key);
+  });
+}
+
+}  // namespace caltrain::serve

@@ -1,0 +1,323 @@
+// Asynchronous session-based serving front end (ISSUE 5; paper
+// Sec. IV-B "Performance" — a fielded training service takes uploads
+// from many participants and linkage queries from auditors).
+//
+// serve::Service fronts the whole CalTrain pipeline with an async,
+// session-oriented API:
+//
+//   * Upload sessions — OpenUploadSession / SubmitUpload feed a bounded
+//     MPMC ingest queue (util::BoundedQueue) with configurable
+//     backpressure (block the producer, or reject with a typed
+//     kQueueSaturated error).  Background ingest workers multiplexed
+//     over the shared util::ThreadPool drain the queue and authenticate
+//     records in configurable batches — ONE enclave transition
+//     (enclave::TransitionGuard) per batch instead of per record, so
+//     enclave::TransitionStats shows the ~8k-cycle ECALL cost amortized
+//     by the batch factor.
+//   * Ticket-ordered commits — every enqueued batch carries a sequence
+//     ticket; authentication runs out of order across workers, commits
+//     are reordered back to ticket order.  With a single producer the
+//     async path therefore appends records in exactly the synchronous
+//     order: same accept/reject counts, bit-identical trained model,
+//     element-wise identical query results at any thread count
+//     (test-enforced, like the PR 2-4 determinism contracts).
+//   * Control plane — SubmitTrain / SubmitFingerprint / SubmitRelease
+//     return std::future<Result<T>> and execute in submission order on
+//     a dedicated strand (training's internal data parallelism still
+//     fans out over the pool).  A phase state machine (ingest ->
+//     training -> trained -> serving) turns out-of-order requests into
+//     typed kWrongPhase errors instead of undefined behaviour.
+//   * Query plane — SubmitInvestigate / SubmitInvestigateBatch run
+//     read-only against the fingerprint-stage QueryService on the
+//     shared pool, concurrently with each other.
+//
+// The synchronous phase methods (TrainingServer::UploadRecords,
+// QueryService::Investigate) remain as thin adapters over the same
+// batched cores, so existing callers are unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/query.hpp"
+#include "core/server.hpp"
+#include "serve/result.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/threadpool.hpp"
+
+namespace caltrain::serve {
+
+/// Serving lifecycle: uploads only before training, queries only after
+/// fingerprinting.
+enum class Phase {
+  kIngest,          ///< accepting encrypted record uploads
+  kTraining,        ///< a train request is queued or running
+  kTrained,         ///< model held; release possible, fingerprint next
+  kFingerprinting,  ///< the fingerprint stage is running
+  kServing,         ///< linkage database built; investigate requests served
+};
+
+[[nodiscard]] constexpr const char* ToString(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kIngest:
+      return "ingest";
+    case Phase::kTraining:
+      return "training";
+    case Phase::kTrained:
+      return "trained";
+    case Phase::kFingerprinting:
+      return "fingerprinting";
+    case Phase::kServing:
+      return "serving";
+  }
+  return "unknown";
+}
+
+struct ServiceConfig {
+  /// Records authenticated per enclave transition by the ingest
+  /// workers.  1 reproduces the synchronous per-record accounting.
+  std::size_t ingest_batch = 32;
+  /// Ingest queue capacity, in batches.
+  std::size_t queue_capacity = 64;
+  /// What SubmitUpload does when the queue is full.
+  util::BackpressurePolicy backpressure = util::BackpressurePolicy::kBlock;
+  /// Concurrent ingest workers on the shared pool; 0 means
+  /// Parallelism::threads().
+  unsigned ingest_workers = 0;
+};
+
+using SessionId = std::uint64_t;
+
+/// Outcome of one SubmitUpload call, delivered via future once every
+/// record of the submission has been authenticated and committed.
+struct UploadReceipt {
+  std::size_t submitted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+};
+
+/// Lifetime tallies of one upload session.
+struct SessionStats {
+  std::string participant_id;
+  std::size_t submitted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+};
+
+class Service {
+ public:
+  /// The service fronts (and keeps a reference to) `server`; the server
+  /// must outlive the service.
+  explicit Service(core::TrainingServer& server, ServiceConfig config = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  [[nodiscard]] Phase phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+  // --- upload sessions (data plane) ------------------------------------
+  /// Opens an upload session for a provisioned participant.  Typed
+  /// errors: kUnprovisionedParticipant, kWrongPhase.
+  [[nodiscard]] Result<SessionId> OpenUploadSession(
+      const std::string& participant_id);
+
+  /// Enqueues `records` for background authentication; the future
+  /// resolves once the whole submission is committed.  Typed errors:
+  /// kWrongPhase, kInvalidArgument (unknown/closed session, or a
+  /// kReject submission larger than the whole queue — splitting, not
+  /// retrying, is the fix), kQueueSaturated (kReject policy;
+  /// all-or-nothing, no partial ingest).  Under kBlock the call
+  /// blocks until the queue has room.  If the service shuts down
+  /// mid-submission, the already-enqueued prefix still commits and
+  /// the receipt reports the honest partial tally
+  /// (accepted + rejected < submitted).
+  [[nodiscard]] std::future<Result<UploadReceipt>> SubmitUpload(
+      SessionId session, std::vector<data::EncryptedRecord> records);
+
+  /// Closes the session, waits for its outstanding submissions, and
+  /// retires its bookkeeping (the id becomes unknown afterwards).
+  [[nodiscard]] Result<SessionStats> CloseUploadSession(SessionId session);
+
+  /// Barrier: returns once every record enqueued before the call has
+  /// been authenticated and committed.
+  void DrainIngest();
+
+  // --- control plane (strand-ordered) ----------------------------------
+  /// Drains the ingest queue, then trains on all accepted records.
+  /// Requires phase ingest or trained (resume); on failure the phase
+  /// reverts to ingest.
+  [[nodiscard]] std::future<Result<core::TrainReport>> SubmitTrain(
+      nn::NetworkSpec spec, core::PartitionedTrainOptions options);
+
+  /// Runs the fingerprinting enclave over the corpus and stands up the
+  /// query stage; resolves to the linkage database size.  Requires
+  /// phase trained.
+  [[nodiscard]] std::future<Result<std::size_t>> SubmitFingerprint(
+      int fingerprint_layer = -1);
+
+  /// Releases the model sealed for one participant.  Typed errors:
+  /// kWrongPhase, kUnprovisionedParticipant.
+  [[nodiscard]] std::future<Result<core::TrainingServer::ReleasedModel>>
+  SubmitRelease(std::string participant_id);
+
+  /// Reopens ingestion after training (resume / fine-tune flows).
+  [[nodiscard]] Result<Phase> ReopenIngest();
+
+  // --- query plane ------------------------------------------------------
+  /// Investigates one (mis)predicted input on the shared pool.
+  /// Requires phase serving.
+  [[nodiscard]] std::future<Result<core::MispredictionReport>>
+  SubmitInvestigate(nn::Image input, std::size_t k);
+
+  /// Batched investigate (parallel forward passes + batched kNN).
+  [[nodiscard]] std::future<
+      Result<std::vector<core::MispredictionReport>>>
+  SubmitInvestigateBatch(std::vector<nn::Image> inputs, std::size_t k);
+
+  /// Participant-side reassembly with the typed taxonomy applied: a
+  /// wrong key resolves to kAuthFailure instead of an escaping
+  /// exception.
+  [[nodiscard]] static Result<nn::Network> AssembleReleased(
+      const core::TrainingServer::ReleasedModel& released,
+      BytesView participant_key);
+
+  /// The query stage (valid in phase serving; nullptr before).
+  [[nodiscard]] core::QueryService* query_service() noexcept {
+    return query_.has_value() ? &*query_ : nullptr;
+  }
+
+ private:
+  struct Session {
+    explicit Session(std::string pid) : participant_id(std::move(pid)) {}
+    std::string participant_id;
+    // All tallies guarded by state_mu_.
+    bool open = true;
+    std::size_t submitted = 0;
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::size_t outstanding_batches = 0;
+  };
+
+  struct Submission {
+    std::promise<Result<UploadReceipt>> promise;
+    std::shared_ptr<Session> session;
+    std::size_t submitted = 0;
+    // Guarded by state_mu_.
+    std::size_t remaining_batches = 0;
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    bool done = false;
+  };
+
+  struct IngestBatch {
+    std::uint64_t seq = 0;
+    std::vector<data::EncryptedRecord> records;
+    std::shared_ptr<Submission> submission;
+  };
+
+  struct AuthedBatch {
+    std::vector<data::EncryptedRecord> records;
+    std::vector<char> accepted;
+    std::shared_ptr<Submission> submission;
+  };
+
+  // Ingest workers (pool tasks).
+  void MaybeSpawnPump();
+  void PumpIngest();
+  void ProcessBatch(IngestBatch batch);
+  void Commit(std::uint64_t seq, AuthedBatch batch);
+  void FinishPoolOp();
+
+  // Workspace pool for single-probe investigate requests (avoids one
+  // full LayerWorkspace allocation per query on the serving path).
+  std::unique_ptr<nn::LayerWorkspace> AcquireQueryWorkspace();
+  void RecycleQueryWorkspace(std::unique_ptr<nn::LayerWorkspace> ws);
+
+  /// Runs `fn` and folds any escaping exception into the typed
+  /// taxonomy — the single boundary between throwing core code and
+  /// serve::Result, shared by the strand, the query plane, and
+  /// AssembleReleased.
+  template <typename T, typename Fn>
+  static Result<T> Guarded(Fn&& fn) {
+    try {
+      return std::forward<Fn>(fn)();
+    } catch (const Error& e) {
+      return Result<T>(FromError(e));
+    } catch (const std::exception& e) {
+      return Result<T>(ServeError{ServeErrorKind::kInternal, e.what()});
+    }
+  }
+
+  // Strand scheduler.
+  void StrandLoop();
+  template <typename T, typename Fn>
+  std::future<Result<T>> Schedule(Fn fn) {
+    auto prom = std::make_shared<std::promise<Result<T>>>();
+    std::future<Result<T>> fut = prom->get_future();
+    {
+      std::lock_guard<std::mutex> lock(strand_mu_);
+      if (strand_stop_) {
+        prom->set_value(Result<T>(ServeError{ServeErrorKind::kWrongPhase,
+                                             "service is shutting down"}));
+        return fut;
+      }
+      strand_queue_.emplace_back([prom, fn = std::move(fn)]() mutable {
+        prom->set_value(Guarded<T>(fn));
+      });
+    }
+    strand_cv_.notify_one();
+    return fut;
+  }
+
+  core::TrainingServer& server_;
+  ServiceConfig config_;
+  unsigned max_pumps_;
+  util::ThreadPool& pool_;
+
+  // Enqueue side: ingest_mu_ orders ticket assignment, makes the
+  // reject-policy capacity check all-or-nothing, and fences phase
+  // transitions against in-flight enqueues.  Lock order: ingest_mu_
+  // before state_mu_; never the reverse.
+  std::mutex ingest_mu_;
+  std::uint64_t next_enqueue_seq_ = 0;
+  std::atomic<Phase> phase_{Phase::kIngest};
+  util::BoundedQueue<IngestBatch> queue_;
+
+  std::atomic<unsigned> active_pumps_{0};
+  std::atomic<std::size_t> inflight_pool_ops_{0};
+
+  // Commit side (reorder buffer, sessions, drain barrier).
+  std::mutex state_mu_;
+  std::condition_variable progress_cv_;
+  std::uint64_t next_commit_seq_ = 0;
+  std::map<std::uint64_t, AuthedBatch> ready_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_session_id_ = 1;
+
+  // Strand.
+  std::thread strand_;
+  std::mutex strand_mu_;
+  std::condition_variable strand_cv_;
+  std::deque<std::function<void()>> strand_queue_;
+  bool strand_stop_ = false;
+
+  std::optional<core::QueryService> query_;
+  std::mutex query_ws_mu_;
+  std::vector<std::unique_ptr<nn::LayerWorkspace>> query_ws_pool_;
+};
+
+}  // namespace caltrain::serve

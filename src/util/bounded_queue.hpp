@@ -1,0 +1,132 @@
+// Bounded MPMC queue — the ingest backpressure primitive of the
+// serving layer (ISSUE 5).
+//
+// Any number of producers Push and any number of consumers Pop
+// concurrently.  The queue holds at most `capacity` items; what happens
+// when a producer hits the bound is the *backpressure policy*:
+//
+//   * kBlock  — Push waits until a consumer makes room (ingestion
+//               throttles the producers, nothing is dropped);
+//   * kReject — Push returns false immediately (the caller turns that
+//               into a typed kQueueSaturated error and the client
+//               retries; nothing ever blocks).
+//
+// Close() ends the stream: subsequent pushes fail, blocked producers
+// wake with false, and consumers drain the remaining items before Pop
+// returns nullopt.  This is the shutdown handshake the serving layer's
+// ingest workers rely on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace caltrain::util {
+
+/// What Push does when the queue is at capacity.
+enum class BackpressurePolicy {
+  kBlock,   ///< wait for room
+  kReject,  ///< fail fast (caller sees saturation)
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity,
+                        BackpressurePolicy policy = BackpressurePolicy::kBlock)
+      : capacity_(capacity), policy_(policy) {
+    CALTRAIN_REQUIRE(capacity > 0, "queue capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `value` under the configured backpressure policy.
+  /// Returns false when the queue is closed, or — under kReject — full.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (policy_ == BackpressurePolicy::kBlock) {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-waiting push regardless of policy; false when full or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained (then nullopt — the consumer's termination signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-waiting pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Ends the stream: pushes fail from now on, blocked producers and
+  /// consumers wake, remaining items stay poppable until drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace caltrain::util

@@ -12,6 +12,7 @@
 #include "nn/presets.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
+#include "util/threadpool.hpp"
 
 namespace caltrain::core {
 namespace {
@@ -324,6 +325,34 @@ TEST(AverageWeightsTest, AveragesElementwise) {
   EXPECT_NEAR(vm[0], (va[0] + vb[0]) / 2.0F, 1e-6F);
 }
 
+TEST(HubAggregatorTest, MergedModelBitIdenticalAcrossThreadCounts) {
+  // Hubs train concurrently between merges on per-(hub, epoch) RNG
+  // streams; the merged model must match the serial hub order bit for
+  // bit at every thread count.
+  const auto run = [](unsigned threads) {
+    util::ScopedThreads guard(threads);
+    data::LabeledDataset all = IntensityDataset(96, 131);
+    auto shards = data::SplitAmong(all, 3);
+    HubOptions options;
+    options.epochs = 2;
+    options.batch_size = 16;
+    options.merge_every = 1;
+    options.front_layers = 2;
+    options.sgd.learning_rate = 0.05F;
+    options.seed = 133;
+    HubAggregator hubs(nn::Table1Spec(32, 2), std::move(shards), options);
+    (void)hubs.Train({}, {});
+    return hubs.global_model().SerializeWeightRange(
+        0, hubs.global_model().NumLayers());
+  };
+
+  const Bytes serial = run(1);
+  for (const unsigned threads : {2U, 3U, 8U}) {
+    EXPECT_EQ(run(threads), serial)
+        << "merged hub model diverged at threads=" << threads;
+  }
+}
+
 TEST(HubAggregatorTest, MergedModelLearns) {
   data::LabeledDataset all = IntensityDataset(120, 121);
   const data::LabeledDataset test = IntensityDataset(40, 122);
@@ -366,6 +395,52 @@ TEST(ServerEdgeTest, ReleaseForUnknownParticipantRejected) {
   options.augment = false;
   (void)server.Train(nn::Table1Spec(32, 2), options);
   EXPECT_THROW((void)server.ReleaseModelFor("nobody"), Error);
+}
+
+TEST(ServerEdgeTest, ReleasePhaseErrorsAreTyped) {
+  // Release-phase failure modes surface as typed errors, never as
+  // crashes or UB: an unprovisioned participant (handshake done, no
+  // key) is kInvalidArgument; reassembly with a wrong key is
+  // kAuthFailure.
+  TrainingServer server;
+  Participant alice("alice", IntensityDataset(16, 310), 311);
+  (void)alice.ProvisionAndUpload(server, server.training_measurement());
+
+  // "mallory" starts a (malformed) handshake but never provisions a
+  // key: the server now knows the identity, yet release must reject it
+  // exactly like a stranger.
+  EXPECT_THROW(
+      (void)server.HandleClientHello("mallory", BytesOf("not a real hello")),
+      Error);
+  EXPECT_FALSE(server.IsProvisioned("mallory"));
+
+  PartitionedTrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.front_layers = 2;
+  options.augment = false;
+  (void)server.Train(nn::Table1Spec(32, 2), options);
+
+  try {
+    (void)server.ReleaseModelFor("mallory");
+    FAIL() << "release for an unprovisioned participant must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInvalidArgument);
+  }
+
+  const auto released = server.ReleaseModelFor("alice");
+  try {
+    (void)TrainingServer::AssembleReleasedModel(released, Bytes(32, 0xab));
+    FAIL() << "wrong-key reassembly must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kAuthFailure);
+  }
+  // A truncated tag must also fail cleanly (typed, no UB).
+  TrainingServer::ReleasedModel mangled = released;
+  mangled.frontnet_tag.pop_back();
+  EXPECT_THROW(
+      (void)TrainingServer::AssembleReleasedModel(mangled, alice.data_key()),
+      Error);
 }
 
 TEST(ServerEdgeTest, KeyProvisionBeforeHandshakeRejected) {

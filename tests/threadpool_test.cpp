@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/bounded_queue.hpp"
 #include "util/threadpool.hpp"
 
 namespace caltrain::util {
@@ -195,6 +196,101 @@ TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
   EXPECT_EQ(pool.worker_count(), 3U);
   pool.EnsureWorkers(2);
   EXPECT_EQ(pool.worker_count(), 3U);
+}
+
+TEST(BoundedQueueTest, FifoOrderSingleThread) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 3U);
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(3));
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BoundedQueueTest, RejectPolicyFailsFastWhenFull) {
+  BoundedQueue<int> queue(2, BackpressurePolicy::kReject);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_FALSE(queue.Push(3)) << "kReject must not block on a full queue";
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(3));
+}
+
+TEST(BoundedQueueTest, BlockPolicyWaitsForRoom) {
+  BoundedQueue<int> queue(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsConsumers) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(7));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(8)) << "pushes fail after Close";
+  EXPECT_EQ(queue.Pop(), std::optional<int>(7)) << "items drain after Close";
+  EXPECT_EQ(queue.Pop(), std::nullopt) << "drained + closed terminates Pop";
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(full.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.Push(2)); });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_EQ(empty.Pop(), std::nullopt); });
+  full.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, MpmcStressDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8, BackpressurePolicy::kBlock);
+  std::mutex seen_mu;
+  std::vector<int> seen;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (const std::optional<int> item = queue.Pop()) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        seen.push_back(*item);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.Close();
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+  }
+  ASSERT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
 }
 
 TEST(ThreadPoolTest, ManyConcurrentParallelForsAgree) {
