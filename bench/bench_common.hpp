@@ -11,8 +11,10 @@
 //   --json PATH  (bench_micro_substrates, bench_fig8_neighbor_query,
 //                bench_fig6_partition_overhead)
 //                machine-readable results: one JSON array of
-//                {op, shape, ns_per_op, gflops, threads} rows, the
-//                perf-trajectory format (BENCH_micro.json; fig8 emits
+//                {op, shape, ns_per_op, gflops, items_per_s, threads}
+//                rows, the perf-trajectory format (BENCH_micro.json;
+//                the CI scaling gate tools/check_bench_scaling.py
+//                consumes the thread-sweep rows; fig8 emits
 //                linkage insert-throughput and kNN query-latency rows;
 //                fig6 emits serve-ingest throughput and
 //                transitions-per-record rows — BENCH_serve.json).
@@ -76,9 +78,12 @@ inline BenchProfile ParseArgs(int argc, char** argv) {
 /// One machine-readable micro-benchmark result.
 struct JsonBenchRow {
   std::string op;     ///< benchmark name, e.g. "BM_ConvGemm/L2_block8"
-  std::string shape;  ///< operand shape, e.g. "128x6272x1152"
+  std::string shape;  ///< operand shape, e.g. "128x6272x1152" or "batch32"
   double ns_per_op = 0.0;
-  double gflops = 0.0;  ///< 0 when the op has no FLOP accounting
+  double gflops = 0.0;       ///< 0 when the op has no FLOP accounting
+  double items_per_s = 0.0;  ///< op-defined throughput (FLOP/s for GEMMs,
+                             ///< samples/s for training, queries/s for kNN);
+                             ///< 0 when the op reports none
   int threads = 1;
 };
 
@@ -110,9 +115,10 @@ inline bool WriteBenchJson(const std::string& path,
     const JsonBenchRow& r = rows[i];
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"shape\": \"%s\", "
-                 "\"ns_per_op\": %.3f, \"gflops\": %.2f, \"threads\": %d}%s\n",
+                 "\"ns_per_op\": %.3f, \"gflops\": %.2f, "
+                 "\"items_per_s\": %.1f, \"threads\": %d}%s\n",
                  r.op.c_str(), r.shape.c_str(), r.ns_per_op, r.gflops,
-                 r.threads, i + 1 < rows.size() ? "," : "");
+                 r.items_per_s, r.threads, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

@@ -267,6 +267,9 @@ void BM_GemmFastThreads(benchmark::State& state) {
     nn::GemmFast(n, n, n, a.data(), b.data(), c.data());
     benchmark::DoNotOptimize(c.data());
   }
+  state.counters["m"] = static_cast<double>(n);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["k"] = static_cast<double>(n);
   state.counters["threads"] = threads;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
                           static_cast<std::int64_t>(n * n * n));
@@ -376,6 +379,7 @@ void BM_TrainBatchThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(trainer.TrainBatch(batch, labels, sgd,
                                                 train_rng));
   }
+  state.counters["batch"] = static_cast<double>(batch.n);
   state.counters["threads"] = threads;
   state.counters["workspace_bytes"] =
       static_cast<double>(trainer.WorkspaceBytes());
@@ -466,6 +470,7 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       const auto m = run.counters.find("m");
       const auto n = run.counters.find("n");
       const auto k = run.counters.find("k");
+      const auto batch = run.counters.find("batch");
       if (m != run.counters.end() && n != run.counters.end() &&
           k != run.counters.end()) {
         row.shape = std::to_string(static_cast<long long>(m->second.value)) +
@@ -473,13 +478,21 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
                     std::to_string(static_cast<long long>(n->second.value)) +
                     "x" +
                     std::to_string(static_cast<long long>(k->second.value));
+      } else if (batch != run.counters.end()) {
+        row.shape =
+            "batch" +
+            std::to_string(static_cast<long long>(batch->second.value));
       }
-      // The GEMM benches account items as FLOPs; other ops (hashes,
-      // queries, samples) have no FLOP meaning.
+      // items_per_second is the op's own throughput unit (FLOP/s,
+      // samples/s, queries/s) and is recorded as-is; only the GEMM
+      // benches account items as FLOPs, so only they get a GFLOP/s
+      // column.
       const auto items = run.counters.find("items_per_second");
-      if (items != run.counters.end() &&
-          row.op.find("Gemm") != std::string::npos) {
-        row.gflops = items->second.value / 1e9;
+      if (items != run.counters.end()) {
+        row.items_per_s = items->second.value;
+        if (row.op.find("Gemm") != std::string::npos) {
+          row.gflops = items->second.value / 1e9;
+        }
       }
       const auto threads = run.counters.find("threads");
       row.threads = threads != run.counters.end()

@@ -1,13 +1,29 @@
-// Parallel execution runtime: a simple, work-stealing-free thread pool
-// plus blocked parallel-for helpers.
+// Parallel execution runtime: a thread pool with per-worker run queues
+// and FIFO work stealing, plus blocked parallel-for helpers.
 //
-// Design constraints (see ISSUE 1 / ROADMAP):
+// Design constraints (see ISSUE 1 / ISSUE 6 / ROADMAP):
 //  * Determinism — ParallelForBlocked hands each caller-visible block to
 //    exactly one task, so any computation whose per-block arithmetic
 //    order matches the serial loop is bit-identical at every thread
 //    count.  With `Parallelism::threads() == 1` no pool machinery runs
 //    at all: the body executes inline on the calling thread, exactly
 //    like the pre-threading serial code.
+//  * Scalability — dispatch never takes a global lock.  Every worker
+//    owns its own queue (mutex + condition variable + fixed-slot task
+//    records, no std::function / shared_ptr allocation on the bulk
+//    path), Submit round-robins across the queues, and idle workers
+//    steal from loaded ones so a long-running task cannot strand the
+//    work queued behind it.  ParallelForBlocked dispatches ONE
+//    persistent loop task per participating worker (the workers pull
+//    blocks from a shared atomic cursor), not one task per block.
+//  * Oversubscription — the number of OS threads that participate in a
+//    parallel region is capped at the physical core count
+//    (`Parallelism::width()`).  Requesting more threads than cores
+//    cannot make CPU-bound work faster, only slower (context switches,
+//    cache interference), and the work *plan* never depends on the
+//    thread count, so clamping the dispatch width is invisible in the
+//    results — `threads=8` on a 1-core host computes bit-identically
+//    to `threads=1`, at `threads=1` speed.
 //  * Safety under nesting — a ParallelFor issued from inside a pool
 //    task runs serially inline, and a Submit issued from inside a pool
 //    task executes inline and returns a ready future.  Neither can
@@ -16,32 +32,54 @@
 //    is captured and rethrown on the calling thread after all blocks
 //    have finished (every index is still visited exactly once unless
 //    its own block threw).
+//  * Shutdown drains — the destructor completes every already-queued
+//    task (workers drain their own queues, then steal the remainder)
+//    before joining, so no Submit future is ever abandoned.
 //
 // Thread count resolution: `CALTRAIN_THREADS` env var if set and valid,
 // else std::thread::hardware_concurrency(); overridable at runtime via
 // Parallelism::set_threads (tests, benches).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 namespace caltrain::util {
 
 /// Process-wide thread-count policy for all parallel hot paths.
 class Parallelism {
  public:
+  /// Hard cap on pool workers and thread-count overrides.
+  static constexpr unsigned kMaxThreads = 64;
+
   /// Effective thread count (>= 1).
   [[nodiscard]] static unsigned threads();
-  /// Overrides the thread count; 0 restores the env/hardware default.
+  /// Overrides the thread count.  Requires 1 <= n (values above
+  /// kMaxThreads are clamped); 0 throws kInvalidArgument — use
+  /// clear_override() to restore the env/hardware default.
   static void set_threads(unsigned n);
+  /// Drops any set_threads override; threads() returns the
+  /// env/hardware default again.
+  static void clear_override();
   /// The env/hardware default, ignoring any set_threads override.
   [[nodiscard]] static unsigned DefaultThreads();
+  /// Physical parallel width of the host (hardware_concurrency,
+  /// >= 1).
+  [[nodiscard]] static unsigned HardwareThreads();
+  /// Dispatch width: min(threads(), HardwareThreads()).  Parallel
+  /// regions plan their work from threads() but enqueue at most
+  /// width() - 1 helpers, so oversubscribing a small host degrades to
+  /// serial speed instead of below it.
+  [[nodiscard]] static unsigned width();
 };
 
 /// RAII thread-count override (tests and benches).
@@ -63,14 +101,24 @@ class ScopedThreads {
 /// block (used to serialize nested parallel regions).
 [[nodiscard]] bool InParallelRegion() noexcept;
 
-/// Scans argv for `--threads N` and, when present and valid, applies it
-/// via Parallelism::set_threads — the flag therefore wins over the
-/// CALTRAIN_THREADS environment variable.  Returns the thread count in
-/// effect afterwards.  Shared by the benches and the examples.
+/// Scans argv for `--threads N` and applies it via
+/// Parallelism::set_threads — the flag therefore wins over the
+/// CALTRAIN_THREADS environment variable.  A malformed value (`0`,
+/// trailing garbage, out of range) or a bare trailing `--threads`
+/// throws kInvalidArgument instead of silently running at an
+/// unexpected thread count.  Returns the thread count in effect
+/// afterwards.  Shared by the benches and the examples.
 unsigned ApplyThreadsFlag(int argc, char** argv);
 
 class ThreadPool {
  public:
+  /// A bulk-dispatch slot body.  `slot` identifies the participant
+  /// (0 = the dispatching thread, 1..helpers = pool workers); work
+  /// must be pulled from shared state in `ctx` (e.g. an atomic
+  /// cursor), never derived from `slot`, because helpers that fail to
+  /// dispatch simply never run.
+  using BulkFn = void (*)(void* ctx, unsigned slot);
+
   /// Spawns `workers` threads immediately (0 is allowed; the pool then
   /// grows on demand via EnsureWorkers).
   explicit ThreadPool(unsigned workers = 0);
@@ -79,9 +127,24 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Queues `fn`.  Called from inside a pool task, executes `fn` inline
-  /// instead (nested-submit safety) — the returned future is ready.
+  /// Queues `fn` on one of the per-worker queues (round-robin; idle
+  /// workers steal it if the owner is busy).  Called from inside a
+  /// pool task, executes `fn` inline instead (nested-submit safety) —
+  /// the returned future is ready.
   std::future<void> Submit(std::function<void()> fn);
+
+  /// Bulk dispatch for parallel regions: enqueues up to `helpers`
+  /// fixed-slot loop tasks (one per worker, no allocation), runs
+  /// `fn(ctx, 0)` on the calling thread, and returns only after every
+  /// dispatched task finished.  Queued-but-unstarted helper tasks are
+  /// reclaimed and run inline by the caller while it waits, so a
+  /// blocked worker can delay the region only by the task it is
+  /// already running.  Dispatch failures (thread creation, queue
+  /// allocation) degrade the region to fewer participants; the work
+  /// still completes.  Returns the number of helpers actually
+  /// enqueued.  `fn` must confine exceptions to `ctx` (helper slots
+  /// swallow them; the caller slot rethrows after the region ends).
+  unsigned RunOnWorkers(unsigned helpers, BulkFn fn, void* ctx);
 
   /// Grows the pool to at least `n` worker threads (capped internally).
   void EnsureWorkers(unsigned n);
@@ -94,13 +157,44 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  /// Fixed-slot task record: 24 bytes, trivially copyable, no type
+  /// erasure.  Submit's std::function lives behind `ctx` (a
+  /// heap-allocated packaged_task node); bulk tasks point `ctx` at the
+  /// dispatcher's stack frame.
+  struct Task {
+    void (*fn)(void* ctx, unsigned slot);
+    void* ctx;
+    unsigned slot;
+  };
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Task> queue;
+    // True while the worker executes a task.  A push onto a busy
+    // worker's queue must advertise the work to thieves: the owner may
+    // stay inside its current task indefinitely, and a sleeping thief
+    // re-checks queues only when signalled.
+    std::atomic<bool> busy{false};
+    std::thread thread;
+  };
+
+  void WorkerLoop(unsigned self);
+  void Enqueue(unsigned target, const Task& task);
+  bool TrySteal(unsigned self, Task& out);
+  void WakeThief(unsigned except);
+
+  // Worker registry: slots are created once, never moved or destroyed
+  // before the pool itself, so dispatch paths read `worker_count_`
+  // (acquire) and index `workers_` without the growth lock.
+  std::array<std::unique_ptr<Worker>, Parallelism::kMaxThreads> workers_;
+  std::atomic<unsigned> worker_count_{0};
+  std::mutex grow_mutex_;
+  std::atomic<bool> stop_{false};
+  std::atomic<unsigned> round_robin_{0};
+  // Bumped (release) whenever a queue develops a backlog; workers
+  // re-scan for steals instead of sleeping when it moved.
+  std::atomic<std::uint64_t> steal_signal_{0};
 };
 
 /// Runs body(i) for every i in [begin, end).  Parallel when
@@ -112,7 +206,9 @@ void ParallelFor(std::size_t begin, std::size_t end,
 /// Runs body(b0, b1) over contiguous blocks covering [begin, end);
 /// each block is executed by exactly one thread.  `min_grain` is the
 /// smallest block size worth dispatching (ranges smaller than
-/// 2*min_grain run inline).
+/// 2*min_grain run inline).  The block plan derives from
+/// Parallelism::threads() only; the number of OS threads executing it
+/// is capped at Parallelism::width().
 void ParallelForBlocked(std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t, std::size_t)>&
                             body,

@@ -49,6 +49,8 @@ std::vector<GemmShape> BlockCrossingShapes() {
       {6, 33, 513},     // three KC slabs on a single tile row
       {128, 784, 27},   // Table-1 layer-1 conv GEMM
       {10, 49, 128},    // Table-1 1x1 head conv GEMM
+      {256, 256, 256},  // bench shape: many panel-grid items per slab
+      {80, 2100, 260},  // two NC panels x two KC slabs x two MC blocks
   };
 }
 

@@ -5,7 +5,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdlib>
+#include <future>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "util/bounded_queue.hpp"
+#include "util/error.hpp"
 #include "util/threadpool.hpp"
 
 namespace caltrain::util {
@@ -38,15 +42,69 @@ TEST(ParallelismTest, DefaultHonoursEnvWhenSet) {
   }
 }
 
-TEST(ParallelismTest, SetThreadsOverridesAndZeroRestoresDefault) {
+TEST(ParallelismTest, SetThreadsOverridesAndClearRestoresDefault) {
   const unsigned original = Parallelism::threads();
   Parallelism::set_threads(3);
   EXPECT_EQ(Parallelism::threads(), 3U);
-  Parallelism::set_threads(0);
+  Parallelism::clear_override();
   EXPECT_EQ(Parallelism::threads(), Parallelism::DefaultThreads());
-  Parallelism::set_threads(original == Parallelism::DefaultThreads()
-                               ? 0U
-                               : original);
+  Parallelism::set_threads(original);
+}
+
+TEST(ParallelismTest, SetThreadsRejectsZero) {
+  const unsigned original = Parallelism::threads();
+  EXPECT_THROW(Parallelism::set_threads(0), Error);
+  // A rejected override must leave the effective count untouched.
+  EXPECT_EQ(Parallelism::threads(), original);
+}
+
+TEST(ParallelismTest, WidthNeverExceedsHardwareOrThreads) {
+  const unsigned original = Parallelism::threads();
+  Parallelism::set_threads(Parallelism::kMaxThreads);
+  EXPECT_LE(Parallelism::width(), Parallelism::HardwareThreads());
+  Parallelism::set_threads(1);
+  EXPECT_EQ(Parallelism::width(), 1U);
+  Parallelism::set_threads(original);
+}
+
+class ThreadsFlagTest : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = Parallelism::threads(); }
+  void TearDown() override { Parallelism::set_threads(original_); }
+
+  static unsigned Apply(std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "prog");
+    return ApplyThreadsFlag(static_cast<int>(argv.size()),
+                            const_cast<char**>(argv.data()));
+  }
+
+  unsigned original_ = 1;
+};
+
+TEST_F(ThreadsFlagTest, AppliesValidValue) {
+  EXPECT_EQ(Apply({"--threads", "3"}), 3U);
+  EXPECT_EQ(Parallelism::threads(), 3U);
+}
+
+TEST_F(ThreadsFlagTest, LastFlagWinsAndOtherArgsPassThrough) {
+  EXPECT_EQ(Apply({"--foo", "--threads", "2", "bar", "--threads", "5"}), 5U);
+}
+
+TEST_F(ThreadsFlagTest, RejectsZero) {
+  EXPECT_THROW(Apply({"--threads", "0"}), Error);
+}
+
+TEST_F(ThreadsFlagTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(Apply({"--threads", "4x"}), Error);
+  EXPECT_THROW(Apply({"--threads", "threads"}), Error);
+}
+
+TEST_F(ThreadsFlagTest, RejectsOutOfRange) {
+  EXPECT_THROW(Apply({"--threads", "65"}), Error);
+}
+
+TEST_F(ThreadsFlagTest, RejectsBareTrailingFlag) {
+  EXPECT_THROW(Apply({"--threads"}), Error);
 }
 
 TEST(ParallelismTest, ScopedThreadsRestoresOnExit) {
@@ -187,6 +245,129 @@ TEST(ThreadPoolTest, NestedSubmitIsDeadlockFree) {
   });
   outer.wait();
   EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, IdleWorkerStealsBehindBlockedWorker) {
+  // Flood a 2-worker pool while one worker is parked on a long task.
+  // Round-robin puts half the quick tasks behind the blocker; with
+  // per-worker queues they complete only if the idle worker (or a
+  // thief) drains the blocked worker's backlog.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> blocker_started{false};
+  std::future<void> blocker = pool.Submit([&] {
+    blocker_started.store(true);
+    gate.wait();
+  });
+  while (!blocker_started.load()) std::this_thread::yield();
+
+  constexpr int kQuick = 64;
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kQuick);
+  for (int i = 0; i < kQuick; ++i) {
+    futures.push_back(pool.Submit([&] { done.fetch_add(1); }));
+  }
+  int stranded = 0;
+  for (std::future<void>& f : futures) {
+    if (f.wait_for(std::chrono::seconds(30)) != std::future_status::ready) {
+      ++stranded;
+    }
+  }
+  // Release the blocker BEFORE asserting: a failure must not leave the
+  // worker parked on the gate (the pool destructor would never join).
+  release.set_value();
+  blocker.wait();
+  EXPECT_EQ(stranded, 0) << "quick tasks stranded behind the blocked worker";
+  EXPECT_EQ(done.load(), kQuick);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  // Every Submit future must complete even when the pool is destroyed
+  // with a deep backlog (shutdown drains, never abandons).
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.Submit([&] { done.fetch_add(1); }));
+    }
+  }  // ~ThreadPool joins after the queues drain
+  EXPECT_EQ(done.load(), kTasks);
+  for (std::future<void>& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitInsidePoolTaskRunsInline) {
+  ThreadPool pool(2);
+  std::thread::id outer_id;
+  std::thread::id inner_id;
+  pool.Submit([&] {
+        outer_id = std::this_thread::get_id();
+        EXPECT_TRUE(InParallelRegion());
+        pool.Submit([&] { inner_id = std::this_thread::get_id(); }).wait();
+      })
+      .wait();
+  EXPECT_EQ(inner_id, outer_id) << "nested submit must not re-dispatch";
+}
+
+namespace {
+
+struct CursorContext {
+  std::atomic<std::size_t> next{0};
+  std::size_t total = 0;
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::vector<unsigned> slots_seen;
+};
+
+void PullFromCursor(void* ctx, unsigned slot) {
+  auto* cursor = static_cast<CursorContext*>(ctx);
+  {
+    std::lock_guard<std::mutex> lock(cursor->mutex);
+    cursor->slots_seen.push_back(slot);
+  }
+  for (;;) {
+    const std::size_t i = cursor->next.fetch_add(1);
+    if (i >= cursor->total) return;
+    cursor->done.fetch_add(1);
+  }
+}
+
+}  // namespace
+
+TEST(ThreadPoolTest, RunOnWorkersCompletesAllItems) {
+  ThreadPool pool(3);
+  CursorContext cursor;
+  cursor.total = 10000;
+  const unsigned dispatched = pool.RunOnWorkers(3, &PullFromCursor, &cursor);
+  EXPECT_EQ(cursor.done.load(), cursor.total);
+  EXPECT_LE(dispatched, 3U);
+  // Slot 0 (the caller) always participates; helper slots are distinct.
+  std::sort(cursor.slots_seen.begin(), cursor.slots_seen.end());
+  ASSERT_FALSE(cursor.slots_seen.empty());
+  EXPECT_EQ(cursor.slots_seen.front(), 0U);
+  EXPECT_EQ(std::unique(cursor.slots_seen.begin(), cursor.slots_seen.end()),
+            cursor.slots_seen.end())
+      << "duplicate slot ids";
+}
+
+TEST(ThreadPoolTest, RunOnWorkersInsideRegionRunsInlineOnly) {
+  ThreadPool pool(2);
+  pool.Submit([&] {
+        CursorContext cursor;
+        cursor.total = 100;
+        const unsigned dispatched =
+            pool.RunOnWorkers(2, &PullFromCursor, &cursor);
+        EXPECT_EQ(dispatched, 0U) << "nested bulk dispatch must run inline";
+        EXPECT_EQ(cursor.done.load(), cursor.total);
+      })
+      .wait();
 }
 
 TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {

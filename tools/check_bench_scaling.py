@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate for parallel scaling (ISSUE 6).
+
+Parses a BENCH_micro.json produced by `bench_micro_substrates --json`
+and fails loudly if the thread sweeps regress: throughput at the
+highest measured thread count must not fall below 1-thread throughput
+on the GEMM and TrainBatch rows.
+
+Rationale: the work plan is thread-count independent and the dispatch
+width is clamped to the physical core count, so adding threads can
+only help (more cores) or be a no-op (oversubscribed host).  Multi-
+thread throughput materially below 1-thread throughput therefore
+always indicates a runtime regression — the bug this gate exists to
+catch — regardless of how many cores the CI runner has.  A small
+tolerance absorbs run-to-run noise.
+
+Usage: check_bench_scaling.py BENCH_micro.json [--tolerance 0.90]
+Exit status 0 = pass, 1 = regression or missing rows.
+"""
+
+import argparse
+import json
+import sys
+
+# op-name prefix -> JSON field holding its throughput
+GATED_SWEEPS = {
+    "BM_GemmFastThreads": "gflops",
+    "BM_TrainBatchThreads": "items_per_s",
+}
+
+
+def sweep_rows(rows, prefix):
+    """The (threads, throughput) points of one benchmark's sweep."""
+    points = {}
+    for row in rows:
+        if not row.get("op", "").startswith(prefix):
+            continue
+        threads = int(row.get("threads", 0))
+        value = float(row.get(GATED_SWEEPS[prefix], 0.0))
+        if threads >= 1:
+            points[threads] = value
+    return points
+
+
+def check(rows, prefix, tolerance):
+    points = sweep_rows(rows, prefix)
+    if 1 not in points or len(points) < 2:
+        print(f"FAIL {prefix}: thread sweep missing from bench JSON "
+              f"(found thread counts {sorted(points)})")
+        return False
+    base = points[1]
+    if base <= 0.0:
+        print(f"FAIL {prefix}: 1-thread throughput is {base} "
+              f"(field '{GATED_SWEEPS[prefix]}' empty? emitter regression)")
+        return False
+    ok = True
+    for threads in sorted(points):
+        value = points[threads]
+        ratio = value / base
+        status = "ok" if ratio >= tolerance else "FAIL"
+        print(f"{status:4} {prefix:24} threads={threads:2} "
+              f"throughput={value:14.1f} ({ratio:5.2f}x of 1-thread)")
+        if ratio < tolerance:
+            ok = False
+    if not ok:
+        print(f"FAIL {prefix}: multi-thread throughput fell below "
+              f"{tolerance:.2f}x of 1-thread — parallel dispatch is making "
+              f"the hot path slower (negative scaling).")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("--tolerance", type=float, default=0.90,
+                        help="minimum allowed multi-thread/1-thread "
+                             "throughput ratio (default 0.90; >1 enforces "
+                             "genuine speedup on multi-core runners)")
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        rows = json.load(f)
+
+    ok = True
+    for prefix in GATED_SWEEPS:
+        ok = check(rows, prefix, args.tolerance) and ok
+    if ok:
+        print("parallel scaling gate: PASS")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
