@@ -11,8 +11,8 @@
 //   --json PATH  (bench_micro_substrates, bench_fig8_neighbor_query,
 //                bench_fig6_partition_overhead)
 //                machine-readable results: one JSON array of
-//                {op, shape, ns_per_op, gflops, items_per_s, threads}
-//                rows, the perf-trajectory format (BENCH_micro.json;
+//                {op, shape, ns_per_op, gflops, items_per_s, bytes_per_s,
+//                threads} rows, the perf-trajectory format (BENCH_micro.json;
 //                the CI scaling gate tools/check_bench_scaling.py
 //                consumes the thread-sweep rows; fig8 emits
 //                linkage insert-throughput and kNN query-latency rows;
@@ -84,6 +84,12 @@ struct JsonBenchRow {
   double items_per_s = 0.0;  ///< op-defined throughput (FLOP/s for GEMMs,
                              ///< samples/s for training, queries/s for kNN);
                              ///< 0 when the op reports none
+  double bytes_per_s = 0.0;  ///< byte throughput (crypto / record ops);
+                             ///< 0 when the op has no byte accounting
+  /// Enclave transitions per uploaded record (serve-ingest rows only;
+  /// emitted as its own JSON key instead of masquerading as a time in
+  /// ns_per_op).  0 when the op does not account transitions.
+  double transitions_per_record = 0.0;
   int threads = 1;
 };
 
@@ -116,9 +122,15 @@ inline bool WriteBenchJson(const std::string& path,
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"shape\": \"%s\", "
                  "\"ns_per_op\": %.3f, \"gflops\": %.2f, "
-                 "\"items_per_s\": %.1f, \"threads\": %d}%s\n",
+                 "\"items_per_s\": %.1f, \"bytes_per_s\": %.1f, ",
                  r.op.c_str(), r.shape.c_str(), r.ns_per_op, r.gflops,
-                 r.items_per_s, r.threads, i + 1 < rows.size() ? "," : "");
+                 r.items_per_s, r.bytes_per_s);
+    if (r.transitions_per_record > 0.0) {
+      std::fprintf(f, "\"transitions_per_record\": %.3f, ",
+                   r.transitions_per_record);
+    }
+    std::fprintf(f, "\"threads\": %d}%s\n", r.threads,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

@@ -15,9 +15,9 @@
 // blocking UploadRecords call (one ECALL per record) vs the async
 // session API at several authentication batch sizes, plus
 // transitions-per-record rows showing the TransitionGuard
-// amortization.  (For the BM_ServeTransitionsPerRecord rows the
-// ns_per_op field carries the transition count per uploaded record,
-// not a time.)
+// amortization.  (BM_ServeTransitionsPerRecord rows report the
+// dimensionless ratio in their own transitions_per_record key;
+// ns_per_op / items_per_s on those rows are 0.)
 #include <cstdio>
 #include <future>
 #include <numeric>
@@ -114,10 +114,19 @@ void RunServeIngest(const data::LabeledDataset& dataset, std::uint64_t seed,
       std::to_string(batch);
   const std::string shape = "records=" + std::to_string(count);
   const int threads = static_cast<int>(util::Parallelism::threads());
-  rows.push_back({"BM_ServeIngest/" + variant, shape,
-                  seconds * 1e9 / static_cast<double>(count), 0.0, threads});
-  rows.push_back({"BM_ServeTransitionsPerRecord/" + variant, shape,
-                  per_record, 0.0, threads});
+  bench::JsonBenchRow ingest_row;
+  ingest_row.op = "BM_ServeIngest/" + variant;
+  ingest_row.shape = shape;
+  ingest_row.ns_per_op = seconds * 1e9 / static_cast<double>(count);
+  ingest_row.items_per_s = static_cast<double>(count) / seconds;
+  ingest_row.threads = threads;
+  rows.push_back(std::move(ingest_row));
+  bench::JsonBenchRow transition_row;
+  transition_row.op = "BM_ServeTransitionsPerRecord/" + variant;
+  transition_row.shape = shape;
+  transition_row.transitions_per_record = per_record;
+  transition_row.threads = threads;
+  rows.push_back(std::move(transition_row));
   std::printf("[serve] %-14s %6zu records in %6.1f ms  (%7.0f rec/s, "
               "%.3f transitions/record)\n",
               variant.c_str(), count, seconds * 1e3,

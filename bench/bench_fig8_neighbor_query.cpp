@@ -28,6 +28,20 @@ using namespace caltrain;
 
 namespace {
 
+// Explicit-field row construction: positional braced init silently put
+// the thread count into items_per_s when JsonBenchRow grew new fields.
+bench::JsonBenchRow LatencyRow(std::string op, std::string shape,
+                               double ns_per_op, int threads) {
+  bench::JsonBenchRow row;
+  row.op = std::move(op);
+  row.shape = std::move(shape);
+  row.ns_per_op = ns_per_op;
+  row.items_per_s = ns_per_op > 0.0 ? 1e9 / ns_per_op : 0.0;
+  row.threads = threads;
+  return row;
+}
+
+
 void RunCase(const char* title, bench::TrojanLab& lab,
              const nn::Image& probe) {
   const core::MispredictionReport report =
@@ -167,19 +181,19 @@ std::size_t RunLinkageSubstrate(const bench::BenchProfile& profile,
   std::printf("  element-wise mismatches vs serial: %zu%s\n", mismatches,
               mismatches == 0 ? " (identical)" : "  ** DIVERGED **");
 
-  rows.push_back({"BM_LinkageInsert", corpus_shape,
-                  1e6 * insert_serial_ms / dn, 0.0, 1});
-  rows.push_back({"BM_LinkageInsertBatch", corpus_shape,
-                  1e6 * insert_batch_ms / dn, 0.0,
-                  static_cast<int>(parallel_threads)});
-  rows.push_back({"BM_LinkageRebuildIndexes", corpus_shape,
-                  1e6 * rebuild_ms / dn, 0.0,
-                  static_cast<int>(parallel_threads)});
-  rows.push_back({"BM_LinkageQuery/k9", corpus_shape,
-                  1e6 * query_serial_ms / dq, 0.0, 1});
-  rows.push_back({"BM_LinkageQueryBatch/k9", corpus_shape,
-                  1e6 * query_batch_ms / dq, 0.0,
-                  static_cast<int>(parallel_threads)});
+  rows.push_back(LatencyRow("BM_LinkageInsert", corpus_shape,
+                            1e6 * insert_serial_ms / dn, 1));
+  rows.push_back(LatencyRow("BM_LinkageInsertBatch", corpus_shape,
+                            1e6 * insert_batch_ms / dn,
+                            static_cast<int>(parallel_threads)));
+  rows.push_back(LatencyRow("BM_LinkageRebuildIndexes", corpus_shape,
+                            1e6 * rebuild_ms / dn,
+                            static_cast<int>(parallel_threads)));
+  rows.push_back(LatencyRow("BM_LinkageQuery/k9", corpus_shape,
+                            1e6 * query_serial_ms / dq, 1));
+  rows.push_back(LatencyRow("BM_LinkageQueryBatch/k9", corpus_shape,
+                            1e6 * query_batch_ms / dq,
+                            static_cast<int>(parallel_threads)));
   return mismatches;
 }
 
@@ -277,13 +291,13 @@ int main(int argc, char** argv) {
 
   std::vector<bench::JsonBenchRow> rows;
   const double dprobes = static_cast<double>(probes.size());
-  rows.push_back({"BM_InvestigateBatch/k9",
-                  std::to_string(probes.size()) + "probes",
-                  1e6 * serial_ms / dprobes, 0.0, 1});
-  rows.push_back({"BM_InvestigateBatch/k9",
-                  std::to_string(probes.size()) + "probes",
-                  1e6 * parallel_ms / dprobes, 0.0,
-                  static_cast<int>(parallel_threads)});
+  rows.push_back(LatencyRow("BM_InvestigateBatch/k9",
+                            std::to_string(probes.size()) + "probes",
+                            1e6 * serial_ms / dprobes, 1));
+  rows.push_back(LatencyRow("BM_InvestigateBatch/k9",
+                            std::to_string(probes.size()) + "probes",
+                            1e6 * parallel_ms / dprobes,
+                            static_cast<int>(parallel_threads)));
   mismatches += RunLinkageSubstrate(profile, parallel_threads, rows);
 
   if (!json_path.empty()) {

@@ -15,6 +15,7 @@
 #include "crypto/drbg.hpp"
 #include "crypto/gcm.hpp"
 #include "crypto/group.hpp"
+#include "crypto/isa.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "enclave/attestation.hpp"
@@ -32,17 +33,53 @@
 namespace caltrain {
 namespace {
 
-void BM_Sha256(benchmark::State& state) {
+// The crypto benches run twice — forced-scalar and auto (best hardware
+// tier) — so BENCH_micro.json carries the before/after pair and the CI
+// gate (tools/check_bench_scaling.py) can assert the accelerated
+// kernels actually engage.  The `bytes` counter feeds the JSON shape
+// column; SetBytesProcessed feeds bytes_per_s.
+void BM_Sha256(benchmark::State& state, const char* tier) {
+  const crypto::ScopedIsaOverride isa(tier);
   const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
   for (auto _ : state) {
     benchmark::DoNotOptimize(crypto::Sha256Hash(data));
   }
+  state.counters["bytes"] = static_cast<double>(state.range(0));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK_CAPTURE(BM_Sha256, scalar, "scalar")->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK_CAPTURE(BM_Sha256, auto, "auto")->Arg(64)->Arg(4096)->Arg(65536);
 
-void BM_AesCtr(benchmark::State& state) {
+// Multi-buffer interface over 32 equal-length lanes (the ingest batch
+// shape: one content hash per record).
+void BM_Sha256Batch(benchmark::State& state, const char* tier) {
+  const crypto::ScopedIsaOverride isa(tier);
+  constexpr std::size_t kLanes = 32;
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const Bytes data(kLanes * len, 0xab);
+  std::vector<BytesView> inputs;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    inputs.emplace_back(data.data() + i * len, len);
+  }
+  std::vector<crypto::Sha256Digest> digests(kLanes);
+  for (auto _ : state) {
+    crypto::Sha256Batch(
+        std::span<const BytesView>(inputs.data(), inputs.size()),
+        digests.data());
+    benchmark::DoNotOptimize(digests.data());
+  }
+  state.counters["bytes"] = static_cast<double>(len);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLanes * len));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLanes));
+}
+BENCHMARK_CAPTURE(BM_Sha256Batch, scalar, "scalar")->Arg(4096);
+BENCHMARK_CAPTURE(BM_Sha256Batch, auto, "auto")->Arg(4096);
+
+void BM_AesCtr(benchmark::State& state, const char* tier) {
+  const crypto::ScopedIsaOverride isa(tier);
   const crypto::Aes aes(Bytes(16, 0x42));
   Bytes buffer(static_cast<std::size_t>(state.range(0)), 0x17);
   crypto::AesBlock counter{};
@@ -50,22 +87,45 @@ void BM_AesCtr(benchmark::State& state) {
     crypto::AesCtrXor(aes, counter, buffer, buffer.data());
     benchmark::DoNotOptimize(buffer.data());
   }
+  state.counters["bytes"] = static_cast<double>(state.range(0));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_AesCtr)->Arg(4096)->Arg(65536);
+BENCHMARK_CAPTURE(BM_AesCtr, scalar, "scalar")->Arg(4096)->Arg(65536);
+BENCHMARK_CAPTURE(BM_AesCtr, auto, "auto")->Arg(4096)->Arg(65536);
 
-void BM_AesGcmSeal(benchmark::State& state) {
+void BM_AesGcmSeal(benchmark::State& state, const char* tier) {
+  const crypto::ScopedIsaOverride isa(tier);
   const crypto::AesGcm gcm(Bytes(32, 0x42));
   const Bytes plaintext(static_cast<std::size_t>(state.range(0)), 0x17);
   const Bytes iv(12, 0x01);
   for (auto _ : state) {
     benchmark::DoNotOptimize(gcm.Seal(iv, {}, plaintext));
   }
+  state.counters["bytes"] = static_cast<double>(state.range(0));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_AesGcmSeal)->Arg(4096)->Arg(9408);  // 9408 = one 28x28x3 record
+// 9408 = one 28x28x3 record
+BENCHMARK_CAPTURE(BM_AesGcmSeal, scalar, "scalar")->Arg(4096)->Arg(9408);
+BENCHMARK_CAPTURE(BM_AesGcmSeal, auto, "auto")->Arg(4096)->Arg(9408);
+
+// The ingest-side direction (authenticate-then-decrypt).
+void BM_AesGcmOpen(benchmark::State& state, const char* tier) {
+  const crypto::ScopedIsaOverride isa(tier);
+  const crypto::AesGcm gcm(Bytes(32, 0x42));
+  const Bytes plaintext(static_cast<std::size_t>(state.range(0)), 0x17);
+  const Bytes iv(12, 0x01);
+  const crypto::GcmSealed sealed = gcm.Seal(iv, {}, plaintext);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.Open(iv, {}, sealed.ciphertext, sealed.tag));
+  }
+  state.counters["bytes"] = static_cast<double>(state.range(0));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK_CAPTURE(BM_AesGcmOpen, scalar, "scalar")->Arg(9408);
+BENCHMARK_CAPTURE(BM_AesGcmOpen, auto, "auto")->Arg(9408);
 
 void BM_DhHandshakeLeg(benchmark::State& state) {
   crypto::HmacDrbg drbg(BytesOf("bench"));
@@ -86,6 +146,60 @@ void BM_SchnorrSignVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchnorrSignVerify);
+
+// Serial per-record verification baseline for the batch below.  Both
+// use the ingest shape: one signing participant, n records.
+void BM_SchnorrVerifySerial(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg drbg(BytesOf("bench batch"));
+  const crypto::SchnorrKeyPair key = crypto::SchnorrGenerate(drbg);
+  std::vector<Bytes> messages;
+  std::vector<crypto::SchnorrSignature> sigs;
+  for (std::size_t i = 0; i < n; ++i) {
+    messages.push_back(drbg.Generate(64));
+    sigs.push_back(crypto::SchnorrSign(key, messages[i], drbg));
+  }
+  for (auto _ : state) {
+    bool all_ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      all_ok &= crypto::SchnorrVerify(key.public_value, messages[i],
+                                      sigs[i]);
+    }
+    benchmark::DoNotOptimize(all_ok);
+  }
+  state.counters["batch"] = static_cast<double>(n);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchnorrVerifySerial)->Arg(64);
+
+// Random-linear-combination aggregate check (the ingest path): one
+// g^{sum z_i s_i} == prod R_i^{z_i} * y^{sum z_i e_i} test for the
+// whole single-participant batch.
+void BM_SchnorrVerifyBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg drbg(BytesOf("bench batch"));
+  const crypto::SchnorrKeyPair key = crypto::SchnorrGenerate(drbg);
+  std::vector<Bytes> messages;
+  std::vector<crypto::SchnorrSignature> sigs;
+  for (std::size_t i = 0; i < n; ++i) {
+    messages.push_back(drbg.Generate(64));
+    sigs.push_back(crypto::SchnorrSign(key, messages[i], drbg));
+  }
+  std::vector<crypto::SchnorrBatchItem> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i].public_value = key.public_value;
+    items[i].message = BytesView(messages[i].data(), messages[i].size());
+    items[i].signature = sigs[i];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::SchnorrVerifyBatch(items));
+  }
+  state.counters["batch"] = static_cast<double>(n);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchnorrVerifyBatch)->Arg(64);
 
 void BM_EnclaveTransition(benchmark::State& state) {
   enclave::EnclaveConfig config;
@@ -136,6 +250,7 @@ void BM_RecordRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(reader.Unprotect(writer.Protect(payload)));
   }
+  state.counters["bytes"] = static_cast<double>(state.range(0));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
@@ -471,6 +586,7 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       const auto n = run.counters.find("n");
       const auto k = run.counters.find("k");
       const auto batch = run.counters.find("batch");
+      const auto bytes = run.counters.find("bytes");
       if (m != run.counters.end() && n != run.counters.end() &&
           k != run.counters.end()) {
         row.shape = std::to_string(static_cast<long long>(m->second.value)) +
@@ -482,6 +598,10 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
         row.shape =
             "batch" +
             std::to_string(static_cast<long long>(batch->second.value));
+      } else if (bytes != run.counters.end()) {
+        // Crypto / record ops: the operand is a byte buffer.
+        row.shape =
+            std::to_string(static_cast<long long>(bytes->second.value)) + "B";
       }
       // items_per_second is the op's own throughput unit (FLOP/s,
       // samples/s, queries/s) and is recorded as-is; only the GEMM
@@ -493,6 +613,10 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
         if (row.op.find("Gemm") != std::string::npos) {
           row.gflops = items->second.value / 1e9;
         }
+      }
+      const auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) {
+        row.bytes_per_s = bps->second.value;
       }
       const auto threads = run.counters.find("threads");
       row.threads = threads != run.counters.end()
@@ -521,10 +645,20 @@ int main(int argc, char** argv) {
   caltrain::JsonCapturingReporter reporter;
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
-  if (!json_path.empty() &&
-      !caltrain::bench::WriteBenchJson(json_path, reporter.rows())) {
-    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-    return 1;
+  if (!json_path.empty()) {
+    // Lead with an informational row recording which ISA tiers the
+    // "auto" crypto rows actually ran on (the scaling gate reads it to
+    // decide whether the >= 2x accelerated/scalar check is meaningful).
+    std::vector<caltrain::bench::JsonBenchRow> rows;
+    caltrain::bench::JsonBenchRow isa_row;
+    isa_row.op = "crypto_isa";
+    isa_row.shape = caltrain::crypto::ActiveIsaSummary();
+    rows.push_back(std::move(isa_row));
+    rows.insert(rows.end(), reporter.rows().begin(), reporter.rows().end());
+    if (!caltrain::bench::WriteBenchJson(json_path, rows)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include "securechannel/record.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/serial.hpp"
 
 namespace caltrain::core {
 
@@ -22,6 +23,7 @@ Participant::Participant(std::string id, data::LabeledDataset local_data,
       seed_(seed),
       drbg_(SeedBytes(seed), BytesOf(id_)) {
   data_key_ = drbg_.Generate(32);
+  signing_key_ = crypto::SchnorrGenerate(drbg_);
   data::AssignSource(local_data_, id_);
 }
 
@@ -38,16 +40,23 @@ void Participant::Provision(
     ThrowError(ErrorKind::kAuthFailure, "server rejected handshake");
   }
 
-  // 2. Provision the symmetric data key over the channel.
+  // 2. Provision the symmetric data key and the record-signing public
+  // key over the channel (length-prefixed pair; the server also still
+  // accepts a bare 16/32-byte key for sign-less clients).
+  ByteWriter provision;
+  provision.WriteBytes(data_key_);
+  const Bytes sign_pub = crypto::U128ToBytes(signing_key_.public_value);
+  provision.WriteBytes(sign_pub);
   securechannel::RecordWriter writer(handshake.keys().client_write_key);
-  if (!server.HandleKeyProvision(id_, writer.Protect(data_key_,
+  if (!server.HandleKeyProvision(id_, writer.Protect(provision.Take(),
                                                      BytesOf(id_)))) {
     ThrowError(ErrorKind::kAuthFailure, "key provisioning rejected");
   }
 }
 
 std::vector<data::EncryptedRecord> Participant::PackRecords() const {
-  data::DataPackager packager(id_, data_key_, seed_ ^ 0x9c0ffee);
+  data::DataPackager packager(id_, data_key_, seed_ ^ 0x9c0ffee,
+                              signing_key_);
   return packager.PackAll(local_data_);
 }
 

@@ -27,6 +27,11 @@ class Participant {
     return local_data_;
   }
   [[nodiscard]] BytesView data_key() const noexcept { return data_key_; }
+  /// Public half of the record-signing keypair provisioned alongside
+  /// the data key; the server batch-verifies upload signatures with it.
+  [[nodiscard]] crypto::U128 signing_public_key() const noexcept {
+    return signing_key_.public_value;
+  }
 
   /// Attested handshake + key provisioning only (no upload) — the
   /// entry point for clients that stream their records through the
@@ -67,6 +72,7 @@ class Participant {
   std::string id_;
   data::LabeledDataset local_data_;
   Bytes data_key_;
+  crypto::SchnorrKeyPair signing_key_;
   std::uint64_t seed_;
   crypto::HmacDrbg drbg_;
 };

@@ -85,13 +85,32 @@ bool TrainingServer::HandleKeyProvision(const std::string& participant_id,
   ParticipantState& state = StateOf(participant_id);
   if (state.reader == nullptr) return false;
   return training_enclave_->Ecall([&]() -> bool {
-    const auto key = state.reader->Unprotect(record, BytesOf(participant_id));
-    if (!key.has_value() || (key->size() != 16 && key->size() != 32)) {
-      return false;
+    const auto payload =
+        state.reader->Unprotect(record, BytesOf(participant_id));
+    if (!payload.has_value()) return false;
+    // Bare 16/32 bytes = legacy data-key-only provisioning; otherwise
+    // a length-prefixed (data key, signing public key) pair.
+    Bytes key;
+    crypto::U128 sign_pub = 0;
+    if (payload->size() == 16 || payload->size() == 32) {
+      key = *payload;
+    } else {
+      try {
+        ByteReader reader(BytesView(payload->data(), payload->size()));
+        key = reader.ReadBytes();
+        const Bytes sign_pub_bytes = reader.ReadBytes();
+        CALTRAIN_REQUIRE(reader.AtEnd(), "trailing provisioning bytes");
+        sign_pub = crypto::U128FromBytes(
+            BytesView(sign_pub_bytes.data(), sign_pub_bytes.size()));
+      } catch (const Error&) {
+        return false;
+      }
+      if (key.size() != 16 && key.size() != 32) return false;
+      if (sign_pub < 2 || sign_pub >= crypto::GroupPrime()) return false;
     }
     // Publish a fresh immutable snapshot; readers holding the old one
     // (e.g. ingest workers mid-batch) keep it alive via shared_ptr.
-    auto creds = std::make_shared<const Credentials>(*key);
+    auto creds = std::make_shared<const Credentials>(key, sign_pub);
     {
       std::unique_lock lock(participants_mu_);
       state.creds = std::move(creds);
@@ -126,16 +145,69 @@ std::vector<char> TrainingServer::AuthenticateRecords(
     // authenticates `last - first` records per transition instead of
     // paying the ~8k-cycle ECALL cost per record.
     const enclave::TransitionGuard transition(*training_enclave_);
+
+    // Stage 1: resolve credentials and collect the batch's signature
+    // checks.  Records from signing participants must carry a valid
+    // signature over their wire bytes; one aggregated SchnorrVerifyBatch
+    // replaces a full verification per record.
+    std::vector<std::size_t> candidate;  // records with credentials
+    // Parallel to candidate; shared_ptr copies keep each snapshot alive
+    // across the batch even if the participant re-provisions mid-flight.
+    std::vector<std::shared_ptr<const Credentials>> cred_of;
+    std::vector<Bytes> signed_bytes;          // keeps messages alive
+    std::vector<crypto::SchnorrBatchItem> sig_items;
+    std::vector<std::size_t> sig_record;  // candidate index per sig item
     for (std::size_t i = first; i < last; ++i) {
       if (creds_id == nullptr || records[i].participant_id != *creds_id) {
         creds = CredentialsOf(records[i].participant_id);
         creds_id = &records[i].participant_id;
       }
       if (creds == nullptr) continue;  // unregistered source
-      // Full authenticity + integrity check; the plaintext is discarded
-      // here — training re-decrypts per batch inside the enclave.
-      accepted[i] =
-          data::OpenRecord(records[i], creds->cipher).has_value() ? 1 : 0;
+      if (creds->sign_pub != 0) {
+        if (records[i].signature.size() != 32) continue;  // missing/mangled
+        signed_bytes.push_back(records[i].SignedPortion());
+        sig_record.push_back(candidate.size());
+      }
+      candidate.push_back(i);
+      cred_of.push_back(creds);
+    }
+    // signed_bytes stops reallocating here, so views into it are stable.
+    std::vector<char> sig_ok(candidate.size(), 1);
+    for (std::size_t k = 0; k < sig_record.size(); ++k) {
+      const std::size_t i = candidate[sig_record[k]];
+      crypto::SchnorrBatchItem item;
+      item.public_value = cred_of[sig_record[k]]->sign_pub;
+      item.message = BytesView(signed_bytes[k].data(), signed_bytes[k].size());
+      item.signature = crypto::DeserializeSignature(
+          BytesView(records[i].signature.data(), records[i].signature.size()));
+      sig_items.push_back(item);
+    }
+    if (!sig_items.empty()) {
+      for (const std::size_t bad : crypto::SchnorrVerifyBatch(
+               std::span<const crypto::SchnorrBatchItem>(sig_items))) {
+        sig_ok[sig_record[bad]] = 0;
+      }
+    }
+
+    // Stage 2: GCM-open the signature survivors in one batch (shared
+    // multi-buffer SHA-256 for the content hashes).  The plaintexts are
+    // discarded — training re-decrypts per batch inside the enclave.
+    std::vector<const data::EncryptedRecord*> to_open;
+    std::vector<const crypto::AesGcm*> open_ciphers;
+    std::vector<std::size_t> open_record;
+    for (std::size_t c = 0; c < candidate.size(); ++c) {
+      if (sig_ok[c] == 0) continue;
+      to_open.push_back(&records[candidate[c]]);
+      open_ciphers.push_back(&cred_of[c]->cipher);
+      open_record.push_back(candidate[c]);
+    }
+    const auto opened = data::OpenRecordsBatch(
+        std::span<const data::EncryptedRecord* const>(to_open.data(),
+                                                      to_open.size()),
+        std::span<const crypto::AesGcm* const>(open_ciphers.data(),
+                                               open_ciphers.size()));
+    for (std::size_t k = 0; k < opened.size(); ++k) {
+      accepted[open_record[k]] = opened[k].has_value() ? 1 : 0;
     }
   }
   return accepted;

@@ -185,10 +185,14 @@ class TrainingServer {
   /// participant re-provisions (which swaps in a *new* Credentials
   /// object instead of mutating this one).
   struct Credentials {
-    explicit Credentials(Bytes key)
-        : data_key(std::move(key)), cipher(data_key) {}
+    explicit Credentials(Bytes key, crypto::U128 signing_pub = 0)
+        : data_key(std::move(key)), cipher(data_key), sign_pub(signing_pub) {}
     Bytes data_key;         ///< provisioned symmetric key (enclave-held)
     crypto::AesGcm cipher;  ///< cached key schedule
+    /// Record-signing public key; 0 when the participant provisioned
+    /// only a data key, in which case upload signatures are not
+    /// required and authentication rests on the GCM tag alone.
+    crypto::U128 sign_pub = 0;
   };
 
   struct ParticipantState {

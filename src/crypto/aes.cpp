@@ -1,7 +1,12 @@
 #include "crypto/aes.hpp"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 #include <cstring>
 
+#include "crypto/isa.hpp"
 #include "util/error.hpp"
 
 namespace caltrain::crypto {
@@ -98,6 +103,11 @@ Aes::Aes(BytesView key) {
     round_keys_[static_cast<std::size_t>(i)] =
         round_keys_[static_cast<std::size_t>(i - nk)] ^ temp;
   }
+  // Byte form of the same schedule for the hardware CTR kernels.
+  for (int i = 0; i < total_words; ++i) {
+    StoreBe32(round_key_bytes_.data() + 4 * static_cast<std::size_t>(i),
+              round_keys_[static_cast<std::size_t>(i)]);
+  }
 }
 
 void Aes::EncryptBlock(const std::uint8_t* in,
@@ -146,11 +156,38 @@ void Aes::EncryptBlock(const std::uint8_t* in,
   StoreBe32(out + 12, o3);
 }
 
+// AES-NI / VAES counter-mode kernels (x86 only; no-op include elsewhere).
+#include "crypto/aes_kernels.inc"
+
 void AesCtrXor(const Aes& aes, const AesBlock& counter_block, BytesView in,
                std::uint8_t* out) noexcept {
   AesBlock counter = counter_block;
-  AesBlock keystream{};
   std::size_t offset = 0;
+
+#if defined(__x86_64__) || defined(__i386__)
+  // Hardware fast path: whole 16-byte blocks only; the tail (and any
+  // input shorter than 4 blocks, where kernel setup costs more than it
+  // saves) stays on the scalar loop below with the counter advanced to
+  // where the kernel stopped.
+  const std::size_t full_blocks = in.size() / kAesBlockSize;
+  const AesImpl impl = ActiveDispatch().aes;
+  if (impl != AesImpl::kScalar && full_blocks >= 4) {
+    if (impl == AesImpl::kVaes) {
+      kernels::AesCtrBlocksVaes(aes.round_key_bytes(), aes.rounds(),
+                                counter.data(), in.data(), out, full_blocks);
+    } else {
+      kernels::AesCtrBlocksAesni(aes.round_key_bytes(), aes.rounds(),
+                                 counter.data(), in.data(), out, full_blocks);
+    }
+    offset = full_blocks * kAesBlockSize;
+    // Low-32-bit big-endian wrap, exactly as the per-block increment.
+    const std::uint32_t ctr = LoadBe32(counter.data() + 12);
+    StoreBe32(counter.data() + 12,
+              ctr + static_cast<std::uint32_t>(full_blocks));
+  }
+#endif
+
+  AesBlock keystream{};
   while (offset < in.size()) {
     aes.EncryptBlock(counter.data(), keystream.data());
     const std::size_t take = std::min(in.size() - offset, kAesBlockSize);

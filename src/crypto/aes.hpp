@@ -7,6 +7,13 @@
 // Encrypt-only T-table implementation: CTR and GCM never need the
 // inverse cipher.  Not hardened against cache-timing side channels —
 // the paper explicitly scopes side channels out (Sec. III).
+//
+// Bulk AES-CTR dispatches at runtime to AES-NI (4 counter lanes) or
+// VAES (8 lanes in 256-bit registers) when the CPU supports them — see
+// crypto/isa.hpp for tier selection and the CALTRAIN_CRYPTO_ISA
+// override.  The hardware paths consume the same scalar key schedule
+// (pre-serialised to byte form) and are byte-identical to the scalar
+// loop for every input.
 #pragma once
 
 #include <array>
@@ -30,8 +37,17 @@ class Aes {
 
   [[nodiscard]] int rounds() const noexcept { return rounds_; }
 
+  /// The expanded key in byte form: (rounds()+1) consecutive 16-byte
+  /// round keys, exactly the bytes AddRoundKey XORs into the state.
+  /// This is what the AES-NI/VAES kernels consume, so hardware and
+  /// scalar paths share one key schedule by construction.
+  [[nodiscard]] const std::uint8_t* round_key_bytes() const noexcept {
+    return round_key_bytes_.data();
+  }
+
  private:
   std::array<std::uint32_t, 60> round_keys_{};
+  std::array<std::uint8_t, 240> round_key_bytes_{};
   int rounds_ = 0;
 };
 

@@ -1,7 +1,12 @@
 #include "crypto/gcm.hpp"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 #include <cstring>
 
+#include "crypto/isa.hpp"
 #include "util/error.hpp"
 
 namespace caltrain::crypto {
@@ -46,7 +51,20 @@ AesGcm::AesGcm(BytesView key) : aes_(key) {
           GhashMultiplySlow(x);
     }
   }
+
+  // H^1..H^4 for the PCLMUL aggregated-reduction kernel, each stored
+  // as the big-endian block bytes the kernel loads.
+  U128 hp = h_;
+  for (int power = 0; power < 4; ++power) {
+    StoreBe64(h_powers_.data() + 16 * static_cast<std::size_t>(power), hp.hi);
+    StoreBe64(h_powers_.data() + 16 * static_cast<std::size_t>(power) + 8,
+              hp.lo);
+    hp = GhashMultiplySlow(hp);  // *H: next power
+  }
 }
+
+// PCLMUL GHASH kernel (x86 only; no-op include elsewhere).
+#include "crypto/ghash_kernels.inc"
 
 AesGcm::U128 AesGcm::GhashMultiply(U128 x) const noexcept {
   U128 z{};
@@ -95,6 +113,21 @@ std::array<std::uint8_t, kGcmTagSize> AesGcm::ComputeTag(
   U128 y{};
   const auto absorb = [&](BytesView data) noexcept {
     std::size_t offset = 0;
+#if defined(__x86_64__) || defined(__i386__)
+    // Bulk full blocks go through the PCLMUL kernel; the zero-padded
+    // tail block (if any) falls through to the scalar loop below.
+    const std::size_t full_blocks = data.size() / kAesBlockSize;
+    if (ActiveDispatch().ghash == GhashImpl::kPclmul && full_blocks > 0) {
+      AesBlock y_bytes{};
+      StoreBe64(y_bytes.data(), y.hi);
+      StoreBe64(y_bytes.data() + 8, y.lo);
+      kernels::GhashBlocksPclmul(h_powers_.data(), y_bytes.data(),
+                                 data.data(), full_blocks);
+      y.hi = LoadBe64(y_bytes.data());
+      y.lo = LoadBe64(y_bytes.data() + 8);
+      offset = full_blocks * kAesBlockSize;
+    }
+#endif
     while (offset < data.size()) {
       AesBlock block{};
       const std::size_t take = std::min(data.size() - offset, kAesBlockSize);

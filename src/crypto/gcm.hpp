@@ -59,6 +59,10 @@ class AesGcm {
   // nibble_table_[pos][nibble] = (nibble placed at 4-bit chunk `pos`,
   // counted from the most significant chunk) * H.
   std::array<std::array<U128, 16>, 32> nibble_table_{};
+  // H^1..H^4 as big-endian 16-byte blocks, derived from the bitwise
+  // reference multiply — consumed by the PCLMUL kernel's 4-block
+  // aggregated reduction (see ghash_kernels.inc / crypto/isa.hpp).
+  std::array<std::uint8_t, 64> h_powers_{};
 };
 
 }  // namespace caltrain::crypto

@@ -4,7 +4,41 @@
 
 namespace caltrain::crypto {
 
-U128 GroupPrime() noexcept { return (U128{1} << 127) - 1; }
+namespace {
+
+constexpr U128 kMersenne127 = (U128{1} << 127) - 1;
+
+/// 254-bit product of two values < 2^127, folded mod p = 2^127 - 1.
+/// The four 64x64->128 limb products give the product as hi*2^128 + lo;
+/// since 2^128 = 2 (mod p) the high half folds in with a single shift,
+/// and one more fold of bit 127 lands the result in [0, 2^127).
+U128 MulModMersenne127(U128 a, U128 b) noexcept {
+  const std::uint64_t a0 = static_cast<std::uint64_t>(a);
+  const std::uint64_t a1 = static_cast<std::uint64_t>(a >> 64);
+  const std::uint64_t b0 = static_cast<std::uint64_t>(b);
+  const std::uint64_t b1 = static_cast<std::uint64_t>(b >> 64);
+
+  const U128 p00 = static_cast<U128>(a0) * b0;
+  const U128 p01 = static_cast<U128>(a0) * b1;
+  const U128 p10 = static_cast<U128>(a1) * b0;
+  const U128 p11 = static_cast<U128>(a1) * b1;
+
+  const U128 mid = p01 + p10;
+  U128 hi = p11 + (mid >> 64);
+  if (mid < p01) hi += U128{1} << 64;  // carry out of the mid sum
+  const U128 lo = p00 + (mid << 64);
+  if (lo < p00) ++hi;
+
+  // a, b < 2^127 so hi < 2^126 and hi << 1 cannot overflow.
+  U128 r = (lo & kMersenne127) + (lo >> 127) + (hi << 1);
+  r = (r & kMersenne127) + (r >> 127);
+  if (r >= kMersenne127) r -= kMersenne127;
+  return r;
+}
+
+}  // namespace
+
+U128 GroupPrime() noexcept { return kMersenne127; }
 
 U128 GroupGenerator() noexcept { return 7; }
 
@@ -15,6 +49,7 @@ U128 AddMod(U128 a, U128 b, U128 m) noexcept {
 }
 
 U128 MulMod(U128 a, U128 b, U128 m) noexcept {
+  if (m == kMersenne127) return MulModMersenne127(a % m, b % m);
   U128 result = 0;
   a %= m;
   while (b != 0) {

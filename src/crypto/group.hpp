@@ -29,7 +29,9 @@ using U128 = unsigned __int128;
 /// (a + b) mod m.  Both inputs must already be < m.
 [[nodiscard]] U128 AddMod(U128 a, U128 b, U128 m) noexcept;
 
-/// (a * b) mod m via double-and-add; works for any m < 2^127.
+/// (a * b) mod m.  For m = 2^127 - 1 this takes a Mersenne fast path
+/// (four 64x64 limb products + shift folds, no loop); any other modulus
+/// falls back to bitwise double-and-add.
 [[nodiscard]] U128 MulMod(U128 a, U128 b, U128 m) noexcept;
 
 /// (base ^ exp) mod m via square-and-multiply.

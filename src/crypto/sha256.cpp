@@ -1,6 +1,12 @@
 #include "crypto/sha256.hpp"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 #include <cstring>
+
+#include "crypto/isa.hpp"
 
 namespace caltrain::crypto {
 
@@ -23,12 +29,21 @@ constexpr std::uint32_t Rotr(std::uint32_t x, int n) noexcept {
   return (x >> n) | (x << (32 - n));
 }
 
+constexpr std::array<std::uint32_t, 8> kSha256Iv = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
 }  // namespace
 
-Sha256::Sha256() noexcept {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
-}
+// SHA-NI / SSSE3 / AVX2 multi-buffer kernels (x86 only; no-op include
+// elsewhere).  Included here so the kernels see kRoundConstants/Rotr.
+#include "crypto/sha256_kernels.inc"
+
+Sha256::Sha256() noexcept { state_ = kSha256Iv; }
+
+Sha256::Sha256(const std::array<std::uint32_t, 8>& state,
+               std::uint64_t total_bytes) noexcept
+    : state_(state), total_bytes_(total_bytes) {}
 
 void Sha256::ProcessBlock(const std::uint8_t* block) noexcept {
   std::array<std::uint32_t, 64> w{};
@@ -71,6 +86,23 @@ void Sha256::ProcessBlock(const std::uint8_t* block) noexcept {
   state_[7] += h;
 }
 
+void Sha256::ProcessBlocks(const std::uint8_t* data,
+                           std::size_t nblocks) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (ActiveDispatch().sha256) {
+    case Sha256Impl::kShani:
+      kernels::Sha256BlocksShani(state_.data(), data, nblocks);
+      return;
+    case Sha256Impl::kSsse3:
+      kernels::Sha256BlocksSsse3(state_.data(), data, nblocks);
+      return;
+    case Sha256Impl::kScalar:
+      break;
+  }
+#endif
+  for (std::size_t b = 0; b < nblocks; ++b) ProcessBlock(data + 64 * b);
+}
+
 void Sha256::Update(BytesView data) noexcept {
   total_bytes_ += data.size();
   std::size_t offset = 0;
@@ -80,13 +112,14 @@ void Sha256::Update(BytesView data) noexcept {
     buffered_ += take;
     offset += take;
     if (buffered_ == 64) {
-      ProcessBlock(buffer_.data());
+      ProcessBlocks(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    ProcessBlock(data.data() + offset);
-    offset += 64;
+  const std::size_t bulk_blocks = (data.size() - offset) / 64;
+  if (bulk_blocks > 0) {
+    ProcessBlocks(data.data() + offset, bulk_blocks);
+    offset += bulk_blocks * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -113,6 +146,43 @@ Sha256Digest Sha256Hash(BytesView data) noexcept {
   Sha256 hasher;
   hasher.Update(data);
   return hasher.Finish();
+}
+
+void Sha256Batch(std::span<const BytesView> inputs,
+                 Sha256Digest* digests) noexcept {
+  std::size_t i = 0;
+#if defined(__x86_64__) || defined(__i386__)
+  const CryptoDispatch& dispatch = ActiveDispatch();
+  if (dispatch.sha256_mb && dispatch.sha256 != Sha256Impl::kShani) {
+    for (; i + 8 <= inputs.size(); i += 8) {
+      // Compress the blocks all eight lanes share in SIMD, then let
+      // each lane finish its tail + padding on the portable path from
+      // the injected state.  Ingest batches have equal-sized records,
+      // so "common" is normally everything but the padding block.
+      std::size_t common_blocks = inputs[i].size() / 64;
+      for (int lane = 1; lane < 8; ++lane) {
+        common_blocks = std::min(common_blocks, inputs[i + lane].size() / 64);
+      }
+      std::uint32_t states[8][8];
+      const std::uint8_t* lanes[8];
+      for (int lane = 0; lane < 8; ++lane) {
+        std::memcpy(states[lane], kSha256Iv.data(), sizeof(states[lane]));
+        lanes[lane] = inputs[i + lane].data();
+      }
+      if (common_blocks > 0) {
+        kernels::Sha256Multi8Avx2(states, lanes, common_blocks);
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        std::array<std::uint32_t, 8> state;
+        std::memcpy(state.data(), states[lane], sizeof(states[lane]));
+        Sha256 hasher(state, common_blocks * 64);
+        hasher.Update(inputs[i + lane].subspan(common_blocks * 64));
+        digests[i + lane] = hasher.Finish();
+      }
+    }
+  }
+#endif
+  for (; i < inputs.size(); ++i) digests[i] = Sha256Hash(inputs[i]);
 }
 
 Bytes ToBytes(const Sha256Digest& digest) {

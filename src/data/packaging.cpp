@@ -22,7 +22,7 @@ Bytes SeedBytes(std::uint64_t seed) {
 
 }  // namespace
 
-Bytes EncryptedRecord::Serialize() const {
+Bytes EncryptedRecord::SignedPortion() const {
   ByteWriter writer;
   writer.WriteString(participant_id);
   writer.WriteU32(static_cast<std::uint32_t>(label));
@@ -30,6 +30,14 @@ Bytes EncryptedRecord::Serialize() const {
   writer.WriteBytes(ciphertext);
   writer.WriteBytes(tag);
   return writer.Take();
+}
+
+Bytes EncryptedRecord::Serialize() const {
+  Bytes out = SignedPortion();
+  ByteWriter writer;
+  writer.WriteBytes(signature);
+  Append(out, writer.Take());
+  return out;
 }
 
 EncryptedRecord EncryptedRecord::Deserialize(BytesView blob) {
@@ -40,6 +48,7 @@ EncryptedRecord EncryptedRecord::Deserialize(BytesView blob) {
   record.iv = reader.ReadBytes();
   record.ciphertext = reader.ReadBytes();
   record.tag = reader.ReadBytes();
+  record.signature = reader.ReadBytes();
   CALTRAIN_REQUIRE(reader.AtEnd(), "trailing bytes in encrypted record");
   return record;
 }
@@ -73,10 +82,12 @@ crypto::Sha256Digest HashTrainingInstance(const nn::Image& image, int label) {
 }
 
 DataPackager::DataPackager(std::string participant_id, BytesView key,
-                           std::uint64_t nonce_seed)
+                           std::uint64_t nonce_seed,
+                           std::optional<crypto::SchnorrKeyPair> signing_key)
     : participant_id_(std::move(participant_id)),
       cipher_(key),
-      nonce_drbg_(SeedBytes(nonce_seed), BytesOf(participant_id_)) {}
+      nonce_drbg_(SeedBytes(nonce_seed), BytesOf(participant_id_)),
+      signing_key_(signing_key) {}
 
 EncryptedRecord DataPackager::Pack(const nn::Image& image, int label) {
   EncryptedRecord record;
@@ -88,6 +99,12 @@ EncryptedRecord DataPackager::Pack(const nn::Image& image, int label) {
       cipher_.Seal(record.iv, RecordAad(participant_id_, label), plaintext);
   record.ciphertext = sealed.ciphertext;
   record.tag.assign(sealed.tag.begin(), sealed.tag.end());
+  if (signing_key_.has_value()) {
+    const Bytes covered = record.SignedPortion();
+    record.signature = crypto::SerializeSignature(crypto::SchnorrSign(
+        *signing_key_, BytesView(covered.data(), covered.size()),
+        nonce_drbg_));
+  }
   return record;
 }
 
@@ -123,7 +140,9 @@ std::optional<VerifiedRecord> OpenRecord(const EncryptedRecord& record,
     auto [image, label] = DeserializeTrainingInstance(*plaintext);
     if (label != record.label) return std::nullopt;  // inner/outer mismatch
     VerifiedRecord verified;
-    verified.content_hash = HashTrainingInstance(image, label);
+    // The plaintext IS the canonical instance serialization, so hashing
+    // it directly equals HashTrainingInstance without re-serializing.
+    verified.content_hash = crypto::Sha256Hash(*plaintext);
     verified.image = std::move(image);
     verified.label = label;
     verified.participant_id = record.participant_id;
@@ -131,6 +150,61 @@ std::optional<VerifiedRecord> OpenRecord(const EncryptedRecord& record,
   } catch (const Error&) {
     return std::nullopt;
   }
+}
+
+std::vector<std::optional<VerifiedRecord>> OpenRecordsBatch(
+    std::span<const EncryptedRecord* const> records,
+    std::span<const crypto::AesGcm* const> ciphers) {
+  CALTRAIN_REQUIRE(records.size() == ciphers.size(),
+                   "record/cipher count mismatch in batch open");
+  std::vector<std::optional<VerifiedRecord>> results(records.size());
+
+  // Pass 1: GCM-open and structurally validate each record, keeping the
+  // plaintexts of the survivors for the hash batch.
+  std::vector<Bytes> plaintexts(records.size());
+  std::vector<BytesView> to_hash;
+  std::vector<std::size_t> hash_index;
+  to_hash.reserve(records.size());
+  hash_index.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EncryptedRecord& record = *records[i];
+    if (record.iv.size() != crypto::kGcmIvSize ||
+        record.tag.size() != crypto::kGcmTagSize) {
+      continue;
+    }
+    std::array<std::uint8_t, crypto::kGcmTagSize> tag{};
+    std::copy(record.tag.begin(), record.tag.end(), tag.begin());
+    auto plaintext = ciphers[i]->Open(
+        record.iv, RecordAad(record.participant_id, record.label),
+        record.ciphertext, tag);
+    if (!plaintext.has_value()) continue;
+    try {
+      auto [image, label] = DeserializeTrainingInstance(*plaintext);
+      if (label != record.label) continue;  // inner/outer mismatch
+      VerifiedRecord verified;
+      verified.image = std::move(image);
+      verified.label = label;
+      verified.participant_id = record.participant_id;
+      results[i] = std::move(verified);
+      plaintexts[i] = std::move(*plaintext);
+      to_hash.emplace_back(plaintexts[i].data(), plaintexts[i].size());
+      hash_index.push_back(i);
+    } catch (const Error&) {
+      // malformed inner blob: rejected
+    }
+  }
+
+  // Pass 2: all content hashes in one multi-buffer sweep.
+  if (!to_hash.empty()) {
+    std::vector<crypto::Sha256Digest> digests(to_hash.size());
+    crypto::Sha256Batch(
+        std::span<const BytesView>(to_hash.data(), to_hash.size()),
+        digests.data());
+    for (std::size_t k = 0; k < hash_index.size(); ++k) {
+      results[hash_index[k]]->content_hash = digests[k];
+    }
+  }
+  return results;
 }
 
 }  // namespace caltrain::data

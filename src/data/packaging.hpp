@@ -15,6 +15,7 @@
 
 #include "crypto/drbg.hpp"
 #include "crypto/gcm.hpp"
+#include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "data/dataset.hpp"
 #include "nn/tensor.hpp"
@@ -28,6 +29,15 @@ struct EncryptedRecord {
   Bytes iv;                    ///< 12-byte GCM nonce
   Bytes ciphertext;            ///< encrypted serialized image
   Bytes tag;                   ///< 16-byte GCM tag
+  /// Optional 32-byte Schnorr signature over SignedPortion(), made with
+  /// the participant's provisioned signing key.  Empty for participants
+  /// that provision only a data key (legacy flow); the server then
+  /// authenticates via the GCM tag alone.
+  Bytes signature;
+
+  /// The bytes the upload signature covers: every field except the
+  /// signature itself, in Serialize() order.
+  [[nodiscard]] Bytes SignedPortion() const;
 
   [[nodiscard]] Bytes Serialize() const;
   [[nodiscard]] static EncryptedRecord Deserialize(BytesView blob);
@@ -53,10 +63,15 @@ struct VerifiedRecord {
                                                         int label);
 
 /// Participant-side packer: one per participant, bound to its key.
+/// With a signing key attached, every packed record also carries a
+/// Schnorr signature over its wire bytes, which the server verifies in
+/// aggregated batches (crypto::SchnorrVerifyBatch) on the ingest path.
 class DataPackager {
  public:
   DataPackager(std::string participant_id, BytesView key,
-               std::uint64_t nonce_seed);
+               std::uint64_t nonce_seed,
+               std::optional<crypto::SchnorrKeyPair> signing_key =
+                   std::nullopt);
 
   [[nodiscard]] EncryptedRecord Pack(const nn::Image& image, int label);
 
@@ -72,6 +87,7 @@ class DataPackager {
   std::string participant_id_;
   crypto::AesGcm cipher_;
   crypto::HmacDrbg nonce_drbg_;
+  std::optional<crypto::SchnorrKeyPair> signing_key_;
 };
 
 /// Enclave-side opener: verifies authenticity/integrity with the
@@ -86,5 +102,14 @@ class DataPackager {
 /// schedule and GHASH tables per record on hot paths).
 [[nodiscard]] std::optional<VerifiedRecord> OpenRecord(
     const EncryptedRecord& record, const crypto::AesGcm& cipher);
+
+/// Batch form of OpenRecord for the ingest path: GCM-opens every
+/// record (records[i] with ciphers[i]) and computes the linkage
+/// content hashes with the multi-buffer SHA-256 engine instead of one
+/// hash per record.  results[i] is nullopt exactly where
+/// OpenRecord(records[i], ciphers[i]) would reject.
+[[nodiscard]] std::vector<std::optional<VerifiedRecord>> OpenRecordsBatch(
+    std::span<const EncryptedRecord* const> records,
+    std::span<const crypto::AesGcm* const> ciphers);
 
 }  // namespace caltrain::data

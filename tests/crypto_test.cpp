@@ -3,11 +3,14 @@
 // checked for algebraic correctness and tamper rejection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "crypto/aes.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/gcm.hpp"
 #include "crypto/group.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/isa.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "util/error.hpp"
@@ -342,6 +345,310 @@ TEST(SchnorrTest, SerializationRoundTrip) {
   EXPECT_EQ(back.commitment, sig.commitment);
   EXPECT_EQ(back.response, sig.response);
   EXPECT_TRUE(SchnorrVerify(key.public_value, msg, back));
+}
+
+// ---- runtime ISA dispatch & hardware-kernel bit-compatibility --------
+
+// Every tier name the env override accepts; ScopedIsaOverride clamps to
+// hardware support, so on machines without an extension the forced tier
+// degrades to the best available one and the KATs still must hold.
+const char* const kIsaTiers[] = {"scalar", "aesni", "vaes", "auto"};
+
+TEST(IsaTest, KatsHoldUnderEveryTier) {
+  for (const char* tier : kIsaTiers) {
+    SCOPED_TRACE(tier);
+    ScopedIsaOverride isa(tier);
+
+    // FIPS 180-4 SHA-256.
+    EXPECT_EQ(DigestHex(Sha256Hash(BytesOf("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f200"
+              "15ad");
+
+    // RFC 4231 HMAC-SHA-256 case 2.
+    EXPECT_EQ(ToHex(ToBytes(HmacSha256(BytesOf("Jefe"),
+                                       BytesOf("what do ya want "
+                                               "for nothing?")))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec"
+              "3843");
+
+    // SP 800-38A F.5.1 AES-128-CTR, all four blocks in one call.
+    const Aes ctr_aes(FromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    AesBlock counter{};
+    const Bytes counter_bytes = FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+    std::copy(counter_bytes.begin(), counter_bytes.end(), counter.begin());
+    const Bytes ctr_pt = FromHex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+        "30c81c46a35ce411e5fbc1191a0a52ef"
+        "f69f2445df4f9b17ad2b417be66c3710");
+    Bytes ctr_ct(ctr_pt.size());
+    AesCtrXor(ctr_aes, counter, ctr_pt, ctr_ct.data());
+    EXPECT_EQ(ToHex(ctr_ct),
+              "874d6191b620e3261bef6864990db6ce"
+              "9806f66b7970fdff8617187bb9fffdff"
+              "5ae4df3edbd5d35e5b4f09020db03eab"
+              "1e031dda2fbe03d1792170a0f3009cee");
+
+    // NIST GCM test case 4 (AES-128, 60-byte plaintext, 20-byte AAD).
+    const AesGcm gcm(FromHex("feffe9928665731c6d6a8f9467308308"));
+    const Bytes iv = FromHex("cafebabefacedbaddecaf888");
+    const Bytes aad = FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+    const Bytes pt = FromHex(
+        "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+    const GcmSealed sealed = gcm.Seal(iv, aad, pt);
+    EXPECT_EQ(ToHex(sealed.ciphertext),
+              "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329ac"
+              "a12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091");
+    EXPECT_EQ(ToHex(BytesView(sealed.tag.data(), sealed.tag.size())),
+              "5bc94fbc3221a5db94fae95ae7121a47");
+    EXPECT_TRUE(gcm.Open(iv, aad, sealed.ciphertext, sealed.tag).has_value());
+
+    // Auth failure: a flipped tag bit must reject under every tier.
+    auto bad_tag = sealed.tag;
+    bad_tag[0] ^= 1;
+    EXPECT_FALSE(gcm.Open(iv, aad, sealed.ciphertext, bad_tag).has_value());
+    // Tag truncation (attacker zero-pads a shortened tag) must reject.
+    auto truncated_tag = sealed.tag;
+    std::fill(truncated_tag.begin() + 8, truncated_tag.end(),
+              std::uint8_t{0});
+    EXPECT_FALSE(
+        gcm.Open(iv, aad, sealed.ciphertext, truncated_tag).has_value());
+  }
+}
+
+// Deterministic fuzz buffer shared by the parity sweeps.
+Bytes ParityMaterial(std::size_t n) {
+  HmacDrbg drbg(BytesOf("isa parity sweep"));
+  return drbg.Generate(n);
+}
+
+// Lengths that hit every kernel boundary: sub-block tails, exact lane
+// widths (4x16 AES-NI, 8x16 VAES, 4x16 GHASH aggregate, 64B SHA block),
+// one-off-each-side, and bulk sizes up to 64 KiB.
+const std::size_t kParityLengths[] = {
+    0,  1,  15,  16,  17,  31,  32,  63,   64,   65,   127,  128,   129,
+    191, 192, 255, 256, 257, 960, 1024, 4096, 8191, 16384, 65536};
+
+TEST(IsaTest, AesCtrParityScalarVsAccelerated) {
+  const Bytes material = ParityMaterial(65536 + 64);
+  const Aes aes(FromHex("603deb1015ca71be2b73aef0857d7781"
+                        "1f352c073b6108d72d9810a30914dff4"));
+  AesBlock counter{};
+  counter[15] = 0xfd;  // near 32-bit wrap after a few blocks
+  counter[14] = 0xff;
+  counter[13] = 0xff;
+  counter[12] = 0xff;
+  for (const std::size_t len : kParityLengths) {
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{3}}) {
+      const BytesView in(material.data() + offset, len);
+      Bytes expect(len);
+      {
+        ScopedIsaOverride isa("scalar");
+        AesCtrXor(aes, counter, in, expect.data());
+      }
+      for (const char* tier : {"aesni", "vaes", "auto"}) {
+        SCOPED_TRACE(testing::Message()
+                     << tier << " len=" << len << " off=" << offset);
+        ScopedIsaOverride isa(tier);
+        Bytes got(len);
+        AesCtrXor(aes, counter, in, got.data());
+        EXPECT_EQ(got, expect);
+      }
+    }
+  }
+}
+
+TEST(IsaTest, GcmParityScalarVsAccelerated) {
+  const Bytes material = ParityMaterial(65536 + 64);
+  const AesGcm gcm(FromHex("feffe9928665731c6d6a8f9467308308"
+                           "feffe9928665731c6d6a8f9467308308"));
+  const Bytes iv = FromHex("cafebabefacedbaddecaf888");
+  const Bytes aad = BytesOf("parity sweep aad");
+  for (const std::size_t len : kParityLengths) {
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{5}}) {
+      const BytesView pt(material.data() + offset, len);
+      GcmSealed expect;
+      {
+        ScopedIsaOverride isa("scalar");
+        expect = gcm.Seal(iv, aad, pt);
+      }
+      for (const char* tier : {"aesni", "vaes", "auto"}) {
+        SCOPED_TRACE(testing::Message()
+                     << tier << " len=" << len << " off=" << offset);
+        ScopedIsaOverride isa(tier);
+        const GcmSealed got = gcm.Seal(iv, aad, pt);
+        EXPECT_EQ(got.ciphertext, expect.ciphertext);
+        EXPECT_EQ(got.tag, expect.tag);
+        const auto opened = gcm.Open(iv, aad, got.ciphertext, got.tag);
+        ASSERT_TRUE(opened.has_value());
+        EXPECT_TRUE(std::equal(opened->begin(), opened->end(), pt.begin(),
+                               pt.end()));
+      }
+    }
+  }
+}
+
+TEST(IsaTest, Sha256ParityScalarVsAccelerated) {
+  const Bytes material = ParityMaterial(65536 + 64);
+  for (const std::size_t len : kParityLengths) {
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{7}}) {
+      const BytesView msg(material.data() + offset, len);
+      Sha256Digest expect;
+      {
+        ScopedIsaOverride isa("scalar");
+        expect = Sha256Hash(msg);
+      }
+      for (const char* tier : {"aesni", "vaes", "auto"}) {
+        SCOPED_TRACE(testing::Message()
+                     << tier << " len=" << len << " off=" << offset);
+        ScopedIsaOverride isa(tier);
+        EXPECT_EQ(Sha256Hash(msg), expect);
+      }
+    }
+  }
+}
+
+TEST(IsaTest, Sha256BatchMatchesSerialUnderEveryTier) {
+  const Bytes material = ParityMaterial(8192);
+  // 21 lanes of staggered lengths: exercises the 8-wide multi-buffer
+  // kernel (two full waves + remainder) plus empty and sub-block lanes.
+  std::vector<BytesView> inputs;
+  for (std::size_t i = 0; i < 21; ++i) {
+    inputs.emplace_back(material.data() + i, (i * 151) % 1500);
+  }
+  std::vector<Sha256Digest> expect(inputs.size());
+  {
+    ScopedIsaOverride isa("scalar");
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      expect[i] = Sha256Hash(inputs[i]);
+    }
+  }
+  for (const char* tier : kIsaTiers) {
+    SCOPED_TRACE(tier);
+    ScopedIsaOverride isa(tier);
+    std::vector<Sha256Digest> got(inputs.size());
+    Sha256Batch(std::span<const BytesView>(inputs.data(), inputs.size()),
+                got.data());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "lane " << i;
+    }
+  }
+}
+
+TEST(GroupTest, MulModMersenneMatchesDoubleAndAdd) {
+  // The Mersenne fast path must agree with schoolbook double-and-add.
+  const U128 p = GroupPrime();
+  const auto slow_mulmod = [p](U128 a, U128 b) {
+    a %= p;
+    U128 acc = 0;
+    for (U128 bit = b % p; bit != 0; bit >>= 1) {
+      if (bit & 1) {
+        acc += a;
+        if (acc >= p) acc -= p;
+      }
+      a <<= 1;
+      if (a >= p) a -= p;
+    }
+    return acc;
+  };
+  HmacDrbg drbg(BytesOf("mersenne mulmod sweep"));
+  for (int trial = 0; trial < 200; ++trial) {
+    const Bytes raw = drbg.Generate(32);
+    U128 a = 0, b = 0;
+    for (int i = 0; i < 16; ++i) {
+      a = (a << 8) | raw[i];
+      b = (b << 8) | raw[16 + i];
+    }
+    EXPECT_EQ(MulMod(a, b, p), slow_mulmod(a, b));
+  }
+  // Edge operands around the modulus.
+  EXPECT_EQ(MulMod(p - 1, p - 1, p), 1U);
+  EXPECT_EQ(MulMod(p - 1, 2, p), p - 2);
+  EXPECT_EQ(MulMod(p, 12345, p), 0U);
+  EXPECT_EQ(MulMod(0, p - 1, p), 0U);
+}
+
+// ---- batched Schnorr verification ------------------------------------
+
+std::vector<SchnorrBatchItem> MakeBatch(std::vector<SchnorrKeyPair>& keys,
+                                        std::vector<Bytes>& messages,
+                                        std::vector<SchnorrSignature>& sigs,
+                                        std::size_t n) {
+  HmacDrbg drbg(BytesOf("schnorr batch fixture"));
+  keys.clear();
+  messages.clear();
+  sigs.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(SchnorrGenerate(drbg));
+    messages.push_back(drbg.Generate(40 + (i % 17)));
+    sigs.push_back(SchnorrSign(keys[i], messages[i], drbg));
+  }
+  std::vector<SchnorrBatchItem> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i].public_value = keys[i].public_value;
+    items[i].message = BytesView(messages[i].data(), messages[i].size());
+    items[i].signature = sigs[i];
+  }
+  return items;
+}
+
+TEST(SchnorrTest, VerifyBatchAllValid) {
+  std::vector<SchnorrKeyPair> keys;
+  std::vector<Bytes> messages;
+  std::vector<SchnorrSignature> sigs;
+  const auto items = MakeBatch(keys, messages, sigs, 64);
+  EXPECT_TRUE(SchnorrVerifyBatch(items).empty());
+  EXPECT_TRUE(SchnorrVerifyBatch({}).empty());
+}
+
+TEST(SchnorrTest, VerifyBatchAttributesSingleCorruption) {
+  // The ISSUE's canonical case: 1 corrupted signature in a batch of 64
+  // is detected and attributed to exactly the right index.
+  for (const std::size_t victim : {std::size_t{0}, std::size_t{41},
+                                   std::size_t{63}}) {
+    std::vector<SchnorrKeyPair> keys;
+    std::vector<Bytes> messages;
+    std::vector<SchnorrSignature> sigs;
+    auto items = MakeBatch(keys, messages, sigs, 64);
+    items[victim].signature.response ^= 1;
+    const std::vector<std::size_t> invalid = SchnorrVerifyBatch(items);
+    ASSERT_EQ(invalid.size(), 1U) << "victim " << victim;
+    EXPECT_EQ(invalid[0], victim);
+  }
+}
+
+TEST(SchnorrTest, VerifyBatchAttributesMultipleCorruptions) {
+  std::vector<SchnorrKeyPair> keys;
+  std::vector<Bytes> messages;
+  std::vector<SchnorrSignature> sigs;
+  auto items = MakeBatch(keys, messages, sigs, 48);
+  items[3].signature.commitment ^= 0x10;   // bad commitment
+  items[17].message = BytesView(messages[18].data(), messages[18].size());
+  items[30].public_value = keys[31].public_value;  // wrong key
+  items[47].signature = SchnorrSignature{};        // structurally invalid
+  const std::vector<std::size_t> invalid = SchnorrVerifyBatch(items);
+  EXPECT_EQ(invalid, (std::vector<std::size_t>{3, 17, 30, 47}));
+}
+
+TEST(SchnorrTest, VerifyBatchAgreesWithSerialVerify) {
+  std::vector<SchnorrKeyPair> keys;
+  std::vector<Bytes> messages;
+  std::vector<SchnorrSignature> sigs;
+  auto items = MakeBatch(keys, messages, sigs, 24);
+  // Corrupt a pseudo-random subset.
+  for (const std::size_t i : {1U, 7U, 8U, 20U}) {
+    items[i].signature.response ^= (U128{1} << (i % 60));
+  }
+  const std::vector<std::size_t> invalid = SchnorrVerifyBatch(items);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const bool serial_ok = SchnorrVerify(items[i].public_value,
+                                         items[i].message,
+                                         items[i].signature);
+    const bool batch_ok =
+        std::find(invalid.begin(), invalid.end(), i) == invalid.end();
+    EXPECT_EQ(batch_ok, serial_ok) << "item " << i;
+  }
 }
 
 }  // namespace

@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
-"""CI gate for parallel scaling (ISSUE 6).
+"""CI gate for parallel scaling (ISSUE 6) and crypto ISA dispatch.
 
 Parses a BENCH_micro.json produced by `bench_micro_substrates --json`
 and fails loudly if the thread sweeps regress: throughput at the
 highest measured thread count must not fall below 1-thread throughput
 on the GEMM and TrainBatch rows.
+
+It also gates the hardware crypto kernels: when the crypto_isa info
+row shows an accelerated tier engaged for a family (AES, GHASH via
+GCM, SHA-256), the auto rows of that family must run at >= 2x the
+forced-scalar rows' byte throughput.  On machines where the hardware
+lacks the extension (crypto_isa reports scalar for that family) the
+check is skipped gracefully — a missing ISA is not a regression.
 
 Rationale: the work plan is thread-count independent and the dispatch
 width is clamped to the physical core count, so adding threads can
@@ -69,6 +76,73 @@ def check(rows, prefix, tolerance):
     return ok
 
 
+# Crypto families gated on accelerated/scalar byte throughput:
+# op prefix -> the crypto_isa summary key whose value must not be
+# "scalar" for the check to be meaningful on this machine.
+CRYPTO_GATES = {
+    "BM_AesCtr": "aes",
+    "BM_AesGcmSeal": "ghash",
+    "BM_Sha256/": "sha256",
+}
+CRYPTO_MIN_SPEEDUP = 2.0
+
+
+def parse_isa_summary(rows):
+    """The crypto_isa info row as a dict, e.g. {'aes': 'vaes', ...}."""
+    for row in rows:
+        if row.get("op") == "crypto_isa":
+            return dict(part.split("=", 1)
+                        for part in row.get("shape", "").split()
+                        if "=" in part)
+    return {}
+
+
+def crypto_rows(rows, prefix, tier):
+    """bytes_per_s keyed by shape for one bench at one forced tier."""
+    marker = f"/{tier}/"
+    out = {}
+    for row in rows:
+        op = row.get("op", "")
+        if op.startswith(prefix) and marker in op:
+            value = float(row.get("bytes_per_s", 0.0))
+            if value > 0.0:
+                out[row.get("shape", "")] = value
+    return out
+
+
+def check_crypto(rows, prefix, family, isa):
+    tier = isa.get(family)
+    if tier is None:
+        print(f"skip {prefix:24} no crypto_isa row — bench predates the "
+              f"ISA dispatch, nothing to gate")
+        return True
+    if tier == "scalar":
+        print(f"skip {prefix:24} {family}=scalar on this machine "
+              f"(hardware lacks the extension)")
+        return True
+    scalar = crypto_rows(rows, prefix, "scalar")
+    accel = crypto_rows(rows, prefix, "auto")
+    shared = sorted(set(scalar) & set(accel))
+    if not shared:
+        print(f"FAIL {prefix}: {family}={tier} engaged but no "
+              f"scalar/auto row pair found in the bench JSON")
+        return False
+    ok = True
+    for shape in shared:
+        ratio = accel[shape] / scalar[shape]
+        status = "ok" if ratio >= CRYPTO_MIN_SPEEDUP else "FAIL"
+        print(f"{status:4} {prefix:24} {shape:8} {family}={tier} "
+              f"accelerated {accel[shape] / 1e9:6.2f} GB/s = "
+              f"{ratio:5.2f}x scalar")
+        if ratio < CRYPTO_MIN_SPEEDUP:
+            ok = False
+    if not ok:
+        print(f"FAIL {prefix}: accelerated tier {tier} below "
+              f"{CRYPTO_MIN_SPEEDUP:.1f}x scalar — the hardware kernel "
+              f"is not engaging (dispatch regression?)")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json")
@@ -84,8 +158,11 @@ def main():
     ok = True
     for prefix in GATED_SWEEPS:
         ok = check(rows, prefix, args.tolerance) and ok
+    isa = parse_isa_summary(rows)
+    for prefix, family in CRYPTO_GATES.items():
+        ok = check_crypto(rows, prefix, family, isa) and ok
     if ok:
-        print("parallel scaling gate: PASS")
+        print("parallel scaling + crypto dispatch gate: PASS")
     return 0 if ok else 1
 
 
