@@ -115,6 +115,7 @@ bool TrainingServer::HandleKeyProvision(const std::string& participant_id,
       std::unique_lock lock(participants_mu_);
       state.creds = std::move(creds);
     }
+    directory_version_.fetch_add(1, std::memory_order_acq_rel);
     CALTRAIN_LOG(kInfo) << "provisioned data key for " << participant_id;
     return true;
   });
@@ -122,6 +123,49 @@ bool TrainingServer::HandleKeyProvision(const std::string& participant_id,
 
 bool TrainingServer::IsProvisioned(const std::string& participant_id) const {
   return CredentialsOf(participant_id) != nullptr;
+}
+
+Bytes TrainingServer::SerializeDirectory() const {
+  std::shared_lock lock(participants_mu_);
+  ByteWriter writer;
+  std::uint32_t provisioned = 0;
+  for (const auto& [id, state] : participants_) {
+    if (state.creds != nullptr) ++provisioned;
+  }
+  writer.WriteU32(provisioned);
+  // std::map iterates in id order, so the snapshot bytes are a pure
+  // function of the provisioned set — independent of insertion order.
+  for (const auto& [id, state] : participants_) {
+    if (state.creds == nullptr) continue;
+    writer.WriteString(id);
+    writer.WriteBytes(state.creds->data_key);
+    writer.WriteBytes(crypto::U128ToBytes(state.creds->sign_pub));
+  }
+  return writer.Take();
+}
+
+void TrainingServer::RestoreDirectory(BytesView blob, std::uint64_t version) {
+  std::unique_lock lock(participants_mu_);
+  for (const auto& [id, state] : participants_) {
+    CALTRAIN_REQUIRE(state.creds == nullptr,
+                     "RestoreDirectory requires an unprovisioned server");
+  }
+  ByteReader reader(blob);
+  const std::uint32_t count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string id = reader.ReadString();
+    Bytes key = reader.ReadBytes();
+    const crypto::U128 sign_pub = crypto::U128FromBytes(reader.ReadBytes());
+    participants_[id].creds =
+        std::make_shared<const Credentials>(std::move(key), sign_pub);
+  }
+  CALTRAIN_REQUIRE(reader.AtEnd(), "trailing directory snapshot bytes");
+  directory_version_.store(version, std::memory_order_release);
+}
+
+void TrainingServer::RestoreModel(BytesView model_blob, int front_layers) {
+  model_ = nn::Network::DeserializeModel(model_blob);
+  released_front_layers_ = front_layers;
 }
 
 std::size_t TrainingServer::UploadRecords(

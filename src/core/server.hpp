@@ -108,6 +108,35 @@ class TrainingServer {
 
   [[nodiscard]] bool IsProvisioned(const std::string& participant_id) const;
 
+  // --- directory durability (persist::ServiceLog hooks) -----------------
+  /// Monotonic counter bumped on every successful provisioning.  The
+  /// serving layer journals a fresh directory snapshot whenever the
+  /// version it last logged falls behind this one.
+  [[nodiscard]] std::uint64_t directory_version() const noexcept {
+    return directory_version_.load(std::memory_order_acquire);
+  }
+
+  /// Wire snapshot of every provisioned participant's credentials
+  /// (id, data key, signing public key), in id order — the state
+  /// Train/FingerprintAll need to re-open stored records after a
+  /// restart.  Handshake transcripts are deliberately excluded: a
+  /// recovered server requires re-attestation for *new* provisioning,
+  /// which is the honest post-crash posture.
+  [[nodiscard]] Bytes SerializeDirectory() const;
+
+  /// Rebuilds the participant directory from SerializeDirectory output
+  /// and pins the version counter.  Recovery-only: requires an empty
+  /// directory (no provisioned participants yet).
+  void RestoreDirectory(BytesView blob, std::uint64_t version);
+
+  /// Installs a model snapshot (Network::SerializeModel bytes) and the
+  /// released FrontNet depth, as if Train had just returned.
+  void RestoreModel(BytesView model_blob, int front_layers);
+
+  [[nodiscard]] int released_front_layers() const noexcept {
+    return released_front_layers_;
+  }
+
   // --- phase 2: encrypted data upload ----------------------------------
   /// Authenticates each record inside the enclave; failures are counted
   /// and discarded.  Returns the number of accepted records.  Thin
@@ -224,6 +253,7 @@ class TrainingServer {
   std::vector<data::EncryptedRecord> records_;
   std::atomic<std::size_t> accepted_{0};
   std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::uint64_t> directory_version_{0};
   std::optional<nn::Network> model_;
   int released_front_layers_ = 0;
 };

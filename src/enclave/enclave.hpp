@@ -23,6 +23,7 @@
 #include "crypto/sha256.hpp"
 #include "enclave/epc.hpp"
 #include "util/bytes.hpp"
+#include "util/fault.hpp"
 
 namespace caltrain::enclave {
 
@@ -128,9 +129,17 @@ class Enclave {
 /// guard per record *batch* instead of paying one Ecall per record,
 /// which is exactly the ~8k-cycle amortization the serving layer's
 /// TransitionStats must show (ISSUE 5).
+/// Fault point "enclave.transition" fires on construction (before the
+/// ECALL is counted): a transient `eio` here models a failed boundary
+/// crossing (EPC pressure, AEX storms), which the serve layer's ingest
+/// pumps absorb with capped backoff; `crash` kills the process
+/// mid-transition for the recovery harness.
 class TransitionGuard {
  public:
-  explicit TransitionGuard(Enclave& enclave) noexcept {
+  explicit TransitionGuard(Enclave& enclave) {
+    if (util::FaultInjector::Global().armed()) {
+      (void)util::FaultPoint("enclave.transition");
+    }
     enclave.CountEcall();
   }
   TransitionGuard(const TransitionGuard&) = delete;

@@ -1,0 +1,124 @@
+// Typed event log for serve::Service (ISSUE 8).
+//
+// The service's durable state is a sequence of six event types framed
+// into the write-ahead journal (journal.hpp):
+//
+//   kDirectory            latest participant-directory snapshot (the
+//                         provisioned credentials Train/Fingerprint
+//                         need to re-open stored records)
+//   kCommitBatch          one ticket-ordered committed upload batch:
+//                         the encrypted records plus their accept flags
+//   kTrainComplete        training finished; names the model snapshot
+//                         file and the released FrontNet depth
+//   kFingerprintComplete  fingerprinting finished; names the linkage
+//                         database snapshot file and the layer used
+//   kReopenIngest         ingestion reopened after training
+//   kRelease              a model release was served (audit trail)
+//
+// Replay applies events in journal order: the latest kDirectory wins,
+// kCommitBatch events rebuild the record store with the exact
+// synchronous-order accept/reject tallies, and the completed phase
+// transitions move the phase machine — a crash *during* a phase
+// transition leaves no event, so replay lands in the pre-transition
+// phase and the deterministic pipeline re-runs the work identically.
+//
+// Big blobs (model, linkage database) live in snapshot files
+// (snapshot.hpp) written *before* the event that names them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/packaging.hpp"
+#include "persist/journal.hpp"
+#include "util/bytes.hpp"
+
+namespace caltrain::persist {
+
+struct DirectoryEvent {
+  std::uint64_t version = 0;  ///< TrainingServer::directory_version()
+  Bytes blob;                 ///< TrainingServer::SerializeDirectory()
+};
+
+struct CommitBatchEvent {
+  std::uint64_t seq = 0;  ///< commit ticket (contiguous from 0)
+  std::vector<data::EncryptedRecord> records;
+  std::vector<char> accepted;  ///< parallel accept flags
+};
+
+struct TrainCompleteEvent {
+  std::string model_file;  ///< snapshot of Network::SerializeModel()
+  int front_layers = 0;    ///< released FrontNet depth
+};
+
+struct FingerprintCompleteEvent {
+  std::string linkage_file;   ///< snapshot of LinkageDatabase::Serialize()
+  int fingerprint_layer = -1;  ///< embedding layer the stage used
+};
+
+struct ReleaseEvent {
+  std::string participant_id;
+};
+
+/// Callbacks invoked by Replay, one per event in journal order.  Any
+/// callback may be left empty to skip that event type.
+struct ReplayVisitor {
+  std::function<void(DirectoryEvent)> on_directory;
+  std::function<void(CommitBatchEvent)> on_commit;
+  std::function<void(TrainCompleteEvent)> on_train_complete;
+  std::function<void(FingerprintCompleteEvent)> on_fingerprint_complete;
+  std::function<void()> on_reopen_ingest;
+  std::function<void(ReleaseEvent)> on_release;
+};
+
+/// Wire encoding of one commit-batch event — exposed separately so the
+/// serve layer's parallel ingest workers can encode OFF the commit
+/// lock and append the pre-encoded payload (Journal::Append) under it.
+[[nodiscard]] Bytes EncodeCommitBatch(const CommitBatchEvent& event);
+
+class ServiceLog {
+ public:
+  /// Journal file name inside the durable directory.
+  [[nodiscard]] static std::string JournalPath(const std::string& dir);
+
+  /// Replays every valid event of the journal under `dir` through
+  /// `visitor` and reports the scan (torn-tail bytes included).  A
+  /// missing journal is a clean empty log.  Throws
+  /// Error(kInvalidArgument) when the file exists but its header is
+  /// corrupt, or when a CRC-valid frame carries a malformed event —
+  /// unrecoverable corruption, as opposed to an honest torn tail.
+  static ScanReport Replay(const std::string& dir,
+                           const ReplayVisitor& visitor);
+
+  /// Opens the journal under `dir` for appending.  `resume_at` is
+  /// ScanReport::valid_bytes from Replay — the torn tail past it is
+  /// truncated away.  Pass 0 for a fresh log.
+  static std::unique_ptr<ServiceLog> Open(const std::string& dir,
+                                          SyncMode mode,
+                                          std::uint64_t resume_at = 0);
+
+  // Each Append frames one event and returns its LSN; durability
+  // requires a subsequent Sync() (group commit).  All of these throw
+  // Error(kUnavailable) on I/O failure and are safe to retry.
+  std::uint64_t AppendDirectory(const DirectoryEvent& event);
+  std::uint64_t AppendCommitBatch(const CommitBatchEvent& event);
+  std::uint64_t AppendTrainComplete(const TrainCompleteEvent& event);
+  std::uint64_t AppendFingerprintComplete(
+      const FingerprintCompleteEvent& event);
+  std::uint64_t AppendReopenIngest();
+  std::uint64_t AppendRelease(const ReleaseEvent& event);
+  void Sync() { journal_->Sync(); }
+
+  [[nodiscard]] Journal& journal() noexcept { return *journal_; }
+
+ private:
+  explicit ServiceLog(std::unique_ptr<Journal> journal)
+      : journal_(std::move(journal)) {}
+
+  std::unique_ptr<Journal> journal_;
+};
+
+}  // namespace caltrain::persist

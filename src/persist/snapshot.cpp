@@ -1,0 +1,157 @@
+#include "persist/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "persist/journal.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace caltrain::persist {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'C', 'T', 'S', 'N',
+                                                'A', 'P', 'v', '1'};
+constexpr std::size_t kHeaderSize = kMagic.size() + 8;
+
+void StoreLe32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t LoadLe32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[noreturn]] void ThrowIo(const std::string& what, int err) {
+  ThrowError(ErrorKind::kUnavailable, what + ": " + std::strerror(err));
+}
+
+void WriteAll(int fd, const std::uint8_t* data, std::size_t size,
+              const char* what) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowIo(what, errno);
+    }
+    if (n == 0) ThrowIo(what, ENOSPC);
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void WriteSnapshot(const std::string& path, BytesView payload) {
+  const util::FaultAction fault =
+      util::FaultInjector::Global().armed()
+          ? util::FaultPoint("persist.snapshot")
+          : util::FaultAction::kNone;
+
+  Bytes framed(kHeaderSize + payload.size());
+  std::copy(kMagic.begin(), kMagic.end(), framed.begin());
+  StoreLe32(framed.data() + kMagic.size(),
+            static_cast<std::uint32_t>(payload.size()));
+  StoreLe32(framed.data() + kMagic.size() + 4, Crc32c(payload));
+  std::memcpy(framed.data() + kHeaderSize, payload.data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) ThrowIo("snapshot open '" + tmp + "'", errno);
+
+  // Short write: leave a truncated tmp, clean up, report transient.
+  // Torn write: *rename the truncated file into place* and die — the
+  // worst case a real crash can produce, which ReadSnapshot must catch
+  // via the CRC.
+  const std::size_t to_write =
+      (fault == util::FaultAction::kShortWrite ||
+       fault == util::FaultAction::kTornWrite)
+          ? kHeaderSize + payload.size() / 2
+          : framed.size();
+  try {
+    WriteAll(fd, framed.data(), to_write, "snapshot write");
+    if (::fsync(fd) != 0) ThrowIo("snapshot fsync '" + tmp + "'", errno);
+  } catch (...) {
+    ::close(fd);
+    (void)std::remove(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+
+  if (fault == util::FaultAction::kTornWrite) {
+    (void)::rename(tmp.c_str(), path.c_str());
+    util::FaultCrash("persist.snapshot");
+  }
+  if (fault == util::FaultAction::kShortWrite) {
+    (void)std::remove(tmp.c_str());
+    ThrowError(ErrorKind::kUnavailable,
+               "injected short write at 'persist.snapshot'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    (void)std::remove(tmp.c_str());
+    ThrowIo("snapshot rename '" + tmp + "' -> '" + path + "'", err);
+  }
+}
+
+std::optional<Bytes> ReadSnapshot(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    ThrowIo("snapshot open '" + path + "'", errno);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ThrowIo("snapshot fstat '" + path + "'", err);
+  }
+  Bytes content(static_cast<std::size_t>(st.st_size));
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ssize_t n = ::read(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ThrowIo("snapshot read '" + path + "'", err);
+    }
+    if (n == 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  content.resize(done);
+
+  const auto corrupt = [&path](const char* why) -> void {
+    ThrowError(ErrorKind::kInvalidArgument,
+               std::string("corrupt snapshot '") + path + "': " + why);
+  };
+  if (content.size() < kHeaderSize ||
+      !std::equal(kMagic.begin(), kMagic.end(), content.begin())) {
+    corrupt("bad magic or truncated header");
+  }
+  const std::uint32_t len = LoadLe32(content.data() + kMagic.size());
+  const std::uint32_t crc = LoadLe32(content.data() + kMagic.size() + 4);
+  if (content.size() - kHeaderSize != len) corrupt("length mismatch");
+  Bytes payload(content.begin() +
+                    static_cast<std::ptrdiff_t>(kHeaderSize),
+                content.end());
+  if (Crc32c(payload) != crc) corrupt("CRC mismatch");
+  return payload;
+}
+
+}  // namespace caltrain::persist

@@ -1,0 +1,43 @@
+// Atomic CRC-sealed snapshot files (ISSUE 8).
+//
+// Snapshots carry the big blobs the journal should not inline —
+// serialized models (nn::Network::SerializeModel) and linkage
+// databases (linkage::LinkageDatabase::Serialize).  A journal event
+// *references* a snapshot by file name; the durability contract is
+// snapshot-then-journal: the snapshot file is fully written and
+// renamed into place before the event naming it is appended, so a
+// replayed event can always read its snapshot, and an orphan snapshot
+// (crash between rename and append) is harmless garbage.
+//
+// On-disk layout:
+//
+//   "CTSNAPv1" magic (8 bytes) | u32 LE payload length |
+//   u32 LE CRC32C(payload) | payload
+//
+// WriteSnapshot writes to `<path>.tmp`, fsyncs, then rename(2)s over
+// `path` — readers never observe a half-written file under the final
+// name on a POSIX filesystem; a torn *renamed* file (injected fault,
+// disk corruption) is caught by the CRC on read.
+//
+// Fault point: "persist.snapshot" (eio / short / torn / crash).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace caltrain::persist {
+
+/// Atomically writes `payload` under `path` (tmp + rename).  Throws
+/// Error(kUnavailable) on transient I/O failure with the tmp file
+/// removed, so a retry starts clean.
+void WriteSnapshot(const std::string& path, BytesView payload);
+
+/// Reads a snapshot back.  Returns nullopt when the file does not
+/// exist; throws Error(kInvalidArgument) when it exists but its magic,
+/// framing, or CRC is wrong — a corrupt snapshot must never be
+/// silently accepted as state.
+[[nodiscard]] std::optional<Bytes> ReadSnapshot(const std::string& path);
+
+}  // namespace caltrain::persist

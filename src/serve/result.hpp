@@ -23,6 +23,21 @@ enum class ServeErrorKind {
   kQueueSaturated,            ///< ingest queue full under kReject policy
   kWrongPhase,                ///< request illegal in the current phase
   kInvalidArgument,           ///< malformed request (bad session id, ...)
+  kTimeout,          ///< a deadline elapsed first (e.g. SubmitUpload's
+                     ///< submit_timeout hit while the ingest queue was
+                     ///< full); nothing was enqueued — retrying later
+                     ///< is safe and may succeed
+  kRetryExhausted,   ///< a transient fault (injected or real I/O /
+                     ///< enclave-transition failure) persisted through
+                     ///< the capped-backoff retry budget; the request
+                     ///< had no durable effect
+  kDegraded,         ///< the durability journal became unwritable, so
+                     ///< the service dropped to read-only investigate
+                     ///< mode; mutating requests are refused until the
+                     ///< operator repairs storage and restarts
+  kCorruptJournal,   ///< recovery found corruption it must not repair
+                     ///< silently (bad journal header, snapshot CRC
+                     ///< mismatch, malformed event)
   kInternal,                  ///< invariant violation inside the library
 };
 
@@ -38,6 +53,14 @@ enum class ServeErrorKind {
       return "wrong-phase";
     case ServeErrorKind::kInvalidArgument:
       return "invalid-argument";
+    case ServeErrorKind::kTimeout:
+      return "timeout";
+    case ServeErrorKind::kRetryExhausted:
+      return "retry-exhausted";
+    case ServeErrorKind::kDegraded:
+      return "degraded";
+    case ServeErrorKind::kCorruptJournal:
+      return "corrupt-journal";
     case ServeErrorKind::kInternal:
       return "internal";
   }
@@ -62,6 +85,11 @@ struct ServeError {
       break;
     case ErrorKind::kFailedPrecondition:
       kind = ServeErrorKind::kWrongPhase;
+      break;
+    case ErrorKind::kUnavailable:
+      // A transient fault that escapes to this boundary has already
+      // burned its retry budget (util::RetryTransient).
+      kind = ServeErrorKind::kRetryExhausted;
       break;
     default:
       break;
@@ -118,8 +146,14 @@ class [[nodiscard]] Result {
         kind = ErrorKind::kCapacity;
         break;
       case ServeErrorKind::kWrongPhase:
+      case ServeErrorKind::kDegraded:
         kind = ErrorKind::kFailedPrecondition;
         break;
+      case ServeErrorKind::kTimeout:
+      case ServeErrorKind::kRetryExhausted:
+        kind = ErrorKind::kUnavailable;
+        break;
+      case ServeErrorKind::kCorruptJournal:
       case ServeErrorKind::kInternal:
         break;
     }

@@ -3,24 +3,218 @@
 #include <algorithm>
 #include <iterator>
 
+#include "persist/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace caltrain::serve {
 
 Service::Service(core::TrainingServer& server, ServiceConfig config)
+    : Service(server, std::move(config), /*recover=*/false) {}
+
+Service::Service(core::TrainingServer& server, ServiceConfig config,
+                 bool recover)
     : server_(server),
-      config_(config),
-      max_pumps_(std::max(1U, config.ingest_workers != 0
-                                   ? config.ingest_workers
+      config_(std::move(config)),
+      max_pumps_(std::max(1U, config_.ingest_workers != 0
+                                   ? config_.ingest_workers
                                    : util::Parallelism::threads())),
       pool_(util::ThreadPool::Global()),
-      queue_(std::max<std::size_t>(1, config.queue_capacity),
-             config.backpressure) {
+      queue_(std::max<std::size_t>(1, config_.queue_capacity),
+             config_.backpressure) {
   config_.ingest_batch = std::max<std::size_t>(1, config_.ingest_batch);
+  if (!config_.durable_dir.empty()) {
+    // Both paths run before any worker thread exists, so recovery and
+    // the fresh-journal probe need no locking.
+    if (recover) {
+      RecoverFromLog();
+    } else {
+      OpenFreshLog();
+    }
+  } else {
+    CALTRAIN_REQUIRE(!recover, "Recover requires config.durable_dir");
+  }
   // Pumps are pool tasks: with zero workers the pool would run them
   // inline on the producer, which is correct but not asynchronous.
   pool_.EnsureWorkers(max_pumps_);
   strand_ = std::thread([this] { StrandLoop(); });
+}
+
+Result<std::unique_ptr<Service>> Service::Recover(
+    core::TrainingServer& server, ServiceConfig config) {
+  try {
+    return std::unique_ptr<Service>(
+        new Service(server, std::move(config), /*recover=*/true));
+  } catch (const Error& e) {
+    if (e.kind() == ErrorKind::kInvalidArgument) {
+      // Every kInvalidArgument the persist layer can throw during
+      // replay is corruption: a bad journal header, a malformed event
+      // inside a CRC-valid frame, or a snapshot CRC mismatch.
+      return ServeError{ServeErrorKind::kCorruptJournal, e.what()};
+    }
+    return FromError(e);
+  } catch (const std::exception& e) {
+    return ServeError{ServeErrorKind::kInternal, e.what()};
+  }
+}
+
+void Service::OpenFreshLog() {
+  const std::string path =
+      persist::ServiceLog::JournalPath(config_.durable_dir);
+  const persist::ScanReport scan = persist::ScanJournal(path, [](BytesView) {});
+  if (scan.exists && !scan.header_valid) {
+    ThrowError(ErrorKind::kInvalidArgument,
+               "journal '" + path + "' exists but its header is corrupt");
+  }
+  if (scan.frames > 0) {
+    ThrowError(ErrorKind::kFailedPrecondition,
+               "journal '" + path + "' already holds " +
+                   std::to_string(scan.frames) +
+                   " event(s); use Service::Recover instead of "
+                   "constructing a fresh service over recoverable state");
+  }
+  log_ = persist::ServiceLog::Open(config_.durable_dir, config_.journal_sync,
+                                   scan.valid_bytes);
+}
+
+void Service::RecoverFromLog() {
+  CALTRAIN_REQUIRE(server_.accepted_records() == 0 &&
+                       server_.rejected_records() == 0,
+                   "Recover requires a freshly constructed server");
+  const std::string& dir = config_.durable_dir;
+
+  Bytes directory_blob;
+  std::uint64_t directory_version = 0;
+  bool have_directory = false;
+  Phase phase = Phase::kIngest;
+  std::string model_file;
+  int front_layers = 0;
+  bool have_model = false;
+  std::string linkage_file;
+  int fingerprint_layer = -1;
+  std::uint64_t next_seq = 0;
+
+  persist::ReplayVisitor visitor;
+  visitor.on_directory = [&](persist::DirectoryEvent event) {
+    directory_blob = std::move(event.blob);
+    directory_version = event.version;
+    have_directory = true;
+  };
+  visitor.on_commit = [&](persist::CommitBatchEvent event) {
+    if (event.seq != next_seq) {
+      ThrowError(ErrorKind::kInvalidArgument,
+                 "journal commit ticket " + std::to_string(event.seq) +
+                     " out of order (expected " + std::to_string(next_seq) +
+                     ")");
+    }
+    // Replaying CommitRecords in ticket order reproduces the exact
+    // record sequence — and accept/reject counters — the crashed
+    // process acknowledged.
+    (void)server_.CommitRecords(event.records, event.accepted);
+    ++next_seq;
+  };
+  visitor.on_train_complete = [&](persist::TrainCompleteEvent event) {
+    model_file = std::move(event.model_file);
+    front_layers = event.front_layers;
+    have_model = true;
+    phase = Phase::kTrained;
+    ++model_snapshots_;
+  };
+  visitor.on_fingerprint_complete =
+      [&](persist::FingerprintCompleteEvent event) {
+        linkage_file = std::move(event.linkage_file);
+        fingerprint_layer = event.fingerprint_layer;
+        phase = Phase::kServing;
+        ++linkage_snapshots_;
+      };
+  visitor.on_reopen_ingest = [&] { phase = Phase::kIngest; };
+  // Releases mutate nothing recoverable; they are an audit trail.
+
+  const persist::ScanReport scan = persist::ServiceLog::Replay(dir, visitor);
+  if (scan.truncated_bytes > 0) {
+    CALTRAIN_LOG(kWarn) << "[serve] recovery dropped "
+                        << scan.truncated_bytes
+                        << " torn journal byte(s) after "
+                        << scan.frames << " valid event(s)";
+  }
+
+  const auto snapshot_bytes = [&dir](const std::string& file) -> Bytes {
+    std::optional<Bytes> blob = persist::ReadSnapshot(dir + "/" + file);
+    if (!blob.has_value()) {
+      ThrowError(ErrorKind::kInvalidArgument,
+                 "journal references missing snapshot '" + file + "'");
+    }
+    return std::move(*blob);
+  };
+
+  if (have_directory) {
+    server_.RestoreDirectory(directory_blob, directory_version);
+  }
+  if (have_model) {
+    server_.RestoreModel(snapshot_bytes(model_file), front_layers);
+  }
+  if (phase == Phase::kServing) {
+    linkage::LinkageDatabase db =
+        linkage::LinkageDatabase::Deserialize(snapshot_bytes(linkage_file));
+    // Same query-stage stand-up as SubmitFingerprint: the query model
+    // is a clone of the restored (bit-identical) trained model.
+    const nn::Network& model = server_.model();
+    nn::Network clone(model.spec());
+    clone.DeserializeWeightRange(
+        0, clone.NumLayers(),
+        model.SerializeWeightRange(0, model.NumLayers()));
+    query_.emplace(std::move(clone), std::move(db), fingerprint_layer);
+  }
+
+  next_enqueue_seq_ = next_seq;
+  next_commit_seq_ = next_seq;
+  logged_directory_version_ = directory_version;
+  phase_.store(phase, std::memory_order_release);
+  log_ = persist::ServiceLog::Open(dir, config_.journal_sync,
+                                   scan.valid_bytes);
+}
+
+void Service::EnterDegraded(const std::string& why) {
+  bool expected = false;
+  if (degraded_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    CALTRAIN_LOG(kError)
+        << "[serve] durability journal unwritable — degrading to "
+           "read-only investigate mode: "
+        << why;
+  }
+}
+
+void Service::JournalDirectoryLocked() {
+  const std::uint64_t version = server_.directory_version();
+  if (version == logged_directory_version_) return;
+  persist::DirectoryEvent event;
+  event.version = version;
+  event.blob = server_.SerializeDirectory();
+  (void)log_->AppendDirectory(event);
+  logged_directory_version_ = version;
+}
+
+std::optional<ServeError> Service::JournalControlEvent(
+    const std::function<void()>& append) {
+  if (log_ == nullptr) return std::nullopt;
+  if (degraded()) {
+    return ServeError{ServeErrorKind::kDegraded,
+                      "durability journal unwritable; service is read-only"};
+  }
+  try {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      util::RetryTransient(config_.backoff, [&] {
+        JournalDirectoryLocked();
+        append();
+      });
+    }
+    util::RetryTransient(config_.backoff, [&] { log_->Sync(); });
+  } catch (const Error& e) {
+    EnterDegraded(e.what());
+    return ServeError{ServeErrorKind::kDegraded, e.what()};
+  }
+  return std::nullopt;
 }
 
 Service::~Service() {
@@ -52,6 +246,10 @@ Service::~Service() {
 
 Result<SessionId> Service::OpenUploadSession(
     const std::string& participant_id) {
+  if (degraded()) {
+    return ServeError{ServeErrorKind::kDegraded,
+                      "durability journal unwritable; service is read-only"};
+  }
   const Phase p = phase();
   if (p != Phase::kIngest) {
     return ServeError{ServeErrorKind::kWrongPhase,
@@ -82,10 +280,22 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
 
   const std::size_t batch = config_.ingest_batch;
   const std::size_t n_batches = (records.size() + batch - 1) / batch;
+  // The submission-wide deadline starts at entry, so a slow producer
+  // spanning many batches cannot block past submit_timeout in total.
+  const bool use_deadline =
+      config_.submit_timeout.count() > 0 &&
+      config_.backpressure == util::BackpressurePolicy::kBlock;
+  const std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::now() + config_.submit_timeout;
 
   // ingest_mu_ orders ticket assignment across producers and fences the
   // enqueue against a phase flip by SubmitTrain.
   std::unique_lock<std::mutex> ingest_lock(ingest_mu_);
+  if (degraded()) {
+    fail(ServeErrorKind::kDegraded,
+         "durability journal unwritable; service is read-only");
+    return fut;
+  }
   if (phase_.load(std::memory_order_acquire) != Phase::kIngest) {
     fail(ServeErrorKind::kWrongPhase,
          std::string("uploads are not accepted in phase ") +
@@ -132,6 +342,50 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
   }
 
   std::size_t pushed = 0;
+  // Unwinds a push that could not complete (queue closed, or the
+  // submit_timeout deadline hit while the queue was full).  With
+  // nothing enqueued this is a clean all-or-nothing rejection,
+  // invisible in the session tallies; with a prefix enqueued, that
+  // prefix still commits and the future resolves with the honest
+  // partial tally (accepted+rejected < submitted tells the caller how
+  // far the stream got).
+  const auto abort_push = [&](ServeErrorKind kind, std::string message) {
+    std::optional<Result<UploadReceipt>> resolution;
+    {
+      std::lock_guard<std::mutex> state_lock(state_mu_);
+      const std::size_t unenqueued = n_batches - pushed;
+      sub->remaining_batches -= unenqueued;
+      sub->session->outstanding_batches -= unenqueued;
+      if (pushed == 0) {
+        sub->session->submitted -= sub->submitted;
+        if (!sub->done) {
+          sub->done = true;
+          resolution.emplace(ServeError{kind, std::move(message)});
+        }
+      } else if (sub->remaining_batches == 0 && !sub->done) {
+        sub->done = true;
+        resolution.emplace(
+            UploadReceipt{sub->submitted, sub->accepted, sub->rejected});
+      }
+      // else: the in-flight prefix resolves the future with the partial
+      // receipt when its last batch commits.
+    }
+    if (resolution.has_value() && resolution->ok() && pushed > 0 &&
+        log_ != nullptr && !degraded()) {
+      // The committed prefix is about to be acknowledged; its journal
+      // frames must be on disk first (same contract as Commit).
+      try {
+        util::RetryTransient(config_.backoff, [&] { log_->Sync(); });
+      } catch (const Error& e) {
+        EnterDegraded(e.what());
+        resolution.emplace(ServeError{ServeErrorKind::kDegraded, e.what()});
+      }
+    }
+    if (resolution.has_value()) {
+      sub->promise.set_value(std::move(*resolution));
+    }
+    progress_cv_.notify_all();
+  };
   for (std::size_t first = 0; first < records.size(); first += batch) {
     const std::size_t last = std::min(records.size(), first + batch);
     IngestBatch item;
@@ -143,36 +397,29 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
                         std::make_move_iterator(records.begin() +
                                                 static_cast<std::ptrdiff_t>(
                                                     last)));
-    // Under kBlock this waits for queue room (backpressure throttles
-    // the producer); it only fails once the service is shutting down.
-    if (!queue_.Push(std::move(item))) {
-      std::lock_guard<std::mutex> state_lock(state_mu_);
-      const std::size_t unenqueued = n_batches - pushed;
-      sub->remaining_batches -= unenqueued;
-      sub->session->outstanding_batches -= unenqueued;
-      if (pushed == 0) {
-        // Nothing entered the queue: a clean all-or-nothing rejection,
-        // invisible in the session tallies.  Push only fails here once
-        // the queue is closed (shutdown) — a permanent condition, so
-        // not the retryable kQueueSaturated.
-        sub->session->submitted -= sub->submitted;
-        if (!sub->done) {
-          sub->done = true;
-          sub->promise.set_value(Result<UploadReceipt>(
-              ServeError{ServeErrorKind::kWrongPhase,
-                         "service is shutting down"}));
-        }
-      } else if (sub->remaining_batches == 0 && !sub->done) {
-        // The enqueued prefix already committed; resolve with the
-        // honest partial tally (accepted+rejected < submitted tells
-        // the caller how far the stream got before shutdown).
-        sub->done = true;
-        sub->promise.set_value(Result<UploadReceipt>(
-            UploadReceipt{sub->submitted, sub->accepted, sub->rejected}));
+    if (use_deadline) {
+      // Deadline-aware wait for queue room: the producer is throttled,
+      // but never for longer than submit_timeout across the whole
+      // submission.
+      const util::PushResult result =
+          queue_.PushUntil(std::move(item), deadline);
+      if (result == util::PushResult::kTimedOut) {
+        abort_push(ServeErrorKind::kTimeout,
+                   "ingest queue still full after " +
+                       std::to_string(config_.submit_timeout.count()) +
+                       "ms; nothing further was enqueued");
+        return fut;
       }
-      // else: the in-flight prefix resolves the future with the
-      // partial receipt when its last batch commits.
-      progress_cv_.notify_all();
+      if (result == util::PushResult::kClosed) {
+        abort_push(ServeErrorKind::kWrongPhase, "service is shutting down");
+        return fut;
+      }
+    } else if (!queue_.Push(std::move(item))) {
+      // Under kBlock this waits for queue room (backpressure throttles
+      // the producer); it only fails once the service is shutting
+      // down — a permanent condition, so not the retryable
+      // kQueueSaturated.
+      abort_push(ServeErrorKind::kWrongPhase, "service is shutting down");
       return fut;
     }
     ++next_enqueue_seq_;  // a ticket exists only for enqueued batches
@@ -265,16 +512,54 @@ void Service::PumpIngest() {
 void Service::ProcessBatch(IngestBatch batch) {
   const std::uint64_t seq = batch.seq;
   AuthedBatch done;
-  // The whole batch is authenticated under ONE enclave transition —
-  // this is the ECALL amortization the async API exists for.
-  done.accepted =
-      server_.AuthenticateRecords(batch.records, batch.records.size());
+  try {
+    // The whole batch is authenticated under ONE enclave transition —
+    // this is the ECALL amortization the async API exists for.
+    // Transient failures (fault-injected EIO, flaky enclave
+    // transitions) are retried with capped backoff before the batch is
+    // failed for good.
+    util::RetryTransient(config_.backoff, [&] {
+      if (util::FaultInjector::Global().armed()) {
+        (void)util::FaultPoint("serve.auth");
+      }
+      done.accepted =
+          server_.AuthenticateRecords(batch.records, batch.records.size());
+    });
+  } catch (const Error& e) {
+    done.failed = true;
+    done.fail_kind = e.kind() == ErrorKind::kUnavailable
+                         ? ServeErrorKind::kRetryExhausted
+                         : ServeErrorKind::kInternal;
+    done.fail_message = e.what();
+    done.accepted.assign(batch.records.size(), 0);
+  }
   done.records = std::move(batch.records);
   done.submission = std::move(batch.submission);
+  if (!done.failed && log_ != nullptr) {
+    // Pre-encode the journal frame here, on the parallel worker, so the
+    // commit lock only pays for the raw append.  The ticket IS the
+    // event seq, so encoding before commit order is settled is safe.
+    persist::CommitBatchEvent event;
+    event.seq = seq;
+    event.records = std::move(done.records);
+    event.accepted = done.accepted;
+    done.wal_event = persist::EncodeCommitBatch(event);
+    done.records = std::move(event.records);
+  }
   Commit(seq, std::move(done));
 }
 
 void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
+  // Futures whose terminal batch committed in this call.  Success
+  // receipts must not be handed to the caller until the journal frames
+  // backing them are synced (sync-before-acknowledge), so resolutions
+  // are collected under the lock and fired after the group commit.
+  struct Resolution {
+    std::shared_ptr<Submission> submission;
+    Result<UploadReceipt> result;
+  };
+  std::vector<Resolution> resolutions;
+  bool ack_needs_sync = false;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ready_.emplace(seq, std::move(batch));
@@ -284,22 +569,86 @@ void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
     while (!ready_.empty() && ready_.begin()->first == next_commit_seq_) {
       AuthedBatch b = std::move(ready_.begin()->second);
       ready_.erase(ready_.begin());
-      const std::size_t ok = server_.CommitRecords(b.records, b.accepted);
-      const std::size_t bad = b.records.size() - ok;
+      if (!b.failed && degraded_.load(std::memory_order_acquire)) {
+        b.failed = true;
+        b.fail_kind = ServeErrorKind::kDegraded;
+        b.fail_message =
+            "durability journal unwritable; service is read-only";
+      }
+      if (!b.failed && log_ != nullptr) {
+        // Journal-before-apply: the frame reaches the OS before the
+        // records reach the store, so a crash can lose an acknowledged
+        // suffix but never commit records the journal doesn't know.
+        try {
+          util::RetryTransient(config_.backoff, [&] {
+            JournalDirectoryLocked();
+            (void)log_->journal().Append(b.wal_event);
+          });
+          ack_needs_sync = true;
+        } catch (const Error& e) {
+          EnterDegraded(e.what());
+          b.failed = true;
+          b.fail_kind = ServeErrorKind::kDegraded;
+          b.fail_message = e.what();
+        }
+      }
       Submission& sub = *b.submission;
       Session& sess = *sub.session;
-      sub.accepted += ok;
-      sub.rejected += bad;
-      sess.accepted += ok;
-      sess.rejected += bad;
-      --sess.outstanding_batches;
-      if (--sub.remaining_batches == 0 && !sub.done) {
-        sub.done = true;
-        sub.promise.set_value(Result<UploadReceipt>(
-            UploadReceipt{sub.submitted, sub.accepted, sub.rejected}));
+      if (!b.failed) {
+        const std::size_t ok = server_.CommitRecords(b.records, b.accepted);
+        const std::size_t bad = b.records.size() - ok;
+        sub.accepted += ok;
+        sub.rejected += bad;
+        sess.accepted += ok;
+        sess.rejected += bad;
       }
-      ++next_commit_seq_;
+      // A failed batch leaves its records out of the tallies entirely:
+      // accepted+rejected < submitted tells the caller those records
+      // were never evaluated and must be resubmitted.
+      --sess.outstanding_batches;
+      const bool last = --sub.remaining_batches == 0;
+      if (b.failed && !sub.done) {
+        // Fail-first: the submission's future carries the first error;
+        // later batches of the same submission still commit (the
+        // record-store prefix stays contiguous) but cannot un-fail it.
+        sub.done = true;
+        resolutions.push_back(
+            {b.submission,
+             Result<UploadReceipt>(
+                 ServeError{b.fail_kind, b.fail_message})});
+      } else if (last && !sub.done) {
+        sub.done = true;
+        resolutions.push_back(
+            {b.submission,
+             Result<UploadReceipt>(UploadReceipt{
+                 sub.submitted, sub.accepted, sub.rejected})});
+      }
+      ++next_commit_seq_;  // tickets advance even for failed batches
     }
+  }
+  if (ack_needs_sync && log_ != nullptr &&
+      std::any_of(resolutions.begin(), resolutions.end(),
+                  [](const Resolution& r) { return r.result.ok(); })) {
+    // Group commit: one fdatasync covers every frame appended up to
+    // here, and it only runs when this call is about to acknowledge a
+    // receipt.  Un-synced frames behind an un-acknowledged submission
+    // are safe — the caller will resubmit from the recovered tally.
+    try {
+      util::RetryTransient(config_.backoff, [&] { log_->Sync(); });
+    } catch (const Error& e) {
+      EnterDegraded(e.what());
+      for (Resolution& r : resolutions) {
+        if (r.result.ok()) {
+          // The records are applied in memory but their durability is
+          // unknown; an honest receipt is impossible.
+          r.result = Result<UploadReceipt>(
+              ServeError{ServeErrorKind::kDegraded, e.what()});
+        }
+      }
+    }
+  }
+  for (Resolution& r : resolutions) {
+    r.submission->promise.set_value(std::move(r.result));
   }
   progress_cv_.notify_all();
 }
@@ -342,6 +691,11 @@ std::future<Result<core::TrainReport>> Service::SubmitTrain(
           // Under ingest_mu_, so no upload can slip between the phase
           // flip and the drain target snapshot.
           std::lock_guard<std::mutex> lock(ingest_mu_);
+          if (degraded()) {
+            return ServeError{
+                ServeErrorKind::kDegraded,
+                "durability journal unwritable; service is read-only"};
+          }
           const Phase p = phase_.load(std::memory_order_acquire);
           if (p != Phase::kIngest && p != Phase::kTrained) {
             return ServeError{ServeErrorKind::kWrongPhase,
@@ -353,6 +707,33 @@ std::future<Result<core::TrainReport>> Service::SubmitTrain(
         DrainIngest();
         try {
           core::TrainReport report = server_.Train(spec, options);
+          if (log_ != nullptr) {
+            // Snapshot first, then the journal event that names it —
+            // a crash between the two leaves an orphan file, never a
+            // dangling reference.  A crash before the event replays to
+            // kIngest and the deterministic pipeline retrains the
+            // bit-identical model.
+            const std::string file =
+                "model-" + std::to_string(++model_snapshots_) + ".snap";
+            try {
+              util::RetryTransient(config_.backoff, [&] {
+                persist::WriteSnapshot(config_.durable_dir + "/" + file,
+                                       server_.model().SerializeModel());
+              });
+            } catch (const Error& e) {
+              EnterDegraded(e.what());
+              phase_.store(Phase::kIngest, std::memory_order_release);
+              return ServeError{ServeErrorKind::kDegraded, e.what()};
+            }
+            persist::TrainCompleteEvent event;
+            event.model_file = file;
+            event.front_layers = server_.released_front_layers();
+            if (std::optional<ServeError> err = JournalControlEvent(
+                    [&] { (void)log_->AppendTrainComplete(event); })) {
+              phase_.store(Phase::kIngest, std::memory_order_release);
+              return *err;
+            }
+          }
           phase_.store(Phase::kTrained, std::memory_order_release);
           return report;
         } catch (...) {
@@ -376,6 +757,11 @@ std::future<Result<std::size_t>> Service::SubmitFingerprint(
           // request) or lose (and get kWrongPhase) — never be
           // clobbered by the kServing store below.
           std::lock_guard<std::mutex> lock(ingest_mu_);
+          if (degraded()) {
+            return ServeError{
+                ServeErrorKind::kDegraded,
+                "durability journal unwritable; service is read-only"};
+          }
           const Phase p = phase_.load(std::memory_order_acquire);
           if (p != Phase::kTrained) {
             return ServeError{ServeErrorKind::kWrongPhase,
@@ -390,6 +776,31 @@ std::future<Result<std::size_t>> Service::SubmitFingerprint(
           linkage::LinkageDatabase db =
               server_.FingerprintAll(fingerprint_layer);
           const std::size_t size = db.size();
+          if (log_ != nullptr) {
+            // Snapshot-then-journal, like SubmitTrain; serialize before
+            // the database is moved into the query stage.
+            const std::string file =
+                "linkage-" + std::to_string(++linkage_snapshots_) + ".snap";
+            try {
+              util::RetryTransient(config_.backoff, [&] {
+                persist::WriteSnapshot(config_.durable_dir + "/" + file,
+                                       db.Serialize());
+              });
+            } catch (const Error& e) {
+              EnterDegraded(e.what());
+              phase_.store(Phase::kTrained, std::memory_order_release);
+              return ServeError{ServeErrorKind::kDegraded, e.what()};
+            }
+            persist::FingerprintCompleteEvent event;
+            event.linkage_file = file;
+            event.fingerprint_layer = fingerprint_layer;
+            if (std::optional<ServeError> err = JournalControlEvent([&] {
+                  (void)log_->AppendFingerprintComplete(event);
+                })) {
+              phase_.store(Phase::kTrained, std::memory_order_release);
+              return *err;
+            }
+          }
           // The query stage gets its own clone of the trained model;
           // the server keeps its copy for release.
           const nn::Network& model = server_.model();
@@ -412,6 +823,11 @@ Service::SubmitRelease(std::string participant_id) {
   return Schedule<core::TrainingServer::ReleasedModel>(
       [this, participant_id = std::move(participant_id)]()
           -> Result<core::TrainingServer::ReleasedModel> {
+        if (degraded()) {
+          return ServeError{
+              ServeErrorKind::kDegraded,
+              "durability journal unwritable; service is read-only"};
+        }
         const Phase p = phase();
         if (p != Phase::kTrained && p != Phase::kServing) {
           return ServeError{ServeErrorKind::kWrongPhase,
@@ -423,17 +839,37 @@ Service::SubmitRelease(std::string participant_id) {
                             "participant '" + participant_id +
                                 "' has no provisioned key"};
         }
-        return server_.ReleaseModelFor(participant_id);
+        core::TrainingServer::ReleasedModel released =
+            server_.ReleaseModelFor(participant_id);
+        // Audit trail: the release is durable before the caller holds
+        // the model bytes.
+        persist::ReleaseEvent event;
+        event.participant_id = participant_id;
+        if (std::optional<ServeError> err = JournalControlEvent(
+                [&] { (void)log_->AppendRelease(event); })) {
+          return *err;
+        }
+        return released;
       });
 }
 
 Result<Phase> Service::ReopenIngest() {
   std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (degraded()) {
+    return ServeError{ServeErrorKind::kDegraded,
+                      "durability journal unwritable; service is read-only"};
+  }
   const Phase p = phase_.load(std::memory_order_acquire);
   if (p != Phase::kTrained) {
     return ServeError{ServeErrorKind::kWrongPhase,
                       std::string("cannot reopen ingestion in phase ") +
                           ToString(p)};
+  }
+  // Journal the transition before it is visible: a crash right after
+  // the event replays to kIngest, exactly the state the caller saw.
+  if (std::optional<ServeError> err = JournalControlEvent(
+          [&] { (void)log_->AppendReopenIngest(); })) {
+    return *err;
   }
   phase_.store(Phase::kIngest, std::memory_order_release);
   return Phase::kIngest;

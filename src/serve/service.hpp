@@ -34,8 +34,21 @@
 // The synchronous phase methods (TrainingServer::UploadRecords,
 // QueryService::Investigate) remain as thin adapters over the same
 // batched cores, so existing callers are unchanged.
+//
+// Durability (ISSUE 8): with ServiceConfig::durable_dir set, the
+// service journals every committed upload batch (in ticket order),
+// every completed phase transition, and every release event to
+// <dir>/service.wal — appended and group-fsynced BEFORE the request's
+// future resolves — plus model/linkage snapshots next to it.  A
+// crashed process is rebuilt with Service::Recover: bit-identical
+// accept/reject counters, model bytes and element-wise investigate
+// results.  When the journal becomes unwritable (transient retries
+// exhausted), the service degrades to read-only investigate mode:
+// mutating requests fail with typed kDegraded, queries keep serving.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,8 +65,10 @@
 
 #include "core/query.hpp"
 #include "core/server.hpp"
+#include "persist/service_log.hpp"
 #include "serve/result.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/fault.hpp"
 #include "util/threadpool.hpp"
 
 namespace caltrain::serve {
@@ -95,6 +110,25 @@ struct ServiceConfig {
   /// Concurrent ingest workers on the shared pool; 0 means
   /// Parallelism::threads().
   unsigned ingest_workers = 0;
+  /// When non-empty, service state is journaled under this directory
+  /// (<dir>/service.wal + model-*/linkage-* snapshot files) before any
+  /// acknowledgement, making it crash-durable (see Recover).  The
+  /// directory must exist.  A fresh Service refuses a directory that
+  /// already holds journaled events — that is recoverable state, and
+  /// Recover is the only path that may consume it.
+  std::string durable_dir;
+  /// Journal fsync policy: kGroup commits one leader fdatasync per
+  /// acknowledgement wave; kNone skips fsync entirely (benches
+  /// isolating framing cost, tests on tmpfs).
+  persist::SyncMode journal_sync = persist::SyncMode::kGroup;
+  /// Retry budget for transient persist-I/O / enclave-transition /
+  /// auth faults (capped exponential backoff, deterministic jitter).
+  util::BackoffPolicy backoff;
+  /// Under kBlock backpressure, how long SubmitUpload may wait for
+  /// ingest-queue room before failing the submission with a typed
+  /// kTimeout (nothing from the timed-out batch onward is enqueued).
+  /// Zero waits forever (the historical behaviour).
+  std::chrono::milliseconds submit_timeout{0};
 };
 
 using SessionId = std::uint64_t;
@@ -128,6 +162,27 @@ class Service {
   [[nodiscard]] Phase phase() const noexcept {
     return phase_.load(std::memory_order_acquire);
   }
+
+  /// True once the durability journal became unwritable and the
+  /// service dropped to read-only investigate mode: every mutating
+  /// request fails with kDegraded until the operator repairs storage
+  /// and recovers; investigate requests keep serving.
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Rebuilds service and server state from the journal under
+  /// config.durable_dir: replays the participant directory, the
+  /// ticket-ordered committed batches (bit-identical accept/reject
+  /// counters and record order), and the completed phase transitions
+  /// (restoring model / linkage-database snapshots), then reopens the
+  /// journal for appending with any torn tail truncated away.  `server`
+  /// must be freshly constructed (same ServerConfig as the crashed
+  /// process).  Unrecoverable corruption — bad journal header,
+  /// malformed event, snapshot CRC mismatch — resolves to a typed
+  /// kCorruptJournal error rather than silently accepted state.
+  [[nodiscard]] static Result<std::unique_ptr<Service>> Recover(
+      core::TrainingServer& server, ServiceConfig config);
 
   // --- upload sessions (data plane) ------------------------------------
   /// Opens an upload session for a provisioned participant.  Typed
@@ -233,6 +288,15 @@ class Service {
     std::vector<data::EncryptedRecord> records;
     std::vector<char> accepted;
     std::shared_ptr<Submission> submission;
+    /// Pre-encoded kCommitBatch journal payload (built off the commit
+    /// lock by the ingest worker; empty when not journaling).
+    Bytes wal_event;
+    /// Authentication failed permanently (transient retries exhausted
+    /// or a non-transient error); the batch commits nothing and the
+    /// submission resolves with `fail_kind`.
+    bool failed = false;
+    ServeErrorKind fail_kind = ServeErrorKind::kInternal;
+    std::string fail_message;
   };
 
   // Ingest workers (pool tasks).
@@ -241,6 +305,20 @@ class Service {
   void ProcessBatch(IngestBatch batch);
   void Commit(std::uint64_t seq, AuthedBatch batch);
   void FinishPoolOp();
+
+  // Durability plumbing.
+  Service(core::TrainingServer& server, ServiceConfig config, bool recover);
+  void OpenFreshLog();
+  void RecoverFromLog();
+  void EnterDegraded(const std::string& why);
+  /// Journals a fresh participant-directory snapshot if provisioning
+  /// moved past the last version logged.  Caller holds state_mu_.
+  void JournalDirectoryLocked();
+  /// Strand-side: journal one phase-transition/release event (plus a
+  /// directory refresh) and group-sync it.  Returns an error on
+  /// degradation, nullopt on success.
+  std::optional<ServeError> JournalControlEvent(
+      const std::function<void()>& append);
 
   // Workspace pool for single-probe investigate requests (avoids one
   // full LayerWorkspace allocation per query on the serving path).
@@ -287,6 +365,14 @@ class Service {
   ServiceConfig config_;
   unsigned max_pumps_;
   util::ThreadPool& pool_;
+
+  // Durability state.  log_ is set once in the constructor (before any
+  // worker thread exists) and never reassigned.
+  std::unique_ptr<persist::ServiceLog> log_;
+  std::atomic<bool> degraded_{false};
+  std::uint64_t logged_directory_version_ = 0;  ///< guarded by state_mu_
+  std::uint64_t model_snapshots_ = 0;    ///< strand-only
+  std::uint64_t linkage_snapshots_ = 0;  ///< strand-only
 
   // Enqueue side: ingest_mu_ orders ticket assignment, makes the
   // reject-policy capacity check all-or-nothing, and fences phase

@@ -17,6 +17,7 @@
 // ingest workers rely on.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -25,6 +26,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace caltrain::util {
 
@@ -32,6 +34,13 @@ namespace caltrain::util {
 enum class BackpressurePolicy {
   kBlock,   ///< wait for room
   kReject,  ///< fail fast (caller sees saturation)
+};
+
+/// Outcome of a deadline-aware PushUntil.
+enum class PushResult {
+  kOk,        ///< enqueued
+  kTimedOut,  ///< still full at the deadline; nothing enqueued
+  kClosed,    ///< queue closed; nothing enqueued
 };
 
 template <typename T>
@@ -59,6 +68,31 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Deadline-aware push: waits for room until `deadline`, regardless
+  /// of the backpressure policy (this is the kBlock producer's escape
+  /// hatch from blocking forever — the caller turns kTimedOut into a
+  /// typed kTimeout error instead of hanging).  Nothing is ever
+  /// partially enqueued: on kTimedOut/kClosed the value was not added.
+  /// Fault point "queue.push" (action `timeout`) forces kTimedOut.
+  PushResult PushUntil(T value,
+                       std::chrono::steady_clock::time_point deadline) {
+    if (FaultInjector::Global().armed() &&
+        FaultPoint("queue.push") == FaultAction::kTimeout) {
+      return PushResult::kTimedOut;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_full_.wait_until(lock, deadline, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return PushResult::kTimedOut;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Non-waiting push regardless of policy; false when full or closed.

@@ -23,6 +23,8 @@ enum class ErrorKind {
   kAuthFailure,      ///< cryptographic authentication / attestation failed
   kCapacity,         ///< resource limit exceeded (e.g. EPC exhausted)
   kNotFound,         ///< lookup missed
+  kUnavailable,      ///< transient fault (I/O error, injected fault);
+                     ///< retrying with backoff may succeed
   kInternal,         ///< invariant violation inside the library
 };
 

@@ -1,0 +1,173 @@
+#include "util/fault.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace caltrain::util {
+
+namespace {
+
+FaultAction ParseAction(std::string_view text) {
+  if (text == "eio") return FaultAction::kEio;
+  if (text == "short") return FaultAction::kShortWrite;
+  if (text == "torn") return FaultAction::kTornWrite;
+  if (text == "crash") return FaultAction::kCrash;
+  if (text == "timeout") return FaultAction::kTimeout;
+  ThrowError(ErrorKind::kInvalidArgument,
+             "unknown fault action '" + std::string(text) + "'");
+}
+
+/// splitmix64 — the jitter generator (stateless, seedable).
+std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("CALTRAIN_FAULT");
+        env != nullptr && env[0] != '\0') {
+      inj->Configure(env);
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Configure(const std::string& spec) {
+  std::vector<std::unique_ptr<Rule>> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(",;", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string_view entry =
+        std::string_view(spec).substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) {
+      if (end == spec.size()) break;
+      continue;
+    }
+    const std::size_t eq = entry.find('=');
+    CALTRAIN_REQUIRE(eq != std::string_view::npos && eq > 0,
+                     "fault rule must be point=action[@N[+]]: '" +
+                         std::string(entry) + "'");
+    auto rule = std::make_unique<Rule>();
+    rule->point = std::string(entry.substr(0, eq));
+    std::string_view action = entry.substr(eq + 1);
+    const std::size_t at = action.find('@');
+    if (at != std::string_view::npos) {
+      std::string_view count = action.substr(at + 1);
+      action = action.substr(0, at);
+      if (!count.empty() && count.back() == '+') {
+        rule->from_nth_on = true;
+        count.remove_suffix(1);
+      }
+      std::uint64_t nth = 0;
+      for (const char c : count) {
+        CALTRAIN_REQUIRE(c >= '0' && c <= '9',
+                         "fault rule hit count must be a positive integer: '" +
+                             std::string(entry) + "'");
+        nth = nth * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      CALTRAIN_REQUIRE(nth > 0, "fault rule hit count must be >= 1: '" +
+                                    std::string(entry) + "'");
+      rule->nth = nth;
+    }
+    rule->action = ParseAction(action);
+    rules.push_back(std::move(rule));
+  }
+  rules_ = std::move(rules);
+  armed_.store(!rules_.empty(), std::memory_order_release);
+}
+
+FaultAction FaultInjector::Hit(std::string_view point) noexcept {
+  if (!armed()) return FaultAction::kNone;
+  for (const auto& rule : rules_) {
+    if (rule->point != point) continue;
+    const std::uint64_t hit =
+        rule->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (rule->nth == 0) return rule->action;        // every hit
+    if (rule->from_nth_on && hit >= rule->nth) return rule->action;
+    if (!rule->from_nth_on && hit == rule->nth) return rule->action;
+    return FaultAction::kNone;
+  }
+  return FaultAction::kNone;
+}
+
+const std::vector<std::string>& RegisteredFaultPoints() {
+  static const std::vector<std::string> points = {
+      "persist.append", "persist.sync",  "persist.snapshot",
+      "enclave.transition", "serve.auth", "queue.push",
+  };
+  return points;
+}
+
+FaultAction FaultPoint(std::string_view point) {
+  const FaultAction action = FaultInjector::Global().Hit(point);
+  switch (action) {
+    case FaultAction::kNone:
+      return action;
+    case FaultAction::kCrash:
+      FaultCrash(point);
+    case FaultAction::kEio:
+      ThrowError(ErrorKind::kUnavailable,
+                 "injected I/O fault at '" + std::string(point) + "'");
+    case FaultAction::kShortWrite:
+    case FaultAction::kTornWrite:
+    case FaultAction::kTimeout:
+      // Meaningful only to persist I/O / deadline waits; those callers
+      // interpret the returned action.  Anywhere else a torn write
+      // cannot be simulated, so it degenerates to the crash half.
+      return action;
+  }
+  return FaultAction::kNone;
+}
+
+void FaultCrash(std::string_view point) {
+  // No logging machinery here: the point of the crash action is dying
+  // with no flushes, like SIGKILL.  (write(2) is async-signal-safe and
+  // leaves a breadcrumb for humans debugging a harness.)
+  static constexpr char kPrefix[] = "caltrain: injected crash at ";
+  (void)!::write(STDERR_FILENO, kPrefix, sizeof(kPrefix) - 1);
+  (void)!::write(STDERR_FILENO, point.data(), point.size());
+  (void)!::write(STDERR_FILENO, "\n", 1);
+  ::_Exit(FaultInjector::kCrashExitCode);
+}
+
+std::uint64_t BackoffPolicy::DelayMicros(unsigned retry) const noexcept {
+  if (retry == 0) retry = 1;
+  // min(cap, base << (retry-1)), overflow-safe.
+  std::uint64_t delay = base_us;
+  for (unsigned i = 1; i < retry && delay < cap_us; ++i) delay *= 2;
+  if (delay > cap_us) delay = cap_us;
+  const std::uint64_t jitter_span = delay / 2;
+  if (jitter_span == 0) return delay;
+  return delay + Mix64(seed ^ (0x5bd1e995ULL * retry)) % jitter_span;
+}
+
+namespace detail {
+
+void SleepMicros(std::uint64_t us) {
+  if (us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void ThrowRetriesExhausted(unsigned attempts, const std::string& last_message) {
+  ThrowError(ErrorKind::kUnavailable,
+             "retries exhausted after " + std::to_string(attempts) +
+                 " attempts; last transient failure: " + last_message);
+}
+
+}  // namespace detail
+
+}  // namespace caltrain::util

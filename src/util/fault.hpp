@@ -1,0 +1,185 @@
+// Deterministic fault injection (ISSUE 8).
+//
+// Production code declares *named fault points* at the places where the
+// real world fails — journal writes, fsync, enclave transitions, record
+// authentication, queue pushes — and the injector decides, per hit and
+// fully deterministically, whether that point fires and with what
+// fault.  With no faults configured every check is one relaxed atomic
+// load, so the points can stay in release builds.
+//
+// Configuration comes from the CALTRAIN_FAULT environment variable (or
+// Configure() in tests).  The spec is a comma/semicolon-separated list
+// of rules:
+//
+//   point=action           fire on every hit
+//   point=action@N         fire on the Nth hit only (1-based)
+//   point=action@N+        fire on every hit from the Nth on
+//
+// Actions:
+//
+//   eio     throw caltrain::Error(kUnavailable) — a transient I/O
+//           error; retry loops with backoff are expected to absorb a
+//           bounded number of these
+//   short   short write: persist I/O writes a partial frame, then
+//           fails kUnavailable (the writer truncates the torn bytes
+//           before any retry)
+//   torn    short write followed by immediate process death — leaves a
+//           torn frame on disk for recovery to detect and truncate
+//   crash   _Exit(kCrashExitCode) at the fault point: simulates
+//           kill -9 mid-operation (no flushes, no destructors)
+//   timeout deadline-aware waits (BoundedQueue::PushUntil) report an
+//           immediate timeout
+//
+// Example: CALTRAIN_FAULT="persist.append=eio@2,enclave.transition=crash@5"
+//
+// Registered fault points (kept in sync with RegisteredFaultPoints()):
+//   persist.append      journal frame write
+//   persist.sync        journal fsync / group commit
+//   persist.snapshot    snapshot file write
+//   enclave.transition  TransitionGuard construction (batch auth path)
+//   serve.auth          serve-layer record authentication
+//   queue.push          BoundedQueue::PushUntil wait
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace caltrain::util {
+
+enum class FaultAction {
+  kNone,
+  kEio,
+  kShortWrite,
+  kTornWrite,
+  kCrash,
+  kTimeout,
+};
+
+[[nodiscard]] constexpr const char* ToString(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kEio:
+      return "eio";
+    case FaultAction::kShortWrite:
+      return "short";
+    case FaultAction::kTornWrite:
+      return "torn";
+    case FaultAction::kCrash:
+      return "crash";
+    case FaultAction::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+class FaultInjector {
+ public:
+  /// Exit status of a process killed by the crash action — the crash
+  /// harness uses it to tell an injected kill from a genuine failure.
+  static constexpr int kCrashExitCode = 42;
+
+  /// Process-wide injector; parses CALTRAIN_FAULT once on first use.
+  [[nodiscard]] static FaultInjector& Global();
+
+  /// Replaces every rule (and resets all hit counters) with `spec`.
+  /// Throws kInvalidArgument on a malformed spec.  Tests use this to
+  /// override whatever the environment configured.  NOT safe
+  /// concurrently with Hit() — configure before the threads that reach
+  /// the fault points exist.
+  void Configure(const std::string& spec);
+
+  /// Removes all rules.
+  void Clear() { Configure(""); }
+
+  /// Records one hit of `point` and returns the action that fires
+  /// (kNone almost always).  Never throws, never crashes — callers
+  /// decide how an action manifests.
+  [[nodiscard]] FaultAction Hit(std::string_view point) noexcept;
+
+  /// True when any rule is loaded (fast pre-check for hot paths).
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Rule {
+    std::string point;
+    FaultAction action = FaultAction::kNone;
+    std::uint64_t nth = 0;      ///< 0 = every hit
+    bool from_nth_on = false;   ///< "@N+": every hit >= nth
+    std::atomic<std::uint64_t> hits{0};
+  };
+
+  std::atomic<bool> armed_{false};
+  // Rules are written only by Configure (startup / test setup, before
+  // the threads that hit the points exist) and read concurrently; the
+  // unique_ptrs keep Rule addresses stable for the atomic hit counters.
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// The registered fault-point names, for harnesses that sweep them.
+[[nodiscard]] const std::vector<std::string>& RegisteredFaultPoints();
+
+/// Declares a fault point.  kCrash/kTornWrite terminate the process for
+/// real (kTornWrite only after the caller wrote its partial frame — the
+/// persist layer handles it; elsewhere it behaves like kCrash); kEio
+/// throws Error(kUnavailable); kShortWrite/kTimeout are returned for
+/// the caller to interpret.  One relaxed load when no faults are
+/// configured.
+FaultAction FaultPoint(std::string_view point);
+
+/// Terminates the process with kCrashExitCode, skipping destructors and
+/// flushes — the injected equivalent of kill -9.
+[[noreturn]] void FaultCrash(std::string_view point);
+
+/// Capped exponential backoff with deterministic jitter, for retrying
+/// transient (kUnavailable) faults.  Delays depend only on (seed,
+/// attempt), so a replayed run waits the same schedule.
+struct BackoffPolicy {
+  unsigned max_attempts = 4;           ///< total tries, including the first
+  std::uint64_t base_us = 200;         ///< delay before the first retry
+  std::uint64_t cap_us = 20'000;       ///< upper bound on any delay
+  std::uint64_t seed = 1;              ///< jitter seed
+
+  /// Delay before retry number `retry` (1-based), in microseconds:
+  /// min(cap, base * 2^(retry-1)) plus deterministic jitter in
+  /// [0, delay/2).
+  [[nodiscard]] std::uint64_t DelayMicros(unsigned retry) const noexcept;
+};
+
+namespace detail {
+void SleepMicros(std::uint64_t us);
+[[noreturn]] void ThrowRetriesExhausted(unsigned attempts,
+                                        const std::string& last_message);
+}  // namespace detail
+
+/// Runs `fn`, retrying on Error(kUnavailable) per `policy` (sleeping
+/// DelayMicros between tries).  Non-transient errors propagate
+/// unchanged; after max_attempts transient failures a kUnavailable
+/// error with a retries-exhausted prefix propagates (callers map it to
+/// the typed kRetryExhausted).
+template <typename Fn>
+auto RetryTransient(const BackoffPolicy& policy, Fn&& fn)
+    -> decltype(fn()) {
+  const unsigned attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const Error& e) {
+      if (e.kind() != ErrorKind::kUnavailable) throw;
+      if (attempt >= attempts) {
+        detail::ThrowRetriesExhausted(attempts, e.what());
+      }
+      detail::SleepMicros(policy.DelayMicros(attempt));
+    }
+  }
+}
+
+}  // namespace caltrain::util

@@ -69,6 +69,36 @@ TEST(ServeResultTest, FromErrorMapsKinds) {
             ServeErrorKind::kWrongPhase);
   EXPECT_EQ(FromError(Error(ErrorKind::kInternal, "x")).kind,
             ServeErrorKind::kInternal);
+  // A transient error surviving the boundary means the retry budget is
+  // spent.
+  EXPECT_EQ(FromError(Error(ErrorKind::kUnavailable, "x")).kind,
+            ServeErrorKind::kRetryExhausted);
+}
+
+TEST(ServeResultTest, RobustnessKindsHaveNamesAndTypedRethrow) {
+  EXPECT_STREQ(ToString(ServeErrorKind::kTimeout), "timeout");
+  EXPECT_STREQ(ToString(ServeErrorKind::kRetryExhausted), "retry-exhausted");
+  EXPECT_STREQ(ToString(ServeErrorKind::kDegraded), "degraded");
+  EXPECT_STREQ(ToString(ServeErrorKind::kCorruptJournal), "corrupt-journal");
+  try {
+    (void)Result<int>(ServeError{ServeErrorKind::kTimeout, "t"}).value();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kUnavailable);
+  }
+  try {
+    (void)Result<int>(ServeError{ServeErrorKind::kDegraded, "d"}).value();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kFailedPrecondition);
+  }
+  try {
+    (void)Result<int>(ServeError{ServeErrorKind::kCorruptJournal, "c"})
+        .value();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInternal);
+  }
 }
 
 // ------------------------------------------------------------------ ingest
@@ -478,6 +508,83 @@ TEST(ServicePipelineTest, TrainFailureRevertsToIngestPhase) {
       service.SubmitUpload(session.value(), alice.PackRecords()).get().ok());
   EXPECT_TRUE(
       service.SubmitTrain(nn::Table1Spec(32), FastOptions()).get().ok());
+}
+
+TEST(ServicePhaseRaceTest, ReopenVersusFingerprintExactlyOneWins) {
+  // The check-and-flip under ingest_mu_ makes ReopenIngest and
+  // SubmitFingerprint mutually exclusive from kTrained: whichever
+  // loses the race must see kWrongPhase — they can never both succeed,
+  // and the machine must never land in a mixed state.
+  core::TrainingServer server;
+  core::Participant alice("alice", TinyCifar(16, 55), 510);
+  alice.Provision(server, server.training_measurement());
+  Service service(server);
+  const Result<SessionId> session = service.OpenUploadSession("alice");
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(
+      service.SubmitUpload(session.value(), alice.PackRecords()).get().ok());
+  ASSERT_TRUE(
+      service.SubmitTrain(nn::Table1Spec(32), FastOptions()).get().ok());
+
+  Result<Phase> reopened{ServeError{}};
+  Result<std::size_t> fingerprinted{ServeError{}};
+  std::thread t1([&] { reopened = service.ReopenIngest(); });
+  std::thread t2([&] { fingerprinted = service.SubmitFingerprint().get(); });
+  t1.join();
+  t2.join();
+
+  EXPECT_NE(reopened.ok(), fingerprinted.ok())
+      << "exactly one of the racing transitions may win";
+  if (reopened.ok()) {
+    EXPECT_EQ(fingerprinted.error().kind, ServeErrorKind::kWrongPhase);
+    EXPECT_EQ(service.phase(), Phase::kIngest);
+  } else {
+    EXPECT_EQ(reopened.error().kind, ServeErrorKind::kWrongPhase);
+    EXPECT_EQ(service.phase(), Phase::kServing);
+  }
+}
+
+TEST(ServicePhaseRaceTest, ReopenVersusTrainNeverWedgesTheMachine) {
+  // ReopenIngest racing SubmitTrain from kTrained: train is legal from
+  // both kTrained and kIngest, so it must succeed no matter which side
+  // wins the flip, reopen must either succeed or fail typed, and the
+  // machine must end in a phase uploads or training can proceed from.
+  core::TrainingServer server;
+  core::Participant alice("alice", TinyCifar(16, 56), 511);
+  alice.Provision(server, server.training_measurement());
+  Service service(server);
+  const Result<SessionId> session = service.OpenUploadSession("alice");
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(
+      service.SubmitUpload(session.value(), alice.PackRecords()).get().ok());
+  ASSERT_TRUE(
+      service.SubmitTrain(nn::Table1Spec(32), FastOptions()).get().ok());
+
+  core::PartitionedTrainOptions resume = FastOptions();
+  resume.resume = true;
+  for (int round = 0; round < 4; ++round) {
+    Result<Phase> reopened{ServeError{}};
+    Result<core::TrainReport> trained{ServeError{}};
+    std::thread t1([&] { reopened = service.ReopenIngest(); });
+    std::thread t2(
+        [&] { trained = service.SubmitTrain(nn::Table1Spec(32), resume).get(); });
+    t1.join();
+    t2.join();
+    ASSERT_TRUE(trained.ok()) << "round " << round;
+    if (!reopened.ok()) {
+      EXPECT_EQ(reopened.error().kind, ServeErrorKind::kWrongPhase)
+          << "round " << round;
+    }
+    const Phase p = service.phase();
+    ASSERT_TRUE(p == Phase::kTrained || p == Phase::kIngest)
+        << "round " << round << " landed in " << ToString(p);
+    if (p == Phase::kIngest) {
+      // Reopen landed after training finished; restore kTrained so the
+      // next round races from the same starting state.
+      ASSERT_TRUE(
+          service.SubmitTrain(nn::Table1Spec(32), resume).get().ok());
+    }
+  }
 }
 
 TEST(ServicePipelineTest, ReopenIngestSupportsResumeFlows) {

@@ -1,12 +1,17 @@
 // Unit tests for the util substrate: bytes/hex, RNG, serialization,
-// and the numeric helpers the assessment/linkage layers depend on.
+// the bounded queue's deadline push, and the numeric helpers the
+// assessment/linkage layers depend on.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
+#include "util/bounded_queue.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/mathx.hpp"
 #include "util/rng.hpp"
 #include "util/serial.hpp"
@@ -244,6 +249,53 @@ TEST(ErrorTest, KindIsPreserved) {
     EXPECT_EQ(e.kind(), ErrorKind::kAuthFailure);
     EXPECT_NE(std::string(e.what()).find("bad tag"), std::string::npos);
   }
+}
+
+// --------------------------------------------------- deadline-aware push
+
+TEST(BoundedQueueTest, PushUntilTimesOutOnFullQueueAllOrNothing) {
+  util::BoundedQueue<int> queue(1, util::BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(1));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_EQ(queue.PushUntil(2, deadline), util::PushResult::kTimedOut);
+  EXPECT_EQ(queue.size(), 1U) << "a timed-out push must enqueue nothing";
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(1));
+}
+
+TEST(BoundedQueueTest, PushUntilSucceedsOnceConsumerMakesRoom) {
+  util::BoundedQueue<int> queue(1, util::BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  EXPECT_EQ(queue.PushUntil(2, deadline), util::PushResult::kOk);
+  consumer.join();
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTest, PushUntilReportsClosedNotTimeout) {
+  util::BoundedQueue<int> queue(1, util::BackpressurePolicy::kBlock);
+  queue.Close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  EXPECT_EQ(queue.PushUntil(1, deadline), util::PushResult::kClosed);
+}
+
+TEST(BoundedQueueTest, PushUntilHonorsTimeoutFaultPoint) {
+  util::FaultInjector::Global().Configure("queue.push=timeout@1");
+  util::BoundedQueue<int> queue(4, util::BackpressurePolicy::kBlock);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  // First push hits the injected timeout despite plenty of room; the
+  // second goes through once the rule is spent.
+  EXPECT_EQ(queue.PushUntil(1, deadline), util::PushResult::kTimedOut);
+  EXPECT_EQ(queue.PushUntil(2, deadline), util::PushResult::kOk);
+  EXPECT_EQ(queue.size(), 1U);
+  util::FaultInjector::Global().Clear();
 }
 
 }  // namespace

@@ -143,6 +143,51 @@ def check_crypto(rows, prefix, family, isa):
     return ok
 
 
+# Durable-ingest overhead gate (ISSUE 8): the journaled serve-ingest
+# row must keep >= this fraction of the plain async row's throughput
+# (<= 10% overhead for crash durability on the hot ingest path).
+JOURNAL_BASE_OP = "BM_ServeIngest/async_batch32"
+JOURNAL_GATED_OP = "BM_ServeIngest/journal_batch32"
+JOURNAL_MIN_RATIO = 0.90
+
+
+def find_items_per_s(rows, op):
+    for row in rows:
+        if row.get("op") == op:
+            value = float(row.get("items_per_s", 0.0))
+            if value > 0.0:
+                return value
+    return None
+
+
+def check_journal_overhead(rows, require):
+    base = find_items_per_s(rows, JOURNAL_BASE_OP)
+    gated = find_items_per_s(rows, JOURNAL_GATED_OP)
+    if base is None or gated is None:
+        # The serve-ingest rows live in BENCH_serve.json, not
+        # BENCH_micro.json — skip quietly when this file has neither
+        # (unless --serve-only demands them), but fail if only one half
+        # of the pair is present.
+        if base is None and gated is None and not require:
+            print("skip BM_ServeIngest journal gate: no serve-ingest rows "
+                  "in this bench JSON")
+            return True
+        missing = JOURNAL_BASE_OP if base is None else JOURNAL_GATED_OP
+        print(f"FAIL BM_ServeIngest journal gate: {missing} row missing "
+              f"(emitter regression?)")
+        return False
+    ratio = gated / base
+    status = "ok" if ratio >= JOURNAL_MIN_RATIO else "FAIL"
+    print(f"{status:4} {JOURNAL_GATED_OP:32} {gated:12.0f} rec/s = "
+          f"{ratio:5.2f}x of {JOURNAL_BASE_OP}")
+    if ratio < JOURNAL_MIN_RATIO:
+        print(f"FAIL journaled ingest runs at {ratio:.2f}x of plain async "
+              f"(floor {JOURNAL_MIN_RATIO:.2f}) — the WAL is costing more "
+              f"than 10% on the hot ingest path (group commit broken?)")
+        return False
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json")
@@ -150,19 +195,26 @@ def main():
                         help="minimum allowed multi-thread/1-thread "
                              "throughput ratio (default 0.90; >1 enforces "
                              "genuine speedup on multi-core runners)")
+    parser.add_argument("--serve-only", action="store_true",
+                        help="gate only the serve-ingest journal overhead "
+                             "(for BENCH_serve.json, which has no thread "
+                             "sweeps or crypto rows); the journal row pair "
+                             "becomes mandatory")
     args = parser.parse_args()
 
     with open(args.bench_json, encoding="utf-8") as f:
         rows = json.load(f)
 
     ok = True
-    for prefix in GATED_SWEEPS:
-        ok = check(rows, prefix, args.tolerance) and ok
-    isa = parse_isa_summary(rows)
-    for prefix, family in CRYPTO_GATES.items():
-        ok = check_crypto(rows, prefix, family, isa) and ok
+    if not args.serve_only:
+        for prefix in GATED_SWEEPS:
+            ok = check(rows, prefix, args.tolerance) and ok
+        isa = parse_isa_summary(rows)
+        for prefix, family in CRYPTO_GATES.items():
+            ok = check_crypto(rows, prefix, family, isa) and ok
+    ok = check_journal_overhead(rows, require=args.serve_only) and ok
     if ok:
-        print("parallel scaling + crypto dispatch gate: PASS")
+        print("bench gate: PASS")
     return 0 if ok else 1
 
 
