@@ -1,7 +1,6 @@
 #include "core/server.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 
 #include "util/log.hpp"
@@ -50,13 +49,13 @@ TrainingServer::ParticipantState& TrainingServer::StateOf(
     const std::string& participant_id) {
   // std::map nodes are stable, so the returned reference stays valid
   // while other sessions insert concurrently.
-  std::unique_lock lock(participants_mu_);
+  util::WriterLock lock(participants_mu_);
   return participants_[participant_id];
 }
 
 std::shared_ptr<const TrainingServer::Credentials>
 TrainingServer::CredentialsOf(const std::string& participant_id) const {
-  std::shared_lock lock(participants_mu_);
+  util::ReaderLock lock(participants_mu_);
   const auto it = participants_.find(participant_id);
   if (it == participants_.end()) return nullptr;
   return it->second.creds;
@@ -112,7 +111,7 @@ bool TrainingServer::HandleKeyProvision(const std::string& participant_id,
     // (e.g. ingest workers mid-batch) keep it alive via shared_ptr.
     auto creds = std::make_shared<const Credentials>(key, sign_pub);
     {
-      std::unique_lock lock(participants_mu_);
+      util::WriterLock lock(participants_mu_);
       state.creds = std::move(creds);
     }
     directory_version_.fetch_add(1, std::memory_order_acq_rel);
@@ -126,7 +125,7 @@ bool TrainingServer::IsProvisioned(const std::string& participant_id) const {
 }
 
 Bytes TrainingServer::SerializeDirectory() const {
-  std::shared_lock lock(participants_mu_);
+  util::ReaderLock lock(participants_mu_);
   ByteWriter writer;
   std::uint32_t provisioned = 0;
   for (const auto& [id, state] : participants_) {
@@ -145,7 +144,7 @@ Bytes TrainingServer::SerializeDirectory() const {
 }
 
 void TrainingServer::RestoreDirectory(BytesView blob, std::uint64_t version) {
-  std::unique_lock lock(participants_mu_);
+  util::WriterLock lock(participants_mu_);
   for (const auto& [id, state] : participants_) {
     CALTRAIN_REQUIRE(state.creds == nullptr,
                      "RestoreDirectory requires an unprovisioned server");
@@ -264,7 +263,7 @@ std::size_t TrainingServer::CommitRecords(
                    "accept-flag count != record count");
   std::size_t ok = 0;
   {
-    std::lock_guard<std::mutex> lock(records_mu_);
+    util::MutexLock lock(records_mu_);
     for (std::size_t i = 0; i < records.size(); ++i) {
       if (accepted[i] != 0) {
         records_.push_back(records[i]);
@@ -279,6 +278,12 @@ std::size_t TrainingServer::CommitRecords(
 
 TrainReport TrainingServer::Train(const nn::NetworkSpec& spec,
                                   const PartitionedTrainOptions& options) {
+  // Training runs with ingest quiesced (serve::Service drains its queue
+  // first); holding records_mu_ for the whole pass promotes that
+  // convention into an enforced invariant — a concurrent CommitRecords
+  // now blocks instead of racing the epoch loop's reads.  The lock is
+  // uncontended in the quiesced state, so this costs nothing.
+  util::MutexLock records_lock(records_mu_);
   CALTRAIN_REQUIRE(!records_.empty(), "no accepted training records");
   Rng rng(options.seed);
   if (options.resume) {
@@ -315,6 +320,9 @@ TrainReport TrainingServer::Train(const nn::NetworkSpec& spec,
       nn::Batch batch;
       std::vector<int> labels(count);
       training_enclave_->Ecall([&] {
+        // Capabilities do not propagate into lambda bodies; the
+        // enclosing Train holds records_mu_ for the whole pass.
+        records_mu_.AssertHeld();
         for (std::size_t i = 0; i < count; ++i) {
           const data::EncryptedRecord& record = records_[order[first + i]];
           const auto creds = CredentialsOf(record.participant_id);
@@ -386,6 +394,9 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
   CALTRAIN_REQUIRE(model_.has_value(), "no trained model yet");
   const int layer =
       fingerprint_layer < 0 ? model_->PenultimateIndex() : fingerprint_layer;
+  // Same quiesced-ingest contract as Train: hold records_mu_ across the
+  // read pass so a misplaced concurrent commit blocks instead of racing.
+  util::MutexLock records_lock(records_mu_);
   linkage::LinkageDatabase db;
   // Fingerprinting is a one-time pass, so the *entire* network is
   // enclosed in the fingerprinting enclave (paper Sec. IV-C).
@@ -415,6 +426,8 @@ linkage::LinkageDatabase TrainingServer::FingerprintAll(
     std::vector<data::VerifiedRecord> verified(records_.size());
     for (std::size_t i = 0; i < records_.size(); ++i) {
       fingerprint_enclave_->Ecall([&] {
+        // Lambda-inherited capability: FingerprintAll holds records_mu_.
+        records_mu_.AssertHeld();
         fingerprint_enclave_->epc().Touch(model_region);
         const auto creds = CredentialsOf(records_[i].participant_id);
         CALTRAIN_CHECK(creds != nullptr, "record from deprovisioned source");

@@ -23,9 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +36,8 @@
 #include "nn/trainer.hpp"
 #include "securechannel/handshake.hpp"
 #include "securechannel/record.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace caltrain::core {
 
@@ -244,16 +244,20 @@ class TrainingServer {
   /// shared lock; provisioning swaps in a new immutable snapshot under
   /// an exclusive lock).  Handshake state is owned by the provisioning
   /// flow, which is serial per participant.
-  mutable std::shared_mutex participants_mu_;
-  std::map<std::string, ParticipantState> participants_;
-  /// Guards records_ growth during concurrent upload sessions.  Train /
-  /// FingerprintAll read records_ without the lock: they run only once
-  /// ingest has quiesced (serve::Service drains its queue first).
-  std::mutex records_mu_;
-  std::vector<data::EncryptedRecord> records_;
+  mutable util::SharedMutex participants_mu_;
+  std::map<std::string, ParticipantState> participants_
+      GUARDED_BY(participants_mu_);
+  /// Guards records_.  Concurrent upload sessions append under it;
+  /// Train / FingerprintAll hold it across their read passes (they run
+  /// once ingest has quiesced, so the lock is uncontended there — it
+  /// turns the quiescence convention into an enforced invariant).
+  util::Mutex records_mu_;
+  std::vector<data::EncryptedRecord> records_ GUARDED_BY(records_mu_);
   std::atomic<std::size_t> accepted_{0};
   std::atomic<std::size_t> rejected_{0};
   std::atomic<std::uint64_t> directory_version_{0};
+  /// Owned by the phase pipeline (train -> fingerprint -> release runs
+  /// on one logical strand; serve::Service serializes via its strand).
   std::optional<nn::Network> model_;
   int released_front_layers_ = 0;
 };

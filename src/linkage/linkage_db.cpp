@@ -5,6 +5,7 @@
 
 #include "data/packaging.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/threadpool.hpp"
 
 namespace caltrain::linkage {
@@ -30,6 +31,14 @@ LinkageDatabase::LinkageDatabase(LinkageDatabase&& other) noexcept
       tail_limit_(other.tail_limit_) {}
 
 LinkageDatabase& LinkageDatabase::operator=(LinkageDatabase&& other) noexcept {
+  if (this == &other) return *this;
+  // Moves require external exclusivity over both objects (as for any
+  // std container); the locks below turn a violation of that contract
+  // into a wait instead of a race, and satisfy the guarded-member
+  // annotations.  Fixed source-then-destination order — concurrent
+  // cross-assignments of the same pair are outside the contract.
+  util::MutexLock other_lock(other.directory_mu_);
+  util::MutexLock this_lock(directory_mu_);
   segments_ = std::move(other.segments_);
   locator_ = std::move(other.locator_);
   tail_limit_ = other.tail_limit_;
@@ -44,19 +53,18 @@ std::uint64_t LinkageDatabase::Insert(Fingerprint fingerprint, int label,
   std::uint64_t id = 0;
   std::size_t pos = 0;
   {
-    std::lock_guard<std::mutex> lock(directory_mu_);
+    util::MutexLock lock(directory_mu_);
     id = locator_.size();
     segment = EnsureSegmentLocked(label);
     pos = segment->reserved++;
     locator_.push_back(Location{segment, pos});
   }
   {
-    std::unique_lock<std::mutex> lock(segment->mu);
+    util::MutexLock lock(segment->mu);
     // Waits only when a concurrent InsertBatch reserved an earlier,
     // still-unlanded slot in this segment; uncontended inserts append
     // immediately.
-    segment->appended.wait(lock,
-                           [&] { return segment->tuples.size() == pos; });
+    while (segment->tuples.size() != pos) segment->appended.Wait(lock);
     LinkageTuple tuple;
     tuple.id = id;
     tuple.fingerprint = std::move(fingerprint);
@@ -65,7 +73,7 @@ std::uint64_t LinkageDatabase::Insert(Fingerprint fingerprint, int label,
     tuple.hash = hash;
     segment->tuples.push_back(std::move(tuple));
   }
-  segment->appended.notify_all();
+  segment->appended.NotifyAll();
   return id;
 }
 
@@ -89,7 +97,7 @@ std::vector<std::uint64_t> LinkageDatabase::InsertBatch(
   };
   std::vector<Group> groups;
   {
-    std::lock_guard<std::mutex> lock(directory_mu_);
+    util::MutexLock lock(directory_mu_);
     const std::uint64_t base = locator_.size();
     std::unordered_map<int, std::size_t> group_of;
     locator_.reserve(locator_.size() + n);
@@ -113,6 +121,9 @@ std::vector<std::uint64_t> LinkageDatabase::InsertBatch(
   // never block on another call's progress.
   const auto append_group = [&](const Group& group) {
     Segment& seg = *group.segment;
+    // Callers hold seg.mu; restate it for the analysis (capabilities do
+    // not propagate into lambda bodies).
+    seg.mu.AssertHeld();
     for (const std::size_t i : group.items) {
       LinkageTuple tuple;
       tuple.id = ids[i];
@@ -126,39 +137,38 @@ std::vector<std::uint64_t> LinkageDatabase::InsertBatch(
   std::vector<std::uint8_t> done(groups.size(), 0);
   util::ParallelFor(0, groups.size(), [&](std::size_t g) {
     Segment& seg = *groups[g].segment;
-    std::unique_lock<std::mutex> lock(seg.mu);
+    util::MutexLock lock(seg.mu);
     if (seg.tuples.size() != groups[g].first_pos) return;  // deferred
     append_group(groups[g]);
-    lock.unlock();
-    seg.appended.notify_all();
+    lock.Unlock();
+    seg.appended.NotifyAll();
     done[g] = 1;
   });
   for (std::size_t g = 0; g < groups.size(); ++g) {
     if (done[g] != 0) continue;
     Segment& seg = *groups[g].segment;
-    std::unique_lock<std::mutex> lock(seg.mu);
-    seg.appended.wait(lock,
-                      [&] { return seg.tuples.size() == groups[g].first_pos; });
+    util::MutexLock lock(seg.mu);
+    while (seg.tuples.size() != groups[g].first_pos) seg.appended.Wait(lock);
     append_group(groups[g]);
-    lock.unlock();
-    seg.appended.notify_all();
+    lock.Unlock();
+    seg.appended.NotifyAll();
   }
   return ids;
 }
 
 std::size_t LinkageDatabase::size() const {
-  std::lock_guard<std::mutex> lock(directory_mu_);
+  util::MutexLock lock(directory_mu_);
   return locator_.size();
 }
 
 const LinkageTuple& LinkageDatabase::tuple(std::uint64_t id) const {
   Location loc;
   {
-    std::lock_guard<std::mutex> lock(directory_mu_);
+    util::MutexLock lock(directory_mu_);
     CALTRAIN_REQUIRE(id < locator_.size(), "unknown linkage tuple id");
     loc = locator_[id];
   }
-  std::lock_guard<std::mutex> lock(loc.segment->mu);
+  util::MutexLock lock(loc.segment->mu);
   CALTRAIN_REQUIRE(loc.pos < loc.segment->tuples.size(),
                    "linkage tuple not yet visible");
   // Deque references stay valid across appends, and tuples are never
@@ -177,7 +187,7 @@ LinkageDatabase::Segment* LinkageDatabase::EnsureSegmentLocked(int label) {
 }
 
 LinkageDatabase::Segment* LinkageDatabase::FindSegment(int label) const {
-  std::lock_guard<std::mutex> lock(directory_mu_);
+  util::MutexLock lock(directory_mu_);
   const auto it = segments_.find(label);
   return it == segments_.end() ? nullptr : it->second.get();
 }
@@ -209,7 +219,7 @@ std::vector<QueryMatch> LinkageDatabase::QuerySegment(
   std::vector<QueryMatch> matches;
   std::shared_ptr<const SegmentIndex> index;
   {
-    std::lock_guard<std::mutex> lock(seg.mu);
+    util::MutexLock lock(seg.mu);
     if (allow_rebuild &&
         (seg.index == nullptr ||
          seg.tuples.size() - seg.indexed > tail_limit_)) {
@@ -261,7 +271,7 @@ std::vector<std::vector<QueryMatch>> LinkageDatabase::QueryNearestBatch(
   // query needs.
   std::unordered_map<int, Segment*> needed;  // distinct queried classes
   {
-    std::lock_guard<std::mutex> lock(directory_mu_);
+    util::MutexLock lock(directory_mu_);
     for (const int label : labels) {
       const auto it = segments_.find(label);
       needed.emplace(label, it == segments_.end() ? nullptr
@@ -273,7 +283,7 @@ std::vector<std::vector<QueryMatch>> LinkageDatabase::QueryNearestBatch(
     if (seg != nullptr) to_fold.push_back(seg);
   }
   util::ParallelFor(0, to_fold.size(), [&](std::size_t i) {
-    std::lock_guard<std::mutex> lock(to_fold[i]->mu);
+    util::MutexLock lock(to_fold[i]->mu);
     RebuildSegmentLocked(*to_fold[i]);
   });
   // The query loop reads segments through the prefold's snapshot — no
@@ -294,7 +304,7 @@ std::vector<QueryMatch> LinkageDatabase::QueryNearestBruteForce(
   if (seg == nullptr) return {};
   std::vector<QueryMatch> all;
   {
-    std::lock_guard<std::mutex> lock(seg->mu);
+    util::MutexLock lock(seg->mu);
     all.reserve(seg->tuples.size());
     for (const LinkageTuple& t : seg->tuples) {
       all.push_back(QueryMatch{t.id, FingerprintDistance(t.fingerprint, query),
@@ -309,7 +319,7 @@ std::vector<QueryMatch> LinkageDatabase::QueryNearestBruteForce(
 void LinkageDatabase::RebuildIndexes() {
   std::vector<Segment*> segments;
   {
-    std::lock_guard<std::mutex> lock(directory_mu_);
+    util::MutexLock lock(directory_mu_);
     segments.reserve(segments_.size());
     for (const auto& [label, seg] : segments_) segments.push_back(seg.get());
   }
@@ -320,7 +330,7 @@ void LinkageDatabase::RebuildIndexes() {
               return a->label < b->label;
             });
   util::ParallelFor(0, segments.size(), [&](std::size_t i) {
-    std::lock_guard<std::mutex> lock(segments[i]->mu);
+    util::MutexLock lock(segments[i]->mu);
     RebuildSegmentLocked(*segments[i]);
   });
 }
@@ -328,14 +338,14 @@ void LinkageDatabase::RebuildIndexes() {
 std::uint64_t LinkageDatabase::IndexGeneration(int label) const {
   Segment* seg = FindSegment(label);
   if (seg == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(seg->mu);
+  util::MutexLock lock(seg->mu);
   return seg->generation;
 }
 
 std::size_t LinkageDatabase::UnindexedTailSize(int label) const {
   Segment* seg = FindSegment(label);
   if (seg == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(seg->mu);
+  util::MutexLock lock(seg->mu);
   return seg->tuples.size() - seg->indexed;
 }
 
@@ -352,7 +362,7 @@ bool LinkageDatabase::VerifySubmission(std::uint64_t id,
 std::vector<std::uint64_t> LinkageDatabase::IdsForLabel(int label) const {
   Segment* seg = FindSegment(label);
   if (seg == nullptr) return {};
-  std::lock_guard<std::mutex> lock(seg->mu);
+  util::MutexLock lock(seg->mu);
   std::vector<std::uint64_t> ids;
   ids.reserve(seg->tuples.size());
   for (const LinkageTuple& t : seg->tuples) ids.push_back(t.id);
@@ -361,16 +371,21 @@ std::vector<std::uint64_t> LinkageDatabase::IdsForLabel(int label) const {
 
 Bytes LinkageDatabase::Serialize() const {
   ByteWriter writer;
-  std::lock_guard<std::mutex> lock(directory_mu_);
+  util::MutexLock lock(directory_mu_);
   // Fail cleanly (instead of racing the appenders) if a concurrent
   // insert still has reserved-but-unlanded slots.
   for (const auto& [label, seg] : segments_) {
-    std::lock_guard<std::mutex> seg_lock(seg->mu);
+    util::MutexLock seg_lock(seg->mu);
     CALTRAIN_REQUIRE(seg->tuples.size() == seg->reserved,
                      "Serialize during in-flight insert");
   }
   writer.WriteU64(locator_.size());
   for (const Location& loc : locator_) {
+    // Lock the owning segment for the tuple read: the quiescence check
+    // above makes contention impossible, but the unlocked read was
+    // still a data race on the deque's internals if the check ever
+    // raced an appender (caught by the thread-safety annotation pass).
+    util::MutexLock seg_lock(loc.segment->mu);
     const LinkageTuple& t = loc.segment->tuples[loc.pos];
     writer.WriteF32Vector(t.fingerprint);
     writer.WriteU32(static_cast<std::uint32_t>(t.label));

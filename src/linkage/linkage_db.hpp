@@ -30,11 +30,9 @@
 // sequences are element-wise and byte-for-byte identical.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -43,7 +41,9 @@
 #include "crypto/sha256.hpp"
 #include "linkage/fingerprint.hpp"
 #include "linkage/vptree.hpp"
+#include "util/mutex.hpp"
 #include "util/serial.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace caltrain::linkage {
 
@@ -178,15 +178,22 @@ class LinkageDatabase {
   /// rebuild, so in-flight queries holding the old snapshot stay
   /// valid.
   struct Segment {
-    int label = 0;
-    std::deque<LinkageTuple> tuples;
-    std::shared_ptr<const SegmentIndex> index;
-    std::size_t indexed = 0;       ///< tuples covered by `index`
-    std::uint64_t generation = 0;  ///< number of index builds
-    std::size_t reserved = 0;      ///< slots handed out (>= tuples.size();
-                                   ///< guarded by directory_mu_)
-    std::mutex mu;
-    std::condition_variable appended;  ///< signals tuples.size() growth
+    util::Mutex mu;
+    int label = 0;  ///< immutable after creation
+    std::deque<LinkageTuple> tuples GUARDED_BY(mu);
+    std::shared_ptr<const SegmentIndex> index GUARDED_BY(mu);
+    /// Tuples covered by `index`.
+    std::size_t indexed GUARDED_BY(mu) = 0;
+    /// Number of index builds.
+    std::uint64_t generation GUARDED_BY(mu) = 0;
+    /// Slots handed out (>= tuples.size()).  Guarded by the *outer*
+    /// LinkageDatabase::directory_mu_, not by `mu` — the capability
+    /// language cannot name the owning database's mutex from here, so
+    /// this one stays convention-documented (all reads/writes sit in
+    /// directory_mu_ scopes, plus Serialize's quiescence check which
+    /// holds both locks).
+    std::size_t reserved = 0;
+    util::CondVar appended;  ///< signals tuples.size() growth
   };
 
   /// id -> owning segment and position within it.
@@ -195,20 +202,23 @@ class LinkageDatabase {
     std::size_t pos = 0;
   };
 
-  Segment* EnsureSegmentLocked(int label);
-  [[nodiscard]] Segment* FindSegment(int label) const;
-  static void RebuildSegmentLocked(Segment& seg);
+  Segment* EnsureSegmentLocked(int label) REQUIRES(directory_mu_);
+  [[nodiscard]] Segment* FindSegment(int label) const
+      EXCLUDES(directory_mu_);
+  static void RebuildSegmentLocked(Segment& seg) REQUIRES(seg.mu);
   [[nodiscard]] std::vector<QueryMatch> QuerySegment(Segment& seg,
                                                      const Fingerprint& query,
                                                      std::size_t k,
-                                                     bool allow_rebuild) const;
+                                                     bool allow_rebuild) const
+      EXCLUDES(seg.mu);
 
   /// Guards segments_ (the label -> segment map), locator_, and every
   /// segment's `reserved` counter.  Lock order: directory_mu_ before
   /// any Segment::mu, never the reverse.
-  mutable std::mutex directory_mu_;
-  std::unordered_map<int, std::unique_ptr<Segment>> segments_;
-  std::vector<Location> locator_;  ///< id == position
+  mutable util::Mutex directory_mu_;
+  std::unordered_map<int, std::unique_ptr<Segment>> segments_
+      GUARDED_BY(directory_mu_);
+  std::vector<Location> locator_ GUARDED_BY(directory_mu_);  ///< id == pos
   std::size_t tail_limit_ = 256;
 };
 

@@ -307,7 +307,7 @@ std::uint64_t Journal::Append(BytesView payload) {
   StoreLe32(header.data(), static_cast<std::uint32_t>(payload.size()));
   StoreLe32(header.data() + 4, Crc32c(payload));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const util::FaultAction fault =
       util::FaultInjector::Global().armed()
           ? util::FaultPoint("persist.append")
@@ -347,18 +347,18 @@ std::uint64_t Journal::Append(BytesView payload) {
 
 void Journal::Sync() {
   if (mode_ == SyncMode::kNone) return;
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::uint64_t target = appended_;
   for (;;) {
     if (synced_ >= target) return;  // a leader already covered us
     if (!sync_in_flight_) break;    // become the leader
-    sync_cv_.wait(lock);
+    sync_cv_.Wait(lock);
   }
   sync_in_flight_ = true;
   // Everything appended up to here is covered by the fdatasync below
   // (appends that land during the fsync are NOT guaranteed covered).
   const std::uint64_t covered = appended_;
-  lock.unlock();
+  lock.Unlock();
 
   int err = 0;
   try {
@@ -367,27 +367,27 @@ void Journal::Sync() {
     }
     if (::fdatasync(fd_) != 0) err = errno;
   } catch (...) {
-    lock.lock();
+    lock.Lock();
     sync_in_flight_ = false;
-    sync_cv_.notify_all();
+    sync_cv_.NotifyAll();
     throw;
   }
 
-  lock.lock();
+  lock.Lock();
   sync_in_flight_ = false;
   if (err == 0 && covered > synced_) synced_ = covered;
-  sync_cv_.notify_all();
-  lock.unlock();
+  sync_cv_.NotifyAll();
+  lock.Unlock();
   if (err != 0) ThrowIo("journal fdatasync '" + path_ + "'", err);
 }
 
 std::uint64_t Journal::appended_lsn() const noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return appended_;
 }
 
 std::uint64_t Journal::synced_lsn() const noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return synced_;
 }
 

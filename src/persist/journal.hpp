@@ -36,11 +36,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 
 #include "util/bytes.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace caltrain::persist {
 
@@ -90,13 +90,14 @@ class Journal {
 
   /// Appends one frame; returns its LSN (1-based frame ordinal).
   /// Throws Error(kUnavailable) on I/O failure after restoring the
-  /// file tail to the pre-append offset (safe to retry).
-  std::uint64_t Append(BytesView payload);
+  /// file tail to the pre-append offset (safe to retry).  Callers that
+  /// genuinely do not need the LSN drop it with an explicit `(void)`.
+  [[nodiscard]] std::uint64_t Append(BytesView payload) EXCLUDES(mu_);
 
   /// Group commit: returns once every frame appended before this call
   /// is durable (one leader fdatasync per wave).  No-op under kNone.
   /// Throws Error(kUnavailable) if the sync fails.
-  void Sync();
+  void Sync() EXCLUDES(mu_);
 
   [[nodiscard]] std::uint64_t appended_lsn() const noexcept;
   [[nodiscard]] std::uint64_t synced_lsn() const noexcept;
@@ -109,12 +110,16 @@ class Journal {
   int fd_ = -1;
   SyncMode mode_;
 
-  mutable std::mutex mu_;
-  std::condition_variable sync_cv_;
-  std::uint64_t tail_ = 0;          ///< file offset of the next frame
-  std::uint64_t appended_ = 0;      ///< LSN of the last appended frame
-  std::uint64_t synced_ = 0;        ///< LSN covered by the last fsync
-  bool sync_in_flight_ = false;     ///< a leader is inside fdatasync
+  mutable util::Mutex mu_;
+  util::CondVar sync_cv_;
+  /// File offset of the next frame.
+  std::uint64_t tail_ GUARDED_BY(mu_) = 0;
+  /// LSN of the last appended frame.
+  std::uint64_t appended_ GUARDED_BY(mu_) = 0;
+  /// LSN covered by the last fsync.
+  std::uint64_t synced_ GUARDED_BY(mu_) = 0;
+  /// A leader is inside fdatasync.
+  bool sync_in_flight_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace caltrain::persist

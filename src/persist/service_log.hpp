@@ -90,8 +90,8 @@ class ServiceLog {
   /// Error(kInvalidArgument) when the file exists but its header is
   /// corrupt, or when a CRC-valid frame carries a malformed event —
   /// unrecoverable corruption, as opposed to an honest torn tail.
-  static ScanReport Replay(const std::string& dir,
-                           const ReplayVisitor& visitor);
+  [[nodiscard]] static ScanReport Replay(const std::string& dir,
+                                         const ReplayVisitor& visitor);
 
   /// Opens the journal under `dir` for appending.  `resume_at` is
   /// ScanReport::valid_bytes from Replay — the torn tail past it is
@@ -102,14 +102,17 @@ class ServiceLog {
 
   // Each Append frames one event and returns its LSN; durability
   // requires a subsequent Sync() (group commit).  All of these throw
-  // Error(kUnavailable) on I/O failure and are safe to retry.
-  std::uint64_t AppendDirectory(const DirectoryEvent& event);
-  std::uint64_t AppendCommitBatch(const CommitBatchEvent& event);
-  std::uint64_t AppendTrainComplete(const TrainCompleteEvent& event);
-  std::uint64_t AppendFingerprintComplete(
+  // Error(kUnavailable) on I/O failure and are safe to retry.  The LSN
+  // is [[nodiscard]]: callers that only need the durability side
+  // effect drop it with an explicit `(void)`.
+  [[nodiscard]] std::uint64_t AppendDirectory(const DirectoryEvent& event);
+  [[nodiscard]] std::uint64_t AppendCommitBatch(const CommitBatchEvent& event);
+  [[nodiscard]] std::uint64_t AppendTrainComplete(
+      const TrainCompleteEvent& event);
+  [[nodiscard]] std::uint64_t AppendFingerprintComplete(
       const FingerprintCompleteEvent& event);
-  std::uint64_t AppendReopenIngest();
-  std::uint64_t AppendRelease(const ReleaseEvent& event);
+  [[nodiscard]] std::uint64_t AppendReopenIngest();
+  [[nodiscard]] std::uint64_t AppendRelease(const ReleaseEvent& event);
   void Sync() { journal_->Sync(); }
 
   [[nodiscard]] Journal& journal() noexcept { return *journal_; }

@@ -165,9 +165,19 @@ void Service::RecoverFromLog() {
     query_.emplace(std::move(clone), std::move(db), fingerprint_layer);
   }
 
-  next_enqueue_seq_ = next_seq;
-  next_commit_seq_ = next_seq;
-  logged_directory_version_ = directory_version;
+  {
+    // No worker thread exists yet (the strand starts after the
+    // delegating constructor returns), but RecoverFromLog is an
+    // ordinary member function, so it takes the locks the members it
+    // writes are guarded by — uncontended, and the analysis can prove
+    // the accesses instead of special-casing them.  Lock order:
+    // ingest_mu_ before state_mu_.
+    util::MutexLock ingest_lock(ingest_mu_);
+    util::MutexLock state_lock(state_mu_);
+    next_enqueue_seq_ = next_seq;
+    next_commit_seq_ = next_seq;
+    logged_directory_version_ = directory_version;
+  }
   phase_.store(phase, std::memory_order_release);
   log_ = persist::ServiceLog::Open(dir, config_.journal_sync,
                                    scan.valid_bytes);
@@ -203,8 +213,11 @@ std::optional<ServeError> Service::JournalControlEvent(
   }
   try {
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      util::MutexLock lock(state_mu_);
       util::RetryTransient(config_.backoff, [&] {
+        // Capabilities do not flow into lambda bodies; the enclosing
+        // scope holds state_mu_, which JournalDirectoryLocked requires.
+        state_mu_.AssertHeld();
         JournalDirectoryLocked();
         append();
       });
@@ -222,10 +235,10 @@ Service::~Service() {
   // investigate tasks reference `this`).
   queue_.Close();
   {
-    std::unique_lock<std::mutex> lock(state_mu_);
-    progress_cv_.wait(lock, [this] {
-      return inflight_pool_ops_.load(std::memory_order_acquire) == 0;
-    });
+    util::MutexLock lock(state_mu_);
+    while (inflight_pool_ops_.load(std::memory_order_acquire) != 0) {
+      progress_cv_.Wait(lock);
+    }
   }
   // 2. Drain anything the pumps left behind (Close keeps queued items
   // poppable), so every submission's future still resolves.
@@ -235,10 +248,10 @@ Service::~Service() {
   // 3. Run the strand dry (pending control-plane futures resolve), then
   // stop it.
   {
-    std::lock_guard<std::mutex> lock(strand_mu_);
+    util::MutexLock lock(strand_mu_);
     strand_stop_ = true;
   }
-  strand_cv_.notify_all();
+  strand_cv_.NotifyAll();
   if (strand_.joinable()) strand_.join();
 }
 
@@ -261,7 +274,7 @@ Result<SessionId> Service::OpenUploadSession(
         ServeErrorKind::kUnprovisionedParticipant,
         "participant '" + participant_id + "' has no provisioned key"};
   }
-  std::lock_guard<std::mutex> lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   const SessionId id = next_session_id_++;
   sessions_.emplace(id, std::make_shared<Session>(participant_id));
   return id;
@@ -290,7 +303,7 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
 
   // ingest_mu_ orders ticket assignment across producers and fences the
   // enqueue against a phase flip by SubmitTrain.
-  std::unique_lock<std::mutex> ingest_lock(ingest_mu_);
+  util::MutexLock ingest_lock(ingest_mu_);
   if (degraded()) {
     fail(ServeErrorKind::kDegraded,
          "durability journal unwritable; service is read-only");
@@ -303,7 +316,7 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
     return fut;
   }
   {
-    std::lock_guard<std::mutex> state_lock(state_mu_);
+    util::MutexLock state_lock(state_mu_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end() || !it->second->open) {
       fail(ServeErrorKind::kInvalidArgument,
@@ -352,7 +365,7 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
   const auto abort_push = [&](ServeErrorKind kind, std::string message) {
     std::optional<Result<UploadReceipt>> resolution;
     {
-      std::lock_guard<std::mutex> state_lock(state_mu_);
+      util::MutexLock state_lock(state_mu_);
       const std::size_t unenqueued = n_batches - pushed;
       sub->remaining_batches -= unenqueued;
       sub->session->outstanding_batches -= unenqueued;
@@ -384,7 +397,7 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
     if (resolution.has_value()) {
       sub->promise.set_value(std::move(*resolution));
     }
-    progress_cv_.notify_all();
+    progress_cv_.NotifyAll();
   };
   for (std::size_t first = 0; first < records.size(); first += batch) {
     const std::size_t last = std::min(records.size(), first + batch);
@@ -432,7 +445,7 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
 Result<SessionStats> Service::CloseUploadSession(SessionId session) {
   std::shared_ptr<Session> state;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    util::MutexLock lock(state_mu_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       return ServeError{ServeErrorKind::kInvalidArgument,
@@ -445,8 +458,8 @@ Result<SessionStats> Service::CloseUploadSession(SessionId session) {
     it->second->open = false;
     state = it->second;
   }
-  std::unique_lock<std::mutex> lock(state_mu_);
-  progress_cv_.wait(lock, [&] { return state->outstanding_batches == 0; });
+  util::MutexLock lock(state_mu_);
+  while (state->outstanding_batches != 0) progress_cv_.Wait(lock);
   // Retire the bookkeeping — a closed session can never be used again,
   // and a long-lived service must not accumulate dead sessions.
   sessions_.erase(session);
@@ -461,11 +474,11 @@ Result<SessionStats> Service::CloseUploadSession(SessionId session) {
 void Service::DrainIngest() {
   std::uint64_t target = 0;
   {
-    std::lock_guard<std::mutex> lock(ingest_mu_);
+    util::MutexLock lock(ingest_mu_);
     target = next_enqueue_seq_;
   }
-  std::unique_lock<std::mutex> lock(state_mu_);
-  progress_cv_.wait(lock, [&] { return next_commit_seq_ >= target; });
+  util::MutexLock lock(state_mu_);
+  while (next_commit_seq_ < target) progress_cv_.Wait(lock);
 }
 
 // ------------------------------------------------------------ ingest pumps
@@ -561,7 +574,7 @@ void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
   std::vector<Resolution> resolutions;
   bool ack_needs_sync = false;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    util::MutexLock lock(state_mu_);
     ready_.emplace(seq, std::move(batch));
     // Authentication finishes out of order across pumps; commits are
     // reordered back to ticket order so the async record sequence is
@@ -581,6 +594,9 @@ void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
         // suffix but never commit records the journal doesn't know.
         try {
           util::RetryTransient(config_.backoff, [&] {
+            // The enclosing Commit scope holds state_mu_ (lambdas do
+            // not inherit capabilities).
+            state_mu_.AssertHeld();
             JournalDirectoryLocked();
             (void)log_->journal().Append(b.wal_event);
           });
@@ -650,16 +666,16 @@ void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
   for (Resolution& r : resolutions) {
     r.submission->promise.set_value(std::move(r.result));
   }
-  progress_cv_.notify_all();
+  progress_cv_.NotifyAll();
 }
 
 void Service::FinishPoolOp() {
   // Decrement and notify under the lock: the destructor destroys this
   // condition variable as soon as its wait observes zero, so the
   // notify must complete before the waiter can re-acquire the mutex.
-  std::lock_guard<std::mutex> lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   inflight_pool_ops_.fetch_sub(1, std::memory_order_acq_rel);
-  progress_cv_.notify_all();
+  progress_cv_.NotifyAll();
 }
 
 // ------------------------------------------------------------ control plane
@@ -668,9 +684,8 @@ void Service::StrandLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(strand_mu_);
-      strand_cv_.wait(lock,
-                      [this] { return strand_stop_ || !strand_queue_.empty(); });
+      util::MutexLock lock(strand_mu_);
+      while (!strand_stop_ && strand_queue_.empty()) strand_cv_.Wait(lock);
       if (strand_queue_.empty()) {
         if (strand_stop_) return;
         continue;
@@ -690,7 +705,7 @@ std::future<Result<core::TrainReport>> Service::SubmitTrain(
         {
           // Under ingest_mu_, so no upload can slip between the phase
           // flip and the drain target snapshot.
-          std::lock_guard<std::mutex> lock(ingest_mu_);
+          util::MutexLock lock(ingest_mu_);
           if (degraded()) {
             return ServeError{
                 ServeErrorKind::kDegraded,
@@ -756,7 +771,7 @@ std::future<Result<std::size_t>> Service::SubmitFingerprint(
           // concurrent ReopenIngest must either win (and fail this
           // request) or lose (and get kWrongPhase) — never be
           // clobbered by the kServing store below.
-          std::lock_guard<std::mutex> lock(ingest_mu_);
+          util::MutexLock lock(ingest_mu_);
           if (degraded()) {
             return ServeError{
                 ServeErrorKind::kDegraded,
@@ -854,7 +869,7 @@ Service::SubmitRelease(std::string participant_id) {
 }
 
 Result<Phase> Service::ReopenIngest() {
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  util::MutexLock lock(ingest_mu_);
   if (degraded()) {
     return ServeError{ServeErrorKind::kDegraded,
                       "durability journal unwritable; service is read-only"};
@@ -907,7 +922,7 @@ std::future<Result<core::MispredictionReport>> Service::SubmitInvestigate(
 
 std::unique_ptr<nn::LayerWorkspace> Service::AcquireQueryWorkspace() {
   {
-    std::lock_guard<std::mutex> lock(query_ws_mu_);
+    util::MutexLock lock(query_ws_mu_);
     if (!query_ws_pool_.empty()) {
       std::unique_ptr<nn::LayerWorkspace> ws =
           std::move(query_ws_pool_.back());
@@ -919,7 +934,7 @@ std::unique_ptr<nn::LayerWorkspace> Service::AcquireQueryWorkspace() {
 }
 
 void Service::RecycleQueryWorkspace(std::unique_ptr<nn::LayerWorkspace> ws) {
-  std::lock_guard<std::mutex> lock(query_ws_mu_);
+  util::MutexLock lock(query_ws_mu_);
   if (query_ws_pool_.size() < max_pumps_) {
     query_ws_pool_.push_back(std::move(ws));
   }

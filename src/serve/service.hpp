@@ -49,14 +49,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -69,6 +67,8 @@
 #include "serve/result.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/fault.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
 namespace caltrain::serve {
@@ -259,7 +259,9 @@ class Service {
   struct Session {
     explicit Session(std::string pid) : participant_id(std::move(pid)) {}
     std::string participant_id;
-    // All tallies guarded by state_mu_.
+    // All tallies guarded by the owning Service's state_mu_ — the
+    // capability language cannot name the outer class's mutex from a
+    // nested struct, so these stay convention-documented.
     bool open = true;
     std::size_t submitted = 0;
     std::size_t accepted = 0;
@@ -271,7 +273,8 @@ class Service {
     std::promise<Result<UploadReceipt>> promise;
     std::shared_ptr<Session> session;
     std::size_t submitted = 0;
-    // Guarded by state_mu_.
+    // Guarded by the owning Service's state_mu_ (convention; see
+    // Session above).
     std::size_t remaining_batches = 0;
     std::size_t accepted = 0;
     std::size_t rejected = 0;
@@ -312,8 +315,8 @@ class Service {
   void RecoverFromLog();
   void EnterDegraded(const std::string& why);
   /// Journals a fresh participant-directory snapshot if provisioning
-  /// moved past the last version logged.  Caller holds state_mu_.
-  void JournalDirectoryLocked();
+  /// moved past the last version logged.
+  void JournalDirectoryLocked() REQUIRES(state_mu_);
   /// Strand-side: journal one phase-transition/release event (plus a
   /// directory refresh) and group-sync it.  Returns an error on
   /// degradation, nullopt on success.
@@ -330,7 +333,7 @@ class Service {
   /// serve::Result, shared by the strand, the query plane, and
   /// AssembleReleased.
   template <typename T, typename Fn>
-  static Result<T> Guarded(Fn&& fn) {
+  [[nodiscard]] static Result<T> Guarded(Fn&& fn) {
     try {
       return std::forward<Fn>(fn)();
     } catch (const Error& e) {
@@ -347,7 +350,7 @@ class Service {
     auto prom = std::make_shared<std::promise<Result<T>>>();
     std::future<Result<T>> fut = prom->get_future();
     {
-      std::lock_guard<std::mutex> lock(strand_mu_);
+      util::MutexLock lock(strand_mu_);
       if (strand_stop_) {
         prom->set_value(Result<T>(ServeError{ServeErrorKind::kWrongPhase,
                                              "service is shutting down"}));
@@ -357,7 +360,7 @@ class Service {
         prom->set_value(Guarded<T>(fn));
       });
     }
-    strand_cv_.notify_one();
+    strand_cv_.NotifyOne();
     return fut;
   }
 
@@ -370,7 +373,7 @@ class Service {
   // worker thread exists) and never reassigned.
   std::unique_ptr<persist::ServiceLog> log_;
   std::atomic<bool> degraded_{false};
-  std::uint64_t logged_directory_version_ = 0;  ///< guarded by state_mu_
+  std::uint64_t logged_directory_version_ GUARDED_BY(state_mu_) = 0;
   std::uint64_t model_snapshots_ = 0;    ///< strand-only
   std::uint64_t linkage_snapshots_ = 0;  ///< strand-only
 
@@ -378,8 +381,8 @@ class Service {
   // reject-policy capacity check all-or-nothing, and fences phase
   // transitions against in-flight enqueues.  Lock order: ingest_mu_
   // before state_mu_; never the reverse.
-  std::mutex ingest_mu_;
-  std::uint64_t next_enqueue_seq_ = 0;
+  util::Mutex ingest_mu_;
+  std::uint64_t next_enqueue_seq_ GUARDED_BY(ingest_mu_) = 0;
   std::atomic<Phase> phase_{Phase::kIngest};
   util::BoundedQueue<IngestBatch> queue_;
 
@@ -387,23 +390,25 @@ class Service {
   std::atomic<std::size_t> inflight_pool_ops_{0};
 
   // Commit side (reorder buffer, sessions, drain barrier).
-  std::mutex state_mu_;
-  std::condition_variable progress_cv_;
-  std::uint64_t next_commit_seq_ = 0;
-  std::map<std::uint64_t, AuthedBatch> ready_;
-  std::map<SessionId, std::shared_ptr<Session>> sessions_;
-  SessionId next_session_id_ = 1;
+  util::Mutex state_mu_;
+  util::CondVar progress_cv_;
+  std::uint64_t next_commit_seq_ GUARDED_BY(state_mu_) = 0;
+  std::map<std::uint64_t, AuthedBatch> ready_ GUARDED_BY(state_mu_);
+  std::map<SessionId, std::shared_ptr<Session>> sessions_
+      GUARDED_BY(state_mu_);
+  SessionId next_session_id_ GUARDED_BY(state_mu_) = 1;
 
   // Strand.
   std::thread strand_;
-  std::mutex strand_mu_;
-  std::condition_variable strand_cv_;
-  std::deque<std::function<void()>> strand_queue_;
-  bool strand_stop_ = false;
+  util::Mutex strand_mu_;
+  util::CondVar strand_cv_;
+  std::deque<std::function<void()>> strand_queue_ GUARDED_BY(strand_mu_);
+  bool strand_stop_ GUARDED_BY(strand_mu_) = false;
 
   std::optional<core::QueryService> query_;
-  std::mutex query_ws_mu_;
-  std::vector<std::unique_ptr<nn::LayerWorkspace>> query_ws_pool_;
+  util::Mutex query_ws_mu_;
+  std::vector<std::unique_ptr<nn::LayerWorkspace>> query_ws_pool_
+      GUARDED_BY(query_ws_mu_);
 };
 
 }  // namespace caltrain::serve

@@ -15,18 +15,22 @@
 // wake with false, and consumers drain the remaining items before Pop
 // returns nullopt.  This is the shutdown handshake the serving layer's
 // ingest workers rely on.
+//
+// Lock discipline (machine-checked under clang++ -Wthread-safety):
+// mutex_ guards items_ and closed_; waits are written as explicit
+// while-loops so every guarded read stays inside the annotated scope.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace caltrain::util {
 
@@ -57,16 +61,15 @@ class BoundedQueue {
 
   /// Enqueues `value` under the configured backpressure policy.
   /// Returns false when the queue is closed, or — under kReject — full.
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  [[nodiscard]] bool Push(T value) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (policy_ == BackpressurePolicy::kBlock) {
-      not_full_.wait(lock,
-                     [this] { return closed_ || items_.size() < capacity_; });
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(lock);
     }
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -76,91 +79,93 @@ class BoundedQueue {
   /// typed kTimeout error instead of hanging).  Nothing is ever
   /// partially enqueued: on kTimedOut/kClosed the value was not added.
   /// Fault point "queue.push" (action `timeout`) forces kTimedOut.
-  PushResult PushUntil(T value,
-                       std::chrono::steady_clock::time_point deadline) {
+  [[nodiscard]] PushResult PushUntil(
+      T value, std::chrono::steady_clock::time_point deadline)
+      EXCLUDES(mutex_) {
     if (FaultInjector::Global().armed() &&
         FaultPoint("queue.push") == FaultAction::kTimeout) {
       return PushResult::kTimedOut;
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_full_.wait_until(lock, deadline, [this] {
-          return closed_ || items_.size() < capacity_;
-        })) {
-      return PushResult::kTimedOut;
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) {
+      if (not_full_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+        if (closed_ || items_.size() < capacity_) break;
+        return PushResult::kTimedOut;
+      }
     }
     if (closed_) return PushResult::kClosed;
     items_.push_back(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return PushResult::kOk;
   }
 
   /// Non-waiting push regardless of policy; false when full or closed.
-  bool TryPush(T value) {
+  [[nodiscard]] bool TryPush(T value) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed *and*
   /// drained (then nullopt — the consumer's termination signal).
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return out;
   }
 
   /// Non-waiting pop; nullopt when currently empty.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::optional<T> TryPop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return out;
   }
 
   /// Ends the stream: pushes fail from now on, blocked producers and
   /// consumers wake, remaining items stay poppable until drained.
-  void Close() {
+  void Close() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace caltrain::util

@@ -1,0 +1,171 @@
+// Annotated synchronization wrappers — the only place in src/ where the
+// raw std primitives appear (tools/lint_invariants.py enforces this).
+//
+// util::Mutex / util::SharedMutex are thin capability-annotated shells
+// over std::mutex / std::shared_mutex; MutexLock / WriterLock /
+// ReaderLock are the SCOPED_CAPABILITY RAII guards; CondVar pairs with
+// MutexLock.  Under clang++ -Wthread-safety every lock acquisition,
+// every GUARDED_BY member access, and every REQUIRES contract is
+// checked at compile time; under g++ the annotations vanish and the
+// wrappers compile down to the std types (same codegen, same TSan
+// visibility).
+//
+// Condition-variable idiom: Clang's analysis cannot see into the
+// predicate lambda of std::condition_variable::wait(lock, pred) — the
+// lambda body is analyzed as a separate function with no inherited
+// capabilities, so every guarded read inside the predicate would warn.
+// CondVar therefore exposes only the plain Wait/WaitUntil and callers
+// write the standard `while (!pred) cv.Wait(lock);` loop, keeping the
+// guarded reads inside the annotated function body.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace caltrain::util {
+
+class CondVar;
+class MutexLock;
+
+/// Exclusive capability over std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Restates, for the static analysis, that the calling context holds
+  /// this mutex.  Used at the top of lambda bodies that run with the
+  /// lock inherited from the enclosing scope: Clang analyzes a lambda
+  /// as a fresh function with no capabilities, so the invariant must be
+  /// re-asserted (greppable, not a suppression).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Reader/writer capability over std::shared_mutex.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_mutex mu_;
+};
+
+/// Tag types mirroring std::adopt_lock_t / std::defer_lock_t.
+struct AdoptLockT {
+  explicit AdoptLockT() = default;
+};
+inline constexpr AdoptLockT kAdoptLock{};
+
+struct DeferLockT {
+  explicit DeferLockT() = default;
+};
+inline constexpr DeferLockT kDeferLock{};
+
+/// RAII exclusive guard over util::Mutex.  Supports adoption, deferred
+/// locking, and mid-scope Unlock()/Lock() (the journal's group-commit
+/// leader election releases the lock around fdatasync) — Clang tracks
+/// the relock state through the scoped capability.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  /// Adopts a mutex the caller already holds (e.g. locked via TryLock).
+  MutexLock(Mutex& mu, AdoptLockT) REQUIRES(mu)
+      : lock_(mu.mu_, std::adopt_lock) {}
+  /// Binds without locking; call Lock() later.
+  MutexLock(Mutex& mu, DeferLockT) EXCLUDES(mu)
+      : lock_(mu.mu_, std::defer_lock) {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() RELEASE() = default;  // unlocks iff currently owned
+
+  void Lock() ACQUIRE() { lock_.lock(); }
+  void Unlock() RELEASE() { lock_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return lock_.try_lock(); }
+  [[nodiscard]] bool OwnsLock() const noexcept { return lock_.owns_lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive guard over util::SharedMutex (the writer side).
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() RELEASE() { mu_.Unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared guard over util::SharedMutex (the reader side).
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex via MutexLock.  No
+/// predicate overloads by design — see the header comment; callers
+/// loop `while (!pred) cv.Wait(lock);` inside the annotated function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, sleeps, reacquires before returning.
+  /// The caller's capability is held at entry and at exit, which is
+  /// exactly what the analysis checks.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  std::cv_status WaitUntil(MutexLock& lock,
+                           std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace caltrain::util

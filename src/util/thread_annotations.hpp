@@ -1,0 +1,82 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These expand to Clang capability attributes when the compiler supports
+// them (clang++ -Wthread-safety) and to nothing under GCC/MSVC, so the
+// tier-1 g++ build is byte-for-byte unaffected.  The annotated wrappers
+// live in util/mutex.hpp; the attributes here follow the vocabulary of
+// the Clang docs (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//
+// Conventions used across the tree:
+//   - data members protected by a lock carry GUARDED_BY(mu)
+//   - private "...Locked()" helpers carry REQUIRES(mu)
+//   - public entry points that must not be called with a lock held
+//     (lock-order roots) carry EXCLUDES(mu)
+//   - lambdas that run with a capability inherited from the enclosing
+//     scope call mu.AssertHeld() first: the analysis does not propagate
+//     capabilities into lambda bodies, and AssertHeld is the canonical,
+//     greppable way to restate the invariant instead of suppressing it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CALTRAIN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef CALTRAIN_THREAD_ANNOTATION
+#define CALTRAIN_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) CALTRAIN_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY CALTRAIN_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) CALTRAIN_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) CALTRAIN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  CALTRAIN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  CALTRAIN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  CALTRAIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  CALTRAIN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  CALTRAIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  CALTRAIN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  CALTRAIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  CALTRAIN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  CALTRAIN_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  CALTRAIN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  CALTRAIN_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) CALTRAIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  CALTRAIN_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CALTRAIN_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) CALTRAIN_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CALTRAIN_THREAD_ANNOTATION(no_thread_safety_analysis)

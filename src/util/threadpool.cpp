@@ -9,6 +9,8 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace caltrain::util {
 
@@ -58,9 +60,9 @@ void RunSubmitNode(void* ctx, unsigned /*slot*/) {
 struct BulkJob {
   ThreadPool::BulkFn fn;
   void* ctx;
-  std::mutex mutex;
-  std::condition_variable done;
-  unsigned pending = 0;  // dispatched helpers not yet finished
+  Mutex mutex;
+  CondVar done;
+  unsigned pending GUARDED_BY(mutex) = 0;  // dispatched, not yet finished
 };
 
 void RunBulkSlot(void* ctx, unsigned slot) {
@@ -78,8 +80,8 @@ void RunBulkSlot(void* ctx, unsigned slot) {
   // The counter and the notification stay under one lock so the
   // dispatcher cannot observe pending == 0 and destroy the job while
   // this thread still touches it.
-  std::lock_guard<std::mutex> lock(job->mutex);
-  if (--job->pending == 0) job->done.notify_all();
+  MutexLock lock(job->mutex);
+  if (--job->pending == 0) job->done.NotifyAll();
 }
 
 }  // namespace
@@ -153,15 +155,15 @@ ThreadPool::~ThreadPool() {
   for (unsigned i = 0; i < count; ++i) {
     // Lock/unlock pairs with the predicate check: any worker that read
     // stop_ == false is inside wait() by the time we notify.
-    { std::lock_guard<std::mutex> lock(workers_[i]->mutex); }
-    workers_[i]->ready.notify_all();
+    { MutexLock lock(workers_[i]->mutex); }
+    workers_[i]->ready.NotifyAll();
   }
   for (unsigned i = 0; i < count; ++i) workers_[i]->thread.join();
 }
 
 void ThreadPool::EnsureWorkers(unsigned n) {
   n = std::min(n, Parallelism::kMaxThreads);
-  std::lock_guard<std::mutex> lock(grow_mutex_);
+  MutexLock lock(grow_mutex_);
   unsigned count = worker_count_.load(std::memory_order_relaxed);
   while (count < n) {
     workers_[count] = std::make_unique<Worker>();
@@ -180,7 +182,7 @@ void ThreadPool::Enqueue(unsigned target, const Task& task) {
   Worker& worker = *workers_[target];
   bool advertise;
   {
-    std::lock_guard<std::mutex> lock(worker.mutex);
+    MutexLock lock(worker.mutex);
     worker.queue.push_back(task);
     // An owner that is executing a task may not return to its queue
     // for an arbitrarily long time (it may be blocked inside the
@@ -192,7 +194,7 @@ void ThreadPool::Enqueue(unsigned target, const Task& task) {
     advertise = worker.queue.size() > 1 ||
                 worker.busy.load(std::memory_order_relaxed);
   }
-  worker.ready.notify_one();
+  worker.ready.NotifyOne();
   if (advertise) WakeThief(target);
 }
 
@@ -209,8 +211,8 @@ void ThreadPool::WakeThief(unsigned except) {
     Worker& thief = *workers_[i];
     // Lock/unlock before notifying so a thief between its predicate
     // check and wait() cannot miss the signal.
-    { std::lock_guard<std::mutex> lock(thief.mutex); }
-    thief.ready.notify_one();
+    { MutexLock lock(thief.mutex); }
+    thief.ready.NotifyOne();
   }
 }
 
@@ -218,7 +220,7 @@ bool ThreadPool::TrySteal(unsigned self, Task& out) {
   const unsigned count = worker_count_.load(std::memory_order_acquire);
   for (unsigned i = 1; i < count; ++i) {
     Worker& victim = *workers_[(self + i) % count];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.queue.empty()) {
       out = victim.queue.front();  // FIFO steal keeps Submit ordering fair
       victim.queue.pop_front();
@@ -234,7 +236,7 @@ void ThreadPool::WorkerLoop(unsigned self) {
     Task task;
     bool have = false;
     {
-      std::lock_guard<std::mutex> lock(me.mutex);
+      MutexLock lock(me.mutex);
       if (!me.queue.empty()) {
         task = me.queue.front();
         me.queue.pop_front();
@@ -252,7 +254,7 @@ void ThreadPool::WorkerLoop(unsigned self) {
       if (have) {
         // Same pairing as the own-queue pop: take the queue mutex so
         // a concurrent Enqueue cannot read a stale busy == false.
-        std::lock_guard<std::mutex> lock(me.mutex);
+        MutexLock lock(me.mutex);
         me.busy.store(true, std::memory_order_relaxed);
       }
     }
@@ -267,11 +269,14 @@ void ThreadPool::WorkerLoop(unsigned self) {
     // Own queue and every other queue were empty: on shutdown that
     // means fully drained (nothing enqueues after stop_), so exit.
     if (stop_.load(std::memory_order_acquire)) return;
-    std::unique_lock<std::mutex> lock(me.mutex);
-    me.ready.wait(lock, [&] {
-      return stop_.load(std::memory_order_acquire) || !me.queue.empty() ||
-             steal_signal_.load(std::memory_order_acquire) != steal_seen;
-    });
+    MutexLock lock(me.mutex);
+    // Explicit wait loop (not wait(lock, pred)): the guarded
+    // me.queue read must stay in this annotated scope, not inside a
+    // predicate lambda the analysis cannot see into.
+    while (!(stop_.load(std::memory_order_acquire) || !me.queue.empty() ||
+             steal_signal_.load(std::memory_order_acquire) != steal_seen)) {
+      me.ready.Wait(lock);
+    }
   }
 }
 
@@ -322,14 +327,14 @@ unsigned ThreadPool::RunOnWorkers(unsigned helpers, BulkFn fn, void* ctx) {
   const unsigned target_helpers = std::min(helpers, count);
   for (unsigned i = 0; i < target_helpers; ++i) {
     {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      MutexLock lock(job.mutex);
       ++job.pending;
     }
     try {
       Enqueue(i, Task{&RunBulkSlot, &job, i + 1});
       ++dispatched;
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      MutexLock lock(job.mutex);
       --job.pending;
       break;
     }
@@ -351,7 +356,7 @@ unsigned ThreadPool::RunOnWorkers(unsigned helpers, BulkFn fn, void* ctx) {
     for (unsigned i = 0; i < target_helpers; ++i) {
       std::vector<Task> reclaimed;
       {
-        std::lock_guard<std::mutex> lock(workers_[i]->mutex);
+        MutexLock lock(workers_[i]->mutex);
         auto& queue = workers_[i]->queue;
         for (auto it = queue.begin(); it != queue.end();) {
           if (it->fn == &RunBulkSlot && it->ctx == &job) {
@@ -367,8 +372,8 @@ unsigned ThreadPool::RunOnWorkers(unsigned helpers, BulkFn fn, void* ctx) {
   }
 
   {
-    std::unique_lock<std::mutex> lock(job.mutex);
-    job.done.wait(lock, [&] { return job.pending == 0; });
+    MutexLock lock(job.mutex);
+    while (job.pending != 0) job.done.Wait(lock);
   }
   if (caller_error) std::rethrow_exception(caller_error);
   return dispatched;
@@ -389,8 +394,8 @@ struct BlockLoopContext {
   std::size_t begin, end, chunk, num_blocks;
   const std::function<void(std::size_t, std::size_t)>* body;
   std::atomic<std::size_t> next_block{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  Mutex error_mutex;
+  std::exception_ptr first_error GUARDED_BY(error_mutex);
 };
 
 void RunBlockLoop(void* ctx, unsigned /*slot*/) {
@@ -404,7 +409,7 @@ void RunBlockLoop(void* ctx, unsigned /*slot*/) {
     try {
       (*loop->body)(b0, b1);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(loop->error_mutex);
+      MutexLock lock(loop->error_mutex);
       if (!loop->first_error) {
         loop->first_error = std::current_exception();
       }
@@ -467,7 +472,15 @@ void ParallelForBlocked(
     if (dispatched < helpers) LogDegradedDispatchOnce(helpers, dispatched);
   }
 
-  if (loop.first_error) std::rethrow_exception(loop.first_error);
+  // Read under the lock even though the region barrier means no helper
+  // can still be writing: the annotation pass flagged the previous
+  // unlocked read, and the locked form costs nothing off the hot path.
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(loop.error_mutex);
+    first_error = loop.first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ParallelFor(std::size_t begin, std::size_t end,

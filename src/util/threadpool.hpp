@@ -43,15 +43,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace caltrain::util {
 
@@ -168,13 +169,16 @@ class ThreadPool {
   };
 
   struct Worker {
-    std::mutex mutex;
-    std::condition_variable ready;
-    std::deque<Task> queue;
+    Mutex mutex;
+    CondVar ready;
+    std::deque<Task> queue GUARDED_BY(mutex);
     // True while the worker executes a task.  A push onto a busy
     // worker's queue must advertise the work to thieves: the owner may
     // stay inside its current task indefinitely, and a sleeping thief
-    // re-checks queues only when signalled.
+    // re-checks queues only when signalled.  Not GUARDED_BY(mutex):
+    // the worker clears it after finishing a task without the lock;
+    // the store/load pairing that matters (Enqueue's advertise read vs
+    // the owner's pop) does happen under the queue mutex.
     std::atomic<bool> busy{false};
     std::thread thread;
   };
@@ -186,10 +190,13 @@ class ThreadPool {
 
   // Worker registry: slots are created once, never moved or destroyed
   // before the pool itself, so dispatch paths read `worker_count_`
-  // (acquire) and index `workers_` without the growth lock.
+  // (acquire) and index `workers_` without the growth lock.  Not
+  // GUARDED_BY(grow_mutex_) for that reason: only the slot *writes* in
+  // EnsureWorkers happen under the lock; readers synchronize through
+  // the worker_count_ acquire load.
   std::array<std::unique_ptr<Worker>, Parallelism::kMaxThreads> workers_;
   std::atomic<unsigned> worker_count_{0};
-  std::mutex grow_mutex_;
+  Mutex grow_mutex_;
   std::atomic<bool> stop_{false};
   std::atomic<unsigned> round_robin_{0};
   // Bumped (release) whenever a queue develops a backlog; workers

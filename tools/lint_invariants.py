@@ -1,0 +1,348 @@
+#!/usr/bin/env python3
+"""Project invariant lint for the CalTrain reproduction.
+
+Dependency-light (stdlib only) so it runs everywhere the tier-1 g++
+loop runs — it is registered as a ctest case, and the clang CI job runs
+it again as a hard gate.  Three rule families:
+
+  determinism   No wall-clock or ambient-randomness calls in src/.
+                The repro's contract is bit-identical reruns at every
+                thread count: randomness comes from seeded splitmix
+                streams (util::Rng), time from the monotonic
+                steady_clock (durations only, never dates).  Banned:
+                rand(), srand(, std::random_device, time(,
+                system_clock, gettimeofday, clock_gettime,
+                std::chrono::high_resolution_clock (it aliases
+                system_clock on libstdc++).
+
+  nodiscard     Every function returning serve::Result<T> and every
+                non-void persist append/scan API must be [[nodiscard]]:
+                a silently dropped status is how a torn write becomes
+                an acknowledged one.  Call sites that deliberately drop
+                a value do it with an explicit `(void)` cast.
+
+  bare-mutex    No bare std synchronization primitives outside
+                src/util/mutex.hpp.  Everything else uses the
+                capability-annotated util::Mutex / util::SharedMutex /
+                util::CondVar wrappers so clang -Wthread-safety can see
+                every acquire/release.
+
+Suppression: a line ending in `// lint:allow(<rule>)` is skipped for
+that rule.  There are deliberately no file-level suppressions — every
+exception is visible at the line that needs it.
+
+Usage:
+  tools/lint_invariants.py [--root DIR] [--rule NAME] [--self-test]
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --------------------------------------------------------------- helpers
+
+SRC_EXTENSIONS = {".cpp", ".hpp", ".inc"}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments, and string/char literal *contents* (the
+    quotes stay, so banned tokens inside messages don't fire).  Block
+    comments are handled linewise by the caller."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in ('"', "'"):
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule: str, path: pathlib.Path, lineno: int,
+                 message: str):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def allowed(line: str, rule: str) -> bool:
+    return f"lint:allow({rule})" in line
+
+
+def iter_code_lines(path: pathlib.Path):
+    """Yields (lineno, raw_line, code_line) with comments/strings
+    stripped from code_line; block-comment interiors yield empty
+    code."""
+    in_block = False
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield lineno, raw, ""
+                continue
+            in_block = False
+            line = line[end + 2:]
+        # Strip any block comments opened (and possibly closed) here.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " + line[end + 2:]
+        yield lineno, raw, strip_comments_and_strings(line)
+
+
+# --------------------------------------------------------- determinism rule
+
+# token -> why it is banned
+DETERMINISM_BANNED = {
+    r"\brand\s*\(": "rand() — use a seeded util::Rng stream",
+    r"\bsrand\s*\(": "srand() — use a seeded util::Rng stream",
+    r"std::random_device": "std::random_device — ambient entropy breaks "
+                           "bit-identical reruns; seed util::Rng instead",
+    r"\btime\s*\(": "time() — wall clock; use steady_clock durations",
+    r"system_clock": "system_clock — wall clock; use steady_clock",
+    r"high_resolution_clock": "high_resolution_clock — aliases the wall "
+                              "clock on libstdc++; use steady_clock",
+    r"\bgettimeofday\s*\(": "gettimeofday() — wall clock",
+    r"\bclock_gettime\s*\(": "clock_gettime() — use std::chrono::steady_clock",
+    r"\bgetrandom\s*\(": "getrandom() — ambient entropy",
+}
+
+
+def check_determinism(root: pathlib.Path):
+    findings = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in SRC_EXTENSIONS:
+            continue
+        for lineno, raw, code in iter_code_lines(path):
+            if allowed(raw, "determinism"):
+                continue
+            for pattern, why in DETERMINISM_BANNED.items():
+                if re.search(pattern, code):
+                    findings.append(Finding("determinism", path, lineno, why))
+    return findings
+
+
+# ----------------------------------------------------------- nodiscard rule
+
+# A declaration line that *starts* a function returning one of these
+# must carry [[nodiscard]] (on the same line or the line above).
+NODISCARD_RETURN_RE = re.compile(
+    r"^\s*(?:virtual\s+|static\s+|constexpr\s+|inline\s+)*"
+    r"(?:serve::)?Result<"
+)
+
+
+def check_nodiscard(root: pathlib.Path):
+    findings = []
+    paths = [p for p in sorted((root / "src").rglob("*.hpp"))]
+    for path in paths:
+        prev_code = ""
+        for lineno, raw, code in iter_code_lines(path):
+            this_prev, prev_code = prev_code, code
+            if allowed(raw, "nodiscard"):
+                continue
+            if not NODISCARD_RETURN_RE.search(code):
+                continue
+            # Skip alias/using/variable lines and return statements.
+            if re.search(r"\busing\b|\btypedef\b|\breturn\b|=", code):
+                continue
+            # A declaration must have an opening paren on the line or be
+            # a multi-line signature start; require a '(' within the
+            # statement begun here to call it a function.
+            if "(" not in code and ";" in code:
+                continue  # a member variable of type Result<T>
+            if "[[nodiscard]]" in code or "[[nodiscard]]" in this_prev:
+                continue
+            findings.append(Finding(
+                "nodiscard", path, lineno,
+                "function returning Result<T> without [[nodiscard]] — a "
+                "dropped status hides failures"))
+    # persist layer: non-void Append*/Scan/Replay results must be
+    # [[nodiscard]] (the LSN / ScanReport is the durability evidence).
+    persist = root / "src" / "persist"
+    persist_decl = re.compile(
+        r"^\s*(?:static\s+)?(?:std::uint64_t|ScanReport)\s+"
+        r"(Append\w*|Scan\w*|Replay)\s*\(")
+    for path in sorted(persist.rglob("*.hpp")):
+        prev_code = ""
+        for lineno, raw, code in iter_code_lines(path):
+            this_prev, prev_code = prev_code, code
+            if allowed(raw, "nodiscard"):
+                continue
+            if not persist_decl.search(code):
+                continue
+            if "[[nodiscard]]" in code or "[[nodiscard]]" in this_prev:
+                continue
+            findings.append(Finding(
+                "nodiscard", path, lineno,
+                "persist API returning an LSN/ScanReport without "
+                "[[nodiscard]]"))
+    return findings
+
+
+# ----------------------------------------------------------- bare-mutex rule
+
+BARE_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_)?mutex\b|"
+    r"std::condition_variable\w*|"
+    r"std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b|"
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+
+
+def check_bare_mutex(root: pathlib.Path):
+    findings = []
+    wrapper = root / "src" / "util" / "mutex.hpp"
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in SRC_EXTENSIONS or path == wrapper:
+            continue
+        for lineno, raw, code in iter_code_lines(path):
+            if allowed(raw, "bare-mutex"):
+                continue
+            if BARE_MUTEX_RE.search(code):
+                findings.append(Finding(
+                    "bare-mutex", path, lineno,
+                    "bare std synchronization primitive — use the "
+                    "annotated util::Mutex/SharedMutex/CondVar wrappers "
+                    "(src/util/mutex.hpp)"))
+    return findings
+
+
+RULES = {
+    "determinism": check_determinism,
+    "nodiscard": check_nodiscard,
+    "bare-mutex": check_bare_mutex,
+}
+
+# ---------------------------------------------------------------- self-test
+
+# Each fixture is (rule, filename, snippet, must_fire).  The self-test
+# materializes a fake repo in a temp dir and asserts every rule fires on
+# its bad snippet and stays silent on its good twin.
+SELF_TEST_FIXTURES = [
+    ("determinism", "src/bad_rand.cpp",
+     "int f() { return rand(); }\n", True),
+    ("determinism", "src/bad_entropy.cpp",
+     "#include <random>\nstd::random_device rd;\n", True),
+    ("determinism", "src/bad_wallclock.cpp",
+     "auto t = std::chrono::system_clock::now();\n", True),
+    ("determinism", "src/good_steady.cpp",
+     "auto t = std::chrono::steady_clock::now();\n"
+     "// rand() in a comment is fine\n"
+     "const char* msg = \"call rand() never\";\n", False),
+    ("determinism", "src/good_allowed.cpp",
+     "int f() { return rand(); }  // lint:allow(determinism)\n", False),
+    ("nodiscard", "src/bad_result.hpp",
+     "Result<int> Parse(int x);\n", True),
+    ("nodiscard", "src/good_result.hpp",
+     "[[nodiscard]] Result<int> Parse(int x);\n", False),
+    ("nodiscard", "src/persist/bad_append.hpp",
+     "std::uint64_t AppendThing(int x);\n", True),
+    ("nodiscard", "src/persist/good_append.hpp",
+     "[[nodiscard]] std::uint64_t AppendThing(int x);\n", False),
+    ("bare-mutex", "src/bad_lock.cpp",
+     "#include <mutex>\nstd::mutex mu;\n", True),
+    ("bare-mutex", "src/good_lock.cpp",
+     "caltrain::util::Mutex mu;\n", False),
+    ("bare-mutex", "src/util/mutex.hpp",
+     "std::mutex mu_;  // the one allowed home\n", False),
+]
+
+
+def run_self_test() -> int:
+    import tempfile
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        for rule, rel, snippet, must_fire in SELF_TEST_FIXTURES:
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(snippet, encoding="utf-8")
+            found = [f for f in RULES[rule](root)
+                     if f.path == path]
+            fired = bool(found)
+            status = "ok"
+            if fired != must_fire:
+                status = "FAIL"
+                failures += 1
+            expect = "fires" if must_fire else "silent"
+            print(f"  [{status}] {rule:<12} {rel:<28} (expected {expect})")
+            path.unlink()
+    if failures:
+        print(f"self-test: {failures} fixture(s) failed", file=sys.stderr)
+        return 2
+    print(f"self-test: all {len(SELF_TEST_FIXTURES)} fixtures passed")
+    return 0
+
+
+# --------------------------------------------------------------------- main
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent dir)")
+    parser.add_argument("--rule", choices=sorted(RULES), default=None,
+                        help="run a single rule family")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture self-test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test()
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if not (root / "src").is_dir():
+        print(f"lint_invariants: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    rules = {args.rule: RULES[args.rule]} if args.rule else RULES
+    findings = []
+    for name, check in sorted(rules.items()):
+        findings.extend(check(root))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_invariants: clean ({', '.join(sorted(rules))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
