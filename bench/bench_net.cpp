@@ -1,0 +1,255 @@
+// Networked serving throughput and latency (ISSUE 10, BENCH_net.json).
+//
+// Measures the TCP front end (src/net) against the in-process async
+// serving API it fronts, over loopback:
+//
+//   BM_NetIngest/inproc_async   upload records/s straight into the
+//                               Service (chunked submissions, one
+//                               receipt awaited per chunk)
+//   BM_NetIngest/tcp            the same workload through net::Client
+//                               -> wire protocol -> epoll server; the
+//                               CI gate (tools/check_bench_scaling.py
+//                               --net-only) requires the networked
+//                               row to keep >= 0.75x of the in-process
+//                               rate — framing + loopback syscalls
+//                               must not dominate the crypto-bound
+//                               ingest path
+//   BM_NetStatusLatency/p50|p99 request/response round-trip latency of
+//                               a minimal RPC (status), in ns_per_op
+//   BM_NetFanIn/clientsN        aggregate status RPCs/s with N
+//                               concurrent connections multiplexed on
+//                               one event loop
+//
+//   ./bench_net [--json PATH] [--threads N] [--full]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/participant.hpp"
+#include "core/server.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+#include "util/stopwatch.hpp"
+#include "util/threadpool.hpp"
+
+using namespace caltrain;
+
+namespace {
+
+data::LabeledDataset BenchDataset(std::size_t records, std::uint64_t seed) {
+  Rng rng(seed);
+  data::SyntheticCifar gen;
+  return gen.Generate(records, rng);
+}
+
+constexpr std::size_t kChunk = 64;
+
+/// Uploads `records` through the in-process async API, one awaited
+/// receipt per chunk (the same request discipline the blocking TCP
+/// client has, so the two rows compare like for like).
+double RunInprocIngest(const data::LabeledDataset& dataset,
+                       std::uint64_t seed) {
+  core::TrainingServer server;
+  core::Participant uploader("p0", dataset, seed);
+  uploader.Provision(server, server.training_measurement());
+  std::vector<data::EncryptedRecord> records = uploader.PackRecords();
+  const std::size_t count = records.size();
+
+  serve::Service service(server);
+  const serve::Result<serve::SessionId> session =
+      service.OpenUploadSession("p0");
+  Stopwatch timer;
+  for (std::size_t first = 0; first < count; first += kChunk) {
+    const std::size_t last = std::min(count, first + kChunk);
+    auto receipt = service
+                       .SubmitUpload(session.value(),
+                                     std::vector<data::EncryptedRecord>(
+                                         records.begin() +
+                                             static_cast<std::ptrdiff_t>(first),
+                                         records.begin() +
+                                             static_cast<std::ptrdiff_t>(last)))
+                       .get();
+    if (!receipt.ok()) return 0.0;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(count) / seconds;
+}
+
+/// The same workload through the wire: encode, frame, loopback TCP,
+/// decode, dispatch, receipt back.
+double RunTcpIngest(const data::LabeledDataset& dataset,
+                    std::uint64_t seed) {
+  core::TrainingServer server;
+  core::Participant uploader("p0", dataset, seed);
+  uploader.Provision(server, server.training_measurement());
+  std::vector<data::EncryptedRecord> records = uploader.PackRecords();
+  const std::size_t count = records.size();
+
+  serve::Service service(server);
+  net::Server front(service);
+  front.Start();
+  net::ClientOptions options;
+  options.port = front.port();
+  net::Client client(options);
+  const serve::Result<serve::SessionId> session = client.OpenSession("p0");
+  if (!session.ok()) return 0.0;
+
+  Stopwatch timer;
+  for (std::size_t first = 0; first < count; first += kChunk) {
+    const std::size_t last = std::min(count, first + kChunk);
+    auto receipt = client.SubmitUpload(
+        session.value(),
+        std::vector<data::EncryptedRecord>(
+            records.begin() + static_cast<std::ptrdiff_t>(first),
+            records.begin() + static_cast<std::ptrdiff_t>(last)));
+    if (!receipt.ok()) return 0.0;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  front.Stop();
+  return static_cast<double>(count) / seconds;
+}
+
+/// Round-trip latency of the minimal status RPC, in nanoseconds.
+void RunStatusLatency(net::Server& front, std::size_t samples,
+                      double& p50_ns, double& p99_ns) {
+  net::ClientOptions options;
+  options.port = front.port();
+  net::Client client(options);
+  (void)client.Connect();  // handshake outside the timed loop
+  std::vector<double> latencies;
+  latencies.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    Stopwatch timer;
+    const auto status = client.Status();
+    const double ns = timer.ElapsedSeconds() * 1e9;
+    if (status.ok()) latencies.push_back(ns);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const std::size_t index = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+    return latencies[index];
+  };
+  p50_ns = pct(0.50);
+  p99_ns = pct(0.99);
+}
+
+/// Aggregate RPC throughput with `clients` concurrent connections.
+double RunFanIn(net::Server& front, std::size_t clients,
+                std::size_t rpcs_per_client) {
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch timer;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&front, rpcs_per_client] {
+      net::ClientOptions options;
+      options.port = front.port();
+      net::Client client(options);
+      for (std::size_t i = 0; i < rpcs_per_client; ++i) {
+        if (!client.Status().ok()) return;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(clients * rpcs_per_client) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::ExtractFlagValue(argc, argv, "--json");
+  const bench::BenchProfile profile = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("networked serving front end (src/net)", profile);
+
+  const std::size_t record_count = profile.full ? 4096 : 512;
+  const std::size_t latency_samples = profile.full ? 2000 : 400;
+  const std::size_t fan_rpcs = profile.full ? 200 : 50;
+  const data::LabeledDataset dataset =
+      BenchDataset(record_count, profile.seed);
+  const int threads = static_cast<int>(util::Parallelism::threads());
+  std::vector<bench::JsonBenchRow> rows;
+
+  const auto push_rate = [&](const std::string& op, const std::string& shape,
+                             double items_per_s) {
+    bench::JsonBenchRow row;
+    row.op = op;
+    row.shape = shape;
+    if (items_per_s > 0.0) row.ns_per_op = 1e9 / items_per_s;
+    row.items_per_s = items_per_s;
+    row.threads = threads;
+    rows.push_back(std::move(row));
+  };
+
+  // --- ingest throughput: in-process baseline vs networked ------------
+  // Best-of-3, interleaved: both paths are crypto-bound and a noisy
+  // neighbor or a frequency ramp mid-run would otherwise skew the
+  // tcp/inproc ratio the CI gate checks.
+  const std::string shape = "records=" + std::to_string(record_count);
+  double inproc = 0.0;
+  double tcp = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    inproc = std::max(inproc, RunInprocIngest(dataset, profile.seed));
+    tcp = std::max(tcp, RunTcpIngest(dataset, profile.seed));
+  }
+  std::printf("[net] inproc_async  %7.0f rec/s  (%s)\n", inproc,
+              shape.c_str());
+  push_rate("BM_NetIngest/inproc_async", shape, inproc);
+  std::printf("[net] tcp           %7.0f rec/s  (%.2fx of in-process)\n",
+              tcp, inproc > 0.0 ? tcp / inproc : 0.0);
+  push_rate("BM_NetIngest/tcp", shape, tcp);
+
+  // --- RPC latency and connection fan-in on one shared server ---------
+  {
+    core::TrainingServer server;
+    serve::Service service(server);
+    net::Server front(service);
+    front.Start();
+
+    double p50 = 0.0;
+    double p99 = 0.0;
+    RunStatusLatency(front, latency_samples, p50, p99);
+    std::printf("[net] status RTT    p50 %7.1f us   p99 %7.1f us\n",
+                p50 / 1e3, p99 / 1e3);
+    bench::JsonBenchRow p50_row;
+    p50_row.op = "BM_NetStatusLatency/p50";
+    p50_row.shape = "samples=" + std::to_string(latency_samples);
+    p50_row.ns_per_op = p50;
+    p50_row.threads = threads;
+    rows.push_back(std::move(p50_row));
+    bench::JsonBenchRow p99_row;
+    p99_row.op = "BM_NetStatusLatency/p99";
+    p99_row.shape = "samples=" + std::to_string(latency_samples);
+    p99_row.ns_per_op = p99;
+    p99_row.threads = threads;
+    rows.push_back(std::move(p99_row));
+
+    for (const std::size_t clients : {1UL, 4UL, 16UL, 64UL}) {
+      const double rate = RunFanIn(front, clients, fan_rpcs);
+      std::printf("[net] fan-in        %3zu clients  %8.0f rpc/s\n", clients,
+                  rate);
+      push_rate("BM_NetFanIn/clients" + std::to_string(clients),
+                "clients=" + std::to_string(clients), rate);
+    }
+    front.Stop();
+  }
+
+  if (!json_path.empty()) {
+    if (bench::WriteBenchJson(json_path, rows)) {
+      std::printf("wrote %zu bench rows to %s\n", rows.size(),
+                  json_path.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

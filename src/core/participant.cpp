@@ -30,13 +30,39 @@ Participant::Participant(std::string id, data::LabeledDataset local_data,
 void Participant::Provision(
     TrainingServer& server,
     const crypto::Sha256Digest& expected_measurement) {
+  // The direct path is the degenerate transport: each message is a
+  // function call into the server.
+  struct DirectTransport final : ProvisionTransport {
+    explicit DirectTransport(TrainingServer& s) : server(s) {}
+    Bytes ProvisionHello(const std::string& participant_id,
+                         BytesView client_hello) override {
+      return server.HandleClientHello(participant_id, client_hello);
+    }
+    bool ProvisionFinished(const std::string& participant_id,
+                           BytesView finished) override {
+      return server.HandleClientFinished(participant_id, finished);
+    }
+    bool ProvisionKey(const std::string& participant_id,
+                      BytesView record) override {
+      return server.HandleKeyProvision(participant_id, record);
+    }
+    TrainingServer& server;
+  };
+  DirectTransport transport(server);
+  ProvisionVia(transport, server.attestation_public_key(),
+               expected_measurement);
+}
+
+void Participant::ProvisionVia(
+    ProvisionTransport& transport, crypto::U128 attestation_public_key,
+    const crypto::Sha256Digest& expected_measurement) {
   // 1. Attested handshake into the training enclave.
-  securechannel::ClientHandshake handshake(server.attestation_public_key(),
+  securechannel::ClientHandshake handshake(attestation_public_key,
                                            expected_measurement, drbg_);
   const Bytes server_hello =
-      server.HandleClientHello(id_, handshake.Hello());
+      transport.ProvisionHello(id_, handshake.Hello());
   const Bytes finished = handshake.OnServerHello(server_hello);
-  if (!server.HandleClientFinished(id_, finished)) {
+  if (!transport.ProvisionFinished(id_, finished)) {
     ThrowError(ErrorKind::kAuthFailure, "server rejected handshake");
   }
 
@@ -48,8 +74,8 @@ void Participant::Provision(
   const Bytes sign_pub = crypto::U128ToBytes(signing_key_.public_value);
   provision.WriteBytes(sign_pub);
   securechannel::RecordWriter writer(handshake.keys().client_write_key);
-  if (!server.HandleKeyProvision(id_, writer.Protect(provision.Take(),
-                                                     BytesOf(id_)))) {
+  if (!transport.ProvisionKey(id_, writer.Protect(provision.Take(),
+                                                  BytesOf(id_)))) {
     ThrowError(ErrorKind::kAuthFailure, "key provisioning rejected");
   }
 }

@@ -16,6 +16,27 @@
 
 namespace caltrain::core {
 
+/// Transport abstraction for the provisioning flow: each method carries
+/// one opaque handshake/provisioning message to the training server and
+/// returns its reply.  An in-process implementation calls
+/// TrainingServer directly; the networking layer (net::Client) tunnels
+/// the same opaque blobs through wire frames — the secure channel's
+/// end-to-end guarantees do not depend on the hop in between.
+class ProvisionTransport {
+ public:
+  virtual ~ProvisionTransport() = default;
+  /// Delivers the client hello; returns the server hello.  Throws on
+  /// transport failure or a server-side handshake rejection.
+  virtual Bytes ProvisionHello(const std::string& participant_id,
+                               BytesView client_hello) = 0;
+  /// Delivers the client finished message; false = server rejected.
+  virtual bool ProvisionFinished(const std::string& participant_id,
+                                 BytesView finished) = 0;
+  /// Delivers the protected key-provision record; false = rejected.
+  virtual bool ProvisionKey(const std::string& participant_id,
+                            BytesView record) = 0;
+};
+
 class Participant {
  public:
   /// `seed` derives the key and all client-side randomness.
@@ -40,6 +61,17 @@ class Participant {
   /// provisioning failure.
   void Provision(TrainingServer& server,
                  const crypto::Sha256Digest& expected_measurement);
+
+  /// Same attested handshake + key provisioning, but with every message
+  /// carried by `transport` — the path remote participants take through
+  /// net::Client.  `attestation_public_key` comes from the server's
+  /// published hello (the wire handshake pins it), and the handshake
+  /// verifies `expected_measurement` against it exactly as the
+  /// in-process flow does.  Throws Error(kAuthFailure) on attestation
+  /// or provisioning failure.
+  void ProvisionVia(ProvisionTransport& transport,
+                    crypto::U128 attestation_public_key,
+                    const crypto::Sha256Digest& expected_measurement);
 
   /// Seals every local record with the provisioned key (upload wire
   /// form, in local-data order).

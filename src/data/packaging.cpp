@@ -22,8 +22,15 @@ Bytes SeedBytes(std::uint64_t seed) {
 
 }  // namespace
 
+std::size_t EncryptedRecord::SerializedSize() const noexcept {
+  // One u32 length prefix per field, in Serialize() order.
+  return 4 + participant_id.size() + 4 + 4 + iv.size() + 4 +
+         ciphertext.size() + 4 + tag.size() + 4 + signature.size();
+}
+
 Bytes EncryptedRecord::SignedPortion() const {
   ByteWriter writer;
+  writer.Reserve(SerializedSize());
   writer.WriteString(participant_id);
   writer.WriteU32(static_cast<std::uint32_t>(label));
   writer.WriteBytes(iv);
@@ -32,12 +39,20 @@ Bytes EncryptedRecord::SignedPortion() const {
   return writer.Take();
 }
 
-Bytes EncryptedRecord::Serialize() const {
-  Bytes out = SignedPortion();
-  ByteWriter writer;
+void EncryptedRecord::SerializeTo(ByteWriter& writer) const {
+  writer.WriteString(participant_id);
+  writer.WriteU32(static_cast<std::uint32_t>(label));
+  writer.WriteBytes(iv);
+  writer.WriteBytes(ciphertext);
+  writer.WriteBytes(tag);
   writer.WriteBytes(signature);
-  Append(out, writer.Take());
-  return out;
+}
+
+Bytes EncryptedRecord::Serialize() const {
+  ByteWriter writer;
+  writer.Reserve(SerializedSize());
+  SerializeTo(writer);
+  return writer.Take();
 }
 
 EncryptedRecord EncryptedRecord::Deserialize(BytesView blob) {

@@ -19,6 +19,7 @@
 #include "crypto/sha256.hpp"
 #include "data/dataset.hpp"
 #include "nn/tensor.hpp"
+#include "util/serial.hpp"
 
 namespace caltrain::data {
 
@@ -39,6 +40,11 @@ struct EncryptedRecord {
   /// signature itself, in Serialize() order.
   [[nodiscard]] Bytes SignedPortion() const;
 
+  /// Exact byte count Serialize() produces — lets bulk encoders
+  /// (the upload wire codec) reserve once instead of growing.
+  [[nodiscard]] std::size_t SerializedSize() const noexcept;
+  /// Appends the Serialize() bytes to an existing writer, no temp.
+  void SerializeTo(ByteWriter& writer) const;
   [[nodiscard]] Bytes Serialize() const;
   [[nodiscard]] static EncryptedRecord Deserialize(BytesView blob);
 };

@@ -1,0 +1,579 @@
+#include "net/codec.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caltrain::net {
+
+namespace {
+
+/// Max per-axis image dimension the wire accepts.  4096³ floats would
+/// already be absurd for this pipeline; the cap exists so a hostile
+/// header cannot drive Flat() toward overflow.
+constexpr std::uint32_t kMaxImageDim = 4096;
+
+ByteWriter BeginPayload(MsgType type) {
+  ByteWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(type));
+  return writer;
+}
+
+/// A body with trailing bytes is as malformed as a truncated one.
+void RequireEnd(const ByteReader& reader) {
+  if (!reader.AtEnd()) {
+    ThrowError(ErrorKind::kInvalidArgument,
+               "trailing bytes after message body");
+  }
+}
+
+void WriteImage(ByteWriter& writer, const nn::Image& image) {
+  CALTRAIN_REQUIRE(image.shape.w >= 0 && image.shape.h >= 0 &&
+                       image.shape.c >= 0 &&
+                       image.shape.w <= static_cast<int>(kMaxImageDim) &&
+                       image.shape.h <= static_cast<int>(kMaxImageDim) &&
+                       image.shape.c <= static_cast<int>(kMaxImageDim),
+                   "image dimensions out of wire range");
+  CALTRAIN_REQUIRE(image.pixels.size() == image.shape.Flat(),
+                   "image pixel count does not match its shape");
+  writer.WriteU32(static_cast<std::uint32_t>(image.shape.w));
+  writer.WriteU32(static_cast<std::uint32_t>(image.shape.h));
+  writer.WriteU32(static_cast<std::uint32_t>(image.shape.c));
+  writer.WriteF32Vector(image.pixels);
+}
+
+nn::Image ReadImage(ByteReader& reader) {
+  const std::uint32_t w = reader.ReadU32();
+  const std::uint32_t h = reader.ReadU32();
+  const std::uint32_t c = reader.ReadU32();
+  if (w > kMaxImageDim || h > kMaxImageDim || c > kMaxImageDim) {
+    ThrowError(ErrorKind::kInvalidArgument,
+               "image dimensions out of wire range");
+  }
+  nn::Image image;
+  image.shape.w = static_cast<int>(w);
+  image.shape.h = static_cast<int>(h);
+  image.shape.c = static_cast<int>(c);
+  // The vector read is itself bounds-checked against the real input, so
+  // a hostile header cannot allocate more than the frame carries.
+  image.pixels = reader.ReadF32Vector();
+  if (image.pixels.size() != image.shape.Flat()) {
+    ThrowError(ErrorKind::kInvalidArgument,
+               "image pixel count does not match its shape");
+  }
+  return image;
+}
+
+void WriteReport(ByteWriter& writer, const core::MispredictionReport& report) {
+  writer.WriteI64(report.predicted_label);
+  writer.WriteF32Vector(report.fingerprint);
+  CALTRAIN_REQUIRE(report.neighbors.size() <= 0xffffffffULL,
+                   "too many neighbors for the wire");
+  writer.WriteU32(static_cast<std::uint32_t>(report.neighbors.size()));
+  for (const linkage::QueryMatch& match : report.neighbors) {
+    writer.WriteU64(match.id);
+    writer.WriteF64(match.distance);
+    writer.WriteI64(match.label);
+    writer.WriteString(match.source);
+  }
+}
+
+core::MispredictionReport ReadReport(ByteReader& reader) {
+  core::MispredictionReport report;
+  report.predicted_label = static_cast<int>(reader.ReadI64());
+  report.fingerprint = reader.ReadF32Vector();
+  const std::uint32_t n = reader.ReadU32();
+  // No reserve(n): the count is attacker data; growth stays bounded by
+  // the bytes actually present.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    linkage::QueryMatch match;
+    match.id = reader.ReadU64();
+    match.distance = reader.ReadF64();
+    match.label = static_cast<int>(reader.ReadI64());
+    match.source = reader.ReadString();
+    report.neighbors.push_back(std::move(match));
+  }
+  return report;
+}
+
+}  // namespace
+
+WireErrorCode ToWire(serve::ServeErrorKind kind) noexcept {
+  switch (kind) {
+    case serve::ServeErrorKind::kUnprovisionedParticipant:
+      return WireErrorCode::kUnprovisionedParticipant;
+    case serve::ServeErrorKind::kAuthFailure:
+      return WireErrorCode::kAuthFailure;
+    case serve::ServeErrorKind::kQueueSaturated:
+      return WireErrorCode::kQueueSaturated;
+    case serve::ServeErrorKind::kWrongPhase:
+      return WireErrorCode::kWrongPhase;
+    case serve::ServeErrorKind::kInvalidArgument:
+      return WireErrorCode::kInvalidArgument;
+    case serve::ServeErrorKind::kTimeout:
+      return WireErrorCode::kTimeout;
+    case serve::ServeErrorKind::kRetryExhausted:
+      return WireErrorCode::kRetryExhausted;
+    case serve::ServeErrorKind::kDegraded:
+      return WireErrorCode::kDegraded;
+    case serve::ServeErrorKind::kCorruptJournal:
+      return WireErrorCode::kCorruptJournal;
+    case serve::ServeErrorKind::kInternal:
+      return WireErrorCode::kInternal;
+  }
+  return WireErrorCode::kInternal;
+}
+
+serve::ServeErrorKind FromWire(WireErrorCode code) noexcept {
+  switch (code) {
+    case WireErrorCode::kUnprovisionedParticipant:
+      return serve::ServeErrorKind::kUnprovisionedParticipant;
+    case WireErrorCode::kAuthFailure:
+      return serve::ServeErrorKind::kAuthFailure;
+    case WireErrorCode::kQueueSaturated:
+      return serve::ServeErrorKind::kQueueSaturated;
+    case WireErrorCode::kWrongPhase:
+      return serve::ServeErrorKind::kWrongPhase;
+    case WireErrorCode::kInvalidArgument:
+      return serve::ServeErrorKind::kInvalidArgument;
+    case WireErrorCode::kTimeout:
+      return serve::ServeErrorKind::kTimeout;
+    case WireErrorCode::kRetryExhausted:
+      return serve::ServeErrorKind::kRetryExhausted;
+    case WireErrorCode::kDegraded:
+      return serve::ServeErrorKind::kDegraded;
+    case WireErrorCode::kCorruptJournal:
+      return serve::ServeErrorKind::kCorruptJournal;
+    case WireErrorCode::kInternal:
+      return serve::ServeErrorKind::kInternal;
+  }
+  return serve::ServeErrorKind::kInternal;
+}
+
+// --- handshake ---------------------------------------------------------
+
+Bytes EncodeHello(const HelloRequest& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kHello);
+  writer.WriteU32(msg.magic);
+  writer.WriteU32(msg.version_min);
+  writer.WriteU32(msg.version_max);
+  return writer.Take();
+}
+
+HelloRequest DecodeHello(BytesView body) {
+  ByteReader reader(body);
+  HelloRequest msg;
+  msg.magic = reader.ReadU32();
+  msg.version_min = reader.ReadU32();
+  msg.version_max = reader.ReadU32();
+  RequireEnd(reader);
+  if (msg.magic != kHelloMagic) {
+    ThrowError(ErrorKind::kInvalidArgument, "bad hello magic");
+  }
+  if (msg.version_min > msg.version_max) {
+    ThrowError(ErrorKind::kInvalidArgument, "inverted hello version range");
+  }
+  return msg;
+}
+
+Bytes EncodeHelloAck(const HelloAck& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kHelloAck);
+  writer.WriteU32(msg.version);
+  writer.WriteU64(msg.max_frame_bytes);
+  writer.WriteBytes(msg.attestation_public_key);
+  writer.WriteBytes(msg.measurement);
+  return writer.Take();
+}
+
+HelloAck DecodeHelloAck(BytesView body) {
+  ByteReader reader(body);
+  HelloAck msg;
+  msg.version = reader.ReadU32();
+  msg.max_frame_bytes = reader.ReadU64();
+  msg.attestation_public_key = reader.ReadBytes();
+  msg.measurement = reader.ReadBytes();
+  RequireEnd(reader);
+  if (msg.attestation_public_key.size() != 16 ||
+      msg.measurement.size() != 32) {
+    ThrowError(ErrorKind::kInvalidArgument,
+               "hello-ack attestation fields have wrong sizes");
+  }
+  return msg;
+}
+
+Bytes EncodeError(const serve::ServeError& error) {
+  ByteWriter writer = BeginPayload(MsgType::kError);
+  writer.WriteU8(static_cast<std::uint8_t>(ToWire(error.kind)));
+  writer.WriteString(error.message);
+  return writer.Take();
+}
+
+serve::ServeError DecodeError(BytesView body) {
+  ByteReader reader(body);
+  serve::ServeError error;
+  error.kind = FromWire(static_cast<WireErrorCode>(reader.ReadU8()));
+  error.message = reader.ReadString();
+  RequireEnd(reader);
+  return error;
+}
+
+// --- provisioning ------------------------------------------------------
+
+Bytes EncodeProvision(MsgType type, const ProvisionMsg& msg) {
+  CALTRAIN_REQUIRE(type == MsgType::kProvisionHello ||
+                       type == MsgType::kProvisionFinished ||
+                       type == MsgType::kProvisionKey,
+                   "not a provisioning request type");
+  ByteWriter writer = BeginPayload(type);
+  writer.WriteString(msg.participant_id);
+  writer.WriteBytes(msg.blob);
+  return writer.Take();
+}
+
+ProvisionMsg DecodeProvision(BytesView body) {
+  ByteReader reader(body);
+  ProvisionMsg msg;
+  msg.participant_id = reader.ReadString();
+  msg.blob = reader.ReadBytes();
+  RequireEnd(reader);
+  if (msg.participant_id.empty()) {
+    ThrowError(ErrorKind::kInvalidArgument, "empty participant id");
+  }
+  return msg;
+}
+
+Bytes EncodeProvisionBlobAck(const ProvisionBlobAck& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kProvisionHelloAck);
+  writer.WriteBytes(msg.blob);
+  return writer.Take();
+}
+
+ProvisionBlobAck DecodeProvisionBlobAck(BytesView body) {
+  ByteReader reader(body);
+  ProvisionBlobAck msg;
+  msg.blob = reader.ReadBytes();
+  RequireEnd(reader);
+  return msg;
+}
+
+Bytes EncodeProvisionOkAck(MsgType type, const ProvisionOkAck& msg) {
+  CALTRAIN_REQUIRE(type == MsgType::kProvisionFinishedAck ||
+                       type == MsgType::kProvisionKeyAck,
+                   "not a provisioning ok-ack type");
+  ByteWriter writer = BeginPayload(type);
+  writer.WriteU8(msg.ok ? 1 : 0);
+  return writer.Take();
+}
+
+ProvisionOkAck DecodeProvisionOkAck(BytesView body) {
+  ByteReader reader(body);
+  const std::uint8_t raw = reader.ReadU8();
+  RequireEnd(reader);
+  if (raw > 1) {
+    ThrowError(ErrorKind::kInvalidArgument, "boolean field out of range");
+  }
+  return ProvisionOkAck{raw == 1};
+}
+
+// --- upload sessions ---------------------------------------------------
+
+Bytes EncodeOpenSession(const OpenSessionRequest& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kOpenSession);
+  writer.WriteString(msg.participant_id);
+  return writer.Take();
+}
+
+OpenSessionRequest DecodeOpenSession(BytesView body) {
+  ByteReader reader(body);
+  OpenSessionRequest msg;
+  msg.participant_id = reader.ReadString();
+  RequireEnd(reader);
+  if (msg.participant_id.empty()) {
+    ThrowError(ErrorKind::kInvalidArgument, "empty participant id");
+  }
+  return msg;
+}
+
+Bytes EncodeOpenSessionAck(const OpenSessionAck& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kOpenSessionAck);
+  writer.WriteU64(msg.session);
+  return writer.Take();
+}
+
+OpenSessionAck DecodeOpenSessionAck(BytesView body) {
+  ByteReader reader(body);
+  OpenSessionAck msg;
+  msg.session = reader.ReadU64();
+  RequireEnd(reader);
+  return msg;
+}
+
+namespace {
+
+void WriteSubmitUploadBody(ByteWriter& writer, const SubmitUploadRequest& msg) {
+  writer.WriteU64(msg.session);
+  writer.WriteU64(msg.upload_seq);
+  CALTRAIN_REQUIRE(msg.records.size() <= 0xffffffffULL,
+                   "too many records for one frame");
+  writer.WriteU32(static_cast<std::uint32_t>(msg.records.size()));
+  // Records dominate the frame (KBs of ciphertext each): reserve the
+  // exact total once and serialize in place — same bytes as the
+  // WriteBytes(Serialize()) form, none of the growth copies or temps.
+  std::size_t total = 0;
+  for (const data::EncryptedRecord& record : msg.records) {
+    total += 4 + record.SerializedSize();
+  }
+  writer.Reserve(total);
+  for (const data::EncryptedRecord& record : msg.records) {
+    const std::size_t size = record.SerializedSize();
+    CALTRAIN_REQUIRE(size <= 0xffffffffULL, "record too large for frame");
+    writer.WriteU32(static_cast<std::uint32_t>(size));
+    record.SerializeTo(writer);
+  }
+}
+
+}  // namespace
+
+Bytes EncodeSubmitUpload(const SubmitUploadRequest& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kSubmitUpload);
+  WriteSubmitUploadBody(writer, msg);
+  return writer.Take();
+}
+
+Bytes EncodeSubmitUploadFrame(const SubmitUploadRequest& msg,
+                              std::size_t max_frame_bytes) {
+  // Assemble header + payload in one buffer so the dominant message
+  // of the protocol never pays EncodeFrame's whole-payload copy.
+  ByteWriter writer;
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) writer.WriteU8(0);
+  writer.WriteU8(static_cast<std::uint8_t>(MsgType::kSubmitUpload));
+  WriteSubmitUploadBody(writer, msg);
+  return FinishFrame(writer.Take(), max_frame_bytes);
+}
+
+SubmitUploadRequest DecodeSubmitUpload(BytesView body) {
+  ByteReader reader(body);
+  SubmitUploadRequest msg;
+  msg.session = reader.ReadU64();
+  msg.upload_seq = reader.ReadU64();
+  const std::uint32_t count = reader.ReadU32();
+  // A hostile count cannot balloon the reserve: every serialized
+  // record costs at least its length prefix, so remaining() bounds it.
+  msg.records.reserve(std::min<std::size_t>(count, reader.remaining() / 4));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Parse each record straight out of the frame body — no per-record
+    // blob copy on the ingest hot path.
+    msg.records.push_back(
+        data::EncryptedRecord::Deserialize(reader.ReadBytesView()));
+  }
+  RequireEnd(reader);
+  return msg;
+}
+
+Bytes EncodeUploadReceipt(const serve::UploadReceipt& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kUploadReceipt);
+  writer.WriteU64(msg.submitted);
+  writer.WriteU64(msg.accepted);
+  writer.WriteU64(msg.rejected);
+  return writer.Take();
+}
+
+serve::UploadReceipt DecodeUploadReceipt(BytesView body) {
+  ByteReader reader(body);
+  serve::UploadReceipt msg;
+  msg.submitted = reader.ReadU64();
+  msg.accepted = reader.ReadU64();
+  msg.rejected = reader.ReadU64();
+  RequireEnd(reader);
+  return msg;
+}
+
+Bytes EncodeCloseSession(const CloseSessionRequest& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kCloseSession);
+  writer.WriteU64(msg.session);
+  return writer.Take();
+}
+
+CloseSessionRequest DecodeCloseSession(BytesView body) {
+  ByteReader reader(body);
+  CloseSessionRequest msg;
+  msg.session = reader.ReadU64();
+  RequireEnd(reader);
+  return msg;
+}
+
+Bytes EncodeCloseSessionAck(const serve::SessionStats& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kCloseSessionAck);
+  writer.WriteString(msg.participant_id);
+  writer.WriteU64(msg.submitted);
+  writer.WriteU64(msg.accepted);
+  writer.WriteU64(msg.rejected);
+  return writer.Take();
+}
+
+serve::SessionStats DecodeCloseSessionAck(BytesView body) {
+  ByteReader reader(body);
+  serve::SessionStats msg;
+  msg.participant_id = reader.ReadString();
+  msg.submitted = reader.ReadU64();
+  msg.accepted = reader.ReadU64();
+  msg.rejected = reader.ReadU64();
+  RequireEnd(reader);
+  return msg;
+}
+
+// --- queries and release ----------------------------------------------
+
+Bytes EncodeInvestigate(const InvestigateRequest& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kInvestigate);
+  WriteImage(writer, msg.input);
+  writer.WriteU64(msg.k);
+  return writer.Take();
+}
+
+InvestigateRequest DecodeInvestigate(BytesView body) {
+  ByteReader reader(body);
+  InvestigateRequest msg;
+  msg.input = ReadImage(reader);
+  msg.k = reader.ReadU64();
+  RequireEnd(reader);
+  return msg;
+}
+
+Bytes EncodeInvestigateAck(const core::MispredictionReport& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kInvestigateAck);
+  WriteReport(writer, msg);
+  return writer.Take();
+}
+
+core::MispredictionReport DecodeInvestigateAck(BytesView body) {
+  ByteReader reader(body);
+  core::MispredictionReport report = ReadReport(reader);
+  RequireEnd(reader);
+  return report;
+}
+
+Bytes EncodeInvestigateBatch(const InvestigateBatchRequest& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kInvestigateBatch);
+  CALTRAIN_REQUIRE(msg.inputs.size() <= 0xffffffffULL,
+                   "too many probes for one frame");
+  writer.WriteU32(static_cast<std::uint32_t>(msg.inputs.size()));
+  for (const nn::Image& image : msg.inputs) WriteImage(writer, image);
+  writer.WriteU64(msg.k);
+  return writer.Take();
+}
+
+InvestigateBatchRequest DecodeInvestigateBatch(BytesView body) {
+  ByteReader reader(body);
+  InvestigateBatchRequest msg;
+  const std::uint32_t count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    msg.inputs.push_back(ReadImage(reader));
+  }
+  msg.k = reader.ReadU64();
+  RequireEnd(reader);
+  return msg;
+}
+
+Bytes EncodeInvestigateBatchAck(
+    const std::vector<core::MispredictionReport>& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kInvestigateBatchAck);
+  CALTRAIN_REQUIRE(msg.size() <= 0xffffffffULL,
+                   "too many reports for one frame");
+  writer.WriteU32(static_cast<std::uint32_t>(msg.size()));
+  for (const core::MispredictionReport& report : msg) {
+    WriteReport(writer, report);
+  }
+  return writer.Take();
+}
+
+std::vector<core::MispredictionReport> DecodeInvestigateBatchAck(
+    BytesView body) {
+  ByteReader reader(body);
+  std::vector<core::MispredictionReport> reports;
+  const std::uint32_t count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    reports.push_back(ReadReport(reader));
+  }
+  RequireEnd(reader);
+  return reports;
+}
+
+Bytes EncodeRelease(const ReleaseRequest& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kRelease);
+  writer.WriteString(msg.participant_id);
+  return writer.Take();
+}
+
+ReleaseRequest DecodeRelease(BytesView body) {
+  ByteReader reader(body);
+  ReleaseRequest msg;
+  msg.participant_id = reader.ReadString();
+  RequireEnd(reader);
+  if (msg.participant_id.empty()) {
+    ThrowError(ErrorKind::kInvalidArgument, "empty participant id");
+  }
+  return msg;
+}
+
+Bytes EncodeReleaseAck(const core::TrainingServer::ReleasedModel& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kReleaseAck);
+  writer.WriteString(msg.participant_id);
+  writer.WriteBytes(msg.spec_blob);
+  writer.WriteI64(msg.front_layers);
+  writer.WriteBytes(msg.backnet_weights);
+  writer.WriteBytes(msg.frontnet_iv);
+  writer.WriteBytes(msg.frontnet_ciphertext);
+  writer.WriteBytes(msg.frontnet_tag);
+  return writer.Take();
+}
+
+core::TrainingServer::ReleasedModel DecodeReleaseAck(BytesView body) {
+  ByteReader reader(body);
+  core::TrainingServer::ReleasedModel msg;
+  msg.participant_id = reader.ReadString();
+  msg.spec_blob = reader.ReadBytes();
+  msg.front_layers = static_cast<int>(reader.ReadI64());
+  msg.backnet_weights = reader.ReadBytes();
+  msg.frontnet_iv = reader.ReadBytes();
+  msg.frontnet_ciphertext = reader.ReadBytes();
+  msg.frontnet_tag = reader.ReadBytes();
+  RequireEnd(reader);
+  return msg;
+}
+
+Bytes EncodeStatus() {
+  ByteWriter writer = BeginPayload(MsgType::kStatus);
+  return writer.Take();
+}
+
+void DecodeStatus(BytesView body) {
+  ByteReader reader(body);
+  RequireEnd(reader);
+}
+
+Bytes EncodeStatusAck(const StatusAck& msg) {
+  ByteWriter writer = BeginPayload(MsgType::kStatusAck);
+  writer.WriteU8(msg.phase);
+  writer.WriteU8(msg.degraded ? 1 : 0);
+  writer.WriteU64(msg.accepted_records);
+  writer.WriteU64(msg.rejected_records);
+  return writer.Take();
+}
+
+StatusAck DecodeStatusAck(BytesView body) {
+  ByteReader reader(body);
+  StatusAck msg;
+  msg.phase = reader.ReadU8();
+  const std::uint8_t degraded = reader.ReadU8();
+  if (degraded > 1) {
+    ThrowError(ErrorKind::kInvalidArgument, "boolean field out of range");
+  }
+  msg.degraded = degraded == 1;
+  msg.accepted_records = reader.ReadU64();
+  msg.rejected_records = reader.ReadU64();
+  RequireEnd(reader);
+  return msg;
+}
+
+}  // namespace caltrain::net

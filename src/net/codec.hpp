@@ -1,0 +1,186 @@
+// Message bodies for the serving wire protocol (ISSUE 10).
+//
+// Every message is encoded with util::ByteWriter (little-endian,
+// 32-bit length prefixes) into a frame payload whose first byte is the
+// MsgType; Encode* returns that full payload ready for EncodeFrame.
+// Decode* parses the BODY (payload after the type byte) and applies
+// strict validation:
+//
+//   * every read is bounds-checked (ByteReader throws on truncation),
+//   * trailing bytes after a complete body are rejected — a request
+//     that says more than its schema is as hostile as one that says
+//     less,
+//   * attacker-supplied counts never pre-size allocations beyond what
+//     the remaining input could actually hold, and image dimensions
+//     are capped before the pixel count is computed.
+//
+// All decode failures surface as caltrain::Error(kInvalidArgument),
+// which the server folds into a typed kInvalidArgument error frame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.hpp"
+#include "core/server.hpp"
+#include "net/wire.hpp"
+#include "nn/tensor.hpp"
+#include "serve/result.hpp"
+#include "serve/service.hpp"
+#include "util/serial.hpp"
+
+namespace caltrain::net {
+
+/// Wire-stable error codes (u8).  Append, never renumber — these
+/// outlive any one build's ServeErrorKind ordering.
+enum class WireErrorCode : std::uint8_t {
+  kUnprovisionedParticipant = 1,
+  kAuthFailure = 2,
+  kQueueSaturated = 3,
+  kWrongPhase = 4,
+  kInvalidArgument = 5,
+  kTimeout = 6,
+  kRetryExhausted = 7,
+  kDegraded = 8,
+  kCorruptJournal = 9,
+  kInternal = 10,
+};
+
+[[nodiscard]] WireErrorCode ToWire(serve::ServeErrorKind kind) noexcept;
+/// Unknown codes (newer peer) map to kInternal rather than rejecting.
+[[nodiscard]] serve::ServeErrorKind FromWire(WireErrorCode code) noexcept;
+
+// --- connection handshake ---------------------------------------------
+
+struct HelloRequest {
+  std::uint32_t magic = kHelloMagic;
+  std::uint32_t version_min = kProtocolVersionMin;
+  std::uint32_t version_max = kProtocolVersionMax;
+};
+
+struct HelloAck {
+  std::uint32_t version = 0;       ///< negotiated protocol version
+  std::uint64_t max_frame_bytes = 0;
+  Bytes attestation_public_key;    ///< 16 bytes (crypto::U128, LE)
+  Bytes measurement;               ///< 32 bytes (training enclave hash)
+};
+
+// --- provisioning (opaque securechannel blobs, tunneled) --------------
+
+struct ProvisionMsg {
+  std::string participant_id;
+  Bytes blob;  ///< opaque handshake / protected-record bytes
+};
+
+struct ProvisionBlobAck {
+  Bytes blob;  ///< server hello (opaque)
+};
+
+struct ProvisionOkAck {
+  bool ok = false;
+};
+
+// --- upload sessions ---------------------------------------------------
+
+struct OpenSessionRequest {
+  std::string participant_id;
+};
+
+struct OpenSessionAck {
+  std::uint64_t session = 0;
+};
+
+struct SubmitUploadRequest {
+  std::uint64_t session = 0;
+  /// Per-session submission counter assigned by the client; the server
+  /// deduplicates transport-level resubmits with it (see net::Server).
+  std::uint64_t upload_seq = 0;
+  std::vector<data::EncryptedRecord> records;
+};
+
+struct CloseSessionRequest {
+  std::uint64_t session = 0;
+};
+
+// --- queries and release ----------------------------------------------
+
+struct InvestigateRequest {
+  nn::Image input;
+  std::uint64_t k = 0;
+};
+
+struct InvestigateBatchRequest {
+  std::vector<nn::Image> inputs;
+  std::uint64_t k = 0;
+};
+
+struct ReleaseRequest {
+  std::string participant_id;
+};
+
+struct StatusAck {
+  std::uint8_t phase = 0;  ///< serve::Phase enumerator value
+  bool degraded = false;
+  std::uint64_t accepted_records = 0;
+  std::uint64_t rejected_records = 0;
+};
+
+// --- encoders (full frame payload: type byte + body) -------------------
+
+[[nodiscard]] Bytes EncodeHello(const HelloRequest& msg);
+[[nodiscard]] Bytes EncodeHelloAck(const HelloAck& msg);
+[[nodiscard]] Bytes EncodeError(const serve::ServeError& error);
+[[nodiscard]] Bytes EncodeProvision(MsgType type, const ProvisionMsg& msg);
+[[nodiscard]] Bytes EncodeProvisionBlobAck(const ProvisionBlobAck& msg);
+[[nodiscard]] Bytes EncodeProvisionOkAck(MsgType type,
+                                         const ProvisionOkAck& msg);
+[[nodiscard]] Bytes EncodeOpenSession(const OpenSessionRequest& msg);
+[[nodiscard]] Bytes EncodeOpenSessionAck(const OpenSessionAck& msg);
+[[nodiscard]] Bytes EncodeSubmitUpload(const SubmitUploadRequest& msg);
+/// Fully framed form (header + payload in one buffer): identical bytes
+/// to EncodeFrame(EncodeSubmitUpload(msg)) without the payload copy —
+/// uploads are the protocol's bulk message, the copy is measurable.
+[[nodiscard]] Bytes EncodeSubmitUploadFrame(
+    const SubmitUploadRequest& msg,
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+[[nodiscard]] Bytes EncodeUploadReceipt(const serve::UploadReceipt& msg);
+[[nodiscard]] Bytes EncodeCloseSession(const CloseSessionRequest& msg);
+[[nodiscard]] Bytes EncodeCloseSessionAck(const serve::SessionStats& msg);
+[[nodiscard]] Bytes EncodeInvestigate(const InvestigateRequest& msg);
+[[nodiscard]] Bytes EncodeInvestigateAck(const core::MispredictionReport& msg);
+[[nodiscard]] Bytes EncodeInvestigateBatch(const InvestigateBatchRequest& msg);
+[[nodiscard]] Bytes EncodeInvestigateBatchAck(
+    const std::vector<core::MispredictionReport>& msg);
+[[nodiscard]] Bytes EncodeRelease(const ReleaseRequest& msg);
+[[nodiscard]] Bytes EncodeReleaseAck(
+    const core::TrainingServer::ReleasedModel& msg);
+[[nodiscard]] Bytes EncodeStatus();
+[[nodiscard]] Bytes EncodeStatusAck(const StatusAck& msg);
+
+// --- decoders (frame body, hostile input) ------------------------------
+
+[[nodiscard]] HelloRequest DecodeHello(BytesView body);
+[[nodiscard]] HelloAck DecodeHelloAck(BytesView body);
+[[nodiscard]] serve::ServeError DecodeError(BytesView body);
+[[nodiscard]] ProvisionMsg DecodeProvision(BytesView body);
+[[nodiscard]] ProvisionBlobAck DecodeProvisionBlobAck(BytesView body);
+[[nodiscard]] ProvisionOkAck DecodeProvisionOkAck(BytesView body);
+[[nodiscard]] OpenSessionRequest DecodeOpenSession(BytesView body);
+[[nodiscard]] OpenSessionAck DecodeOpenSessionAck(BytesView body);
+[[nodiscard]] SubmitUploadRequest DecodeSubmitUpload(BytesView body);
+[[nodiscard]] serve::UploadReceipt DecodeUploadReceipt(BytesView body);
+[[nodiscard]] CloseSessionRequest DecodeCloseSession(BytesView body);
+[[nodiscard]] serve::SessionStats DecodeCloseSessionAck(BytesView body);
+[[nodiscard]] InvestigateRequest DecodeInvestigate(BytesView body);
+[[nodiscard]] core::MispredictionReport DecodeInvestigateAck(BytesView body);
+[[nodiscard]] InvestigateBatchRequest DecodeInvestigateBatch(BytesView body);
+[[nodiscard]] std::vector<core::MispredictionReport>
+DecodeInvestigateBatchAck(BytesView body);
+[[nodiscard]] ReleaseRequest DecodeRelease(BytesView body);
+[[nodiscard]] core::TrainingServer::ReleasedModel DecodeReleaseAck(
+    BytesView body);
+void DecodeStatus(BytesView body);  ///< body must be empty
+[[nodiscard]] StatusAck DecodeStatusAck(BytesView body);
+
+}  // namespace caltrain::net

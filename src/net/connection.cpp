@@ -1,0 +1,72 @@
+#include "net/connection.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include "util/fault.hpp"
+
+namespace caltrain::net {
+
+Connection::IoResult Connection::ReadIntoDecoder() {
+  if (util::FaultInjector::Global().armed()) {
+    try {
+      (void)util::FaultPoint("net.read");
+    } catch (const Error&) {
+      return IoResult::kClosed;  // injected transient read failure
+    }
+  }
+  std::uint8_t chunk[64 * 1024];
+  // Drain what the kernel has queued (capped per event for fairness
+  // across connections) instead of one chunk per epoll wakeup — a bulk
+  // upload frame spans many socket buffers, and level-triggered epoll
+  // re-fires if the cap leaves data behind.
+  for (int burst = 0; burst < 16; ++burst) {
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      decoder.Feed(BytesView(chunk, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) return IoResult::kClosed;  // orderly peer shutdown
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return IoResult::kOk;
+    }
+    return IoResult::kClosed;
+  }
+  return IoResult::kOk;
+}
+
+void Connection::QueueFrame(Bytes frame) {
+  backlog_bytes_ += frame.size();
+  write_queue_.push_back(std::move(frame));
+}
+
+Connection::IoResult Connection::FlushWrites() {
+  while (!write_queue_.empty()) {
+    if (util::FaultInjector::Global().armed()) {
+      try {
+        (void)util::FaultPoint("net.write");
+      } catch (const Error&) {
+        return IoResult::kClosed;
+      }
+    }
+    const Bytes& front = write_queue_.front();
+    const std::size_t left = front.size() - write_offset_;
+    const ssize_t n = ::send(fd_.get(), front.data() + write_offset_, left,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return IoResult::kOk;  // socket buffer full; EPOLLOUT re-arms
+      }
+      return IoResult::kClosed;
+    }
+    backlog_bytes_ -= static_cast<std::size_t>(n);
+    write_offset_ += static_cast<std::size_t>(n);
+    if (write_offset_ == front.size()) {
+      write_queue_.pop_front();
+      write_offset_ = 0;
+    }
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace caltrain::net

@@ -1,0 +1,155 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "persist/journal.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace caltrain::net {
+
+namespace {
+
+std::uint32_t LoadLe32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void StoreLe32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+const char* ToString(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello-ack";
+    case MsgType::kError: return "error";
+    case MsgType::kProvisionHello: return "provision-hello";
+    case MsgType::kProvisionHelloAck: return "provision-hello-ack";
+    case MsgType::kProvisionFinished: return "provision-finished";
+    case MsgType::kProvisionFinishedAck: return "provision-finished-ack";
+    case MsgType::kProvisionKey: return "provision-key";
+    case MsgType::kProvisionKeyAck: return "provision-key-ack";
+    case MsgType::kOpenSession: return "open-session";
+    case MsgType::kOpenSessionAck: return "open-session-ack";
+    case MsgType::kSubmitUpload: return "submit-upload";
+    case MsgType::kUploadReceipt: return "upload-receipt";
+    case MsgType::kCloseSession: return "close-session";
+    case MsgType::kCloseSessionAck: return "close-session-ack";
+    case MsgType::kInvestigate: return "investigate";
+    case MsgType::kInvestigateAck: return "investigate-ack";
+    case MsgType::kInvestigateBatch: return "investigate-batch";
+    case MsgType::kInvestigateBatchAck: return "investigate-batch-ack";
+    case MsgType::kRelease: return "release";
+    case MsgType::kReleaseAck: return "release-ack";
+    case MsgType::kStatus: return "status";
+    case MsgType::kStatusAck: return "status-ack";
+  }
+  return "unknown";
+}
+
+Bytes EncodeFrame(BytesView payload, std::size_t max_frame_bytes) {
+  CALTRAIN_REQUIRE(!payload.empty(), "frame payload must hold a type byte");
+  CALTRAIN_REQUIRE(payload.size() <= max_frame_bytes &&
+                       payload.size() <= 0xffffffffULL,
+                   "frame payload exceeds the frame size limit");
+  Bytes out(kFrameHeaderBytes + payload.size());
+  StoreLe32(out.data(), static_cast<std::uint32_t>(payload.size()));
+  StoreLe32(out.data() + 4, persist::Crc32c(payload));
+  std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  return out;
+}
+
+Bytes FinishFrame(Bytes&& framed, std::size_t max_frame_bytes) {
+  CALTRAIN_REQUIRE(framed.size() > kFrameHeaderBytes,
+                   "frame payload must hold a type byte");
+  const std::size_t payload_size = framed.size() - kFrameHeaderBytes;
+  CALTRAIN_REQUIRE(payload_size <= max_frame_bytes &&
+                       payload_size <= 0xffffffffULL,
+                   "frame payload exceeds the frame size limit");
+  const BytesView payload(framed.data() + kFrameHeaderBytes, payload_size);
+  StoreLe32(framed.data(), static_cast<std::uint32_t>(payload_size));
+  StoreLe32(framed.data() + 4, persist::Crc32c(payload));
+  return std::move(framed);
+}
+
+void FrameDecoder::Feed(BytesView data) {
+  if (poisoned_) return;  // nothing after a framing error is trusted
+  // Compact before the buffer grows: consumed prefix bytes are dead.
+  if (pos_ > 64 * 1024 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+FrameDecoder::Status FrameDecoder::Poison(std::string why) {
+  poisoned_ = true;
+  error_ = std::move(why);
+  buffer_.clear();
+  pos_ = 0;
+  return Status::kCorrupt;
+}
+
+FrameDecoder::Status FrameDecoder::Next(Frame& out) {
+  if (poisoned_) return Status::kCorrupt;
+  if (util::FaultInjector::Global().armed()) {
+    try {
+      (void)util::FaultPoint("net.frame");
+    } catch (const Error&) {
+      // An injected frame fault behaves exactly like wire corruption:
+      // the stream is poisoned and the connection must drop.
+      return Poison("injected frame fault");
+    }
+  }
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Status::kNeedMore;
+  const std::uint8_t* head = buffer_.data() + pos_;
+  const std::uint32_t len = LoadLe32(head);
+  if (len == 0) {
+    return Poison("zero-length frame payload");
+  }
+  if (len > max_frame_bytes_) {
+    // Reject from the length prefix alone — the declared payload is
+    // never buffered, so a hostile length cannot balloon memory.
+    return Poison("frame payload of " + std::to_string(len) +
+                  " bytes exceeds the " +
+                  std::to_string(max_frame_bytes_) + "-byte limit");
+  }
+  if (avail < kFrameHeaderBytes + len) return Status::kNeedMore;
+  const std::uint32_t want_crc = LoadLe32(head + 4);
+  const BytesView payload(head + kFrameHeaderBytes, len);
+  if (persist::Crc32c(payload) != want_crc) {
+    return Poison("frame CRC mismatch");
+  }
+  out.type = static_cast<MsgType>(payload[0]);
+  if (pos_ == 0 && buffer_.size() == kFrameHeaderBytes + len) {
+    // The buffer holds exactly this frame — the normal case for large
+    // frames (bulk uploads, released models).  Hand the buffer over
+    // and shave the header in place instead of allocating and copying
+    // the whole payload.
+    out.payload = std::move(buffer_);
+    out.payload.erase(out.payload.begin(),
+                      out.payload.begin() + kFrameHeaderBytes);
+    buffer_.clear();
+    pos_ = 0;
+    return Status::kFrame;
+  }
+  out.payload.assign(payload.begin(), payload.end());
+  pos_ += kFrameHeaderBytes + len;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+}  // namespace caltrain::net

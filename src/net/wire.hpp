@@ -1,0 +1,144 @@
+// Versioned wire protocol for the serving API (ISSUE 10).
+//
+// Framing is deliberately minimal — every frame is
+//
+//   u32 LE payload_length | u32 LE CRC32C(payload) | payload
+//
+// with payload[0] holding the message type and the rest the
+// type-specific body (util::ByteWriter little-endian encoding, the same
+// primitives the persist journal uses).  The CRC makes corruption a
+// *typed* protocol error instead of a parse of garbage; the length
+// prefix bounds every allocation before a single payload byte is
+// trusted.
+//
+// Version negotiation happens in the first exchange: the client's
+// Hello carries the [min, max] protocol range it speaks, the server
+// answers with the highest version both sides support (or a typed
+// error frame when the ranges are disjoint) plus its attestation
+// surface, so remote participants can run the ISSUE-3 attested
+// handshake without any out-of-band channel.
+//
+// The decoder treats ALL input as hostile: truncated frames simply
+// wait for more bytes, oversized lengths / CRC mismatches poison the
+// stream with a typed error, and nothing is ever read past a validated
+// length.  There is no UB path for attacker-controlled bytes — the
+// adversarial corpus in tests/net_test.cpp runs under ASan/UBSan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace caltrain::net {
+
+/// Protocol versions this build speaks, inclusive.
+inline constexpr std::uint32_t kProtocolVersionMin = 1;
+inline constexpr std::uint32_t kProtocolVersionMax = 1;
+
+/// First field of every Hello — a frame that does not start with the
+/// magic is not this protocol at all.
+inline constexpr std::uint32_t kHelloMagic = 0x434c5452;  // "CLTR"
+
+/// Default ceiling on a single frame's payload.  Large enough for a
+/// released model or a multi-thousand-record submission, small enough
+/// that a hostile length prefix cannot balloon memory.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64ULL << 20;
+
+/// Bytes of framing overhead per frame (length + CRC).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Message types.  Values are wire-stable: append, never renumber.
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kError = 3,  ///< typed ServeError response to any request
+  kProvisionHello = 4,
+  kProvisionHelloAck = 5,
+  kProvisionFinished = 6,
+  kProvisionFinishedAck = 7,
+  kProvisionKey = 8,
+  kProvisionKeyAck = 9,
+  kOpenSession = 10,
+  kOpenSessionAck = 11,
+  kSubmitUpload = 12,
+  kUploadReceipt = 13,
+  kCloseSession = 14,
+  kCloseSessionAck = 15,
+  kInvestigate = 16,
+  kInvestigateAck = 17,
+  kInvestigateBatch = 18,
+  kInvestigateBatchAck = 19,
+  kRelease = 20,
+  kReleaseAck = 21,
+  kStatus = 22,
+  kStatusAck = 23,
+};
+
+[[nodiscard]] const char* ToString(MsgType type) noexcept;
+
+/// Wraps `payload` (type byte + body) in a length/CRC header.
+/// Throws kInvalidArgument on an empty or oversized payload.
+[[nodiscard]] Bytes EncodeFrame(BytesView payload,
+                                std::size_t max_frame_bytes =
+                                    kDefaultMaxFrameBytes);
+
+/// Completes a frame assembled in place: `framed` holds
+/// kFrameHeaderBytes of reserved space followed by the payload.
+/// Patches the length/CRC header and returns the same bytes
+/// EncodeFrame produces — without copying the payload, which matters
+/// for multi-hundred-KB upload frames.  Throws kInvalidArgument on an
+/// empty or oversized payload.
+[[nodiscard]] Bytes FinishFrame(Bytes&& framed,
+                                std::size_t max_frame_bytes =
+                                    kDefaultMaxFrameBytes);
+
+/// One decoded frame: the full payload, type already split out.
+struct Frame {
+  MsgType type = MsgType::kError;
+  Bytes payload;  ///< entire payload including the leading type byte
+  /// Body view (payload without the type byte).
+  [[nodiscard]] BytesView body() const noexcept {
+    return BytesView(payload.data() + 1, payload.size() - 1);
+  }
+};
+
+/// Incremental frame decoder over an untrusted byte stream.
+///
+/// Feed() appends whatever the socket produced; Next() yields frames
+/// until the buffer runs dry (kNeedMore) or the stream turns out to be
+/// garbage (kCorrupt: oversized length, zero-length payload, CRC
+/// mismatch — the decoder is then poisoned and every further call
+/// returns kCorrupt, because nothing after a framing error can be
+/// trusted).
+class FrameDecoder {
+ public:
+  enum class Status { kNeedMore, kFrame, kCorrupt };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(BytesView data);
+
+  /// Decodes the next complete frame into `out`.
+  [[nodiscard]] Status Next(Frame& out);
+
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+  /// Why the stream was poisoned (empty while healthy).
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Bytes buffered but not yet consumed (flow-control accounting).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - pos_;
+  }
+
+ private:
+  Status Poison(std::string why);
+
+  std::size_t max_frame_bytes_;
+  Bytes buffer_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace caltrain::net

@@ -276,28 +276,45 @@ Result<SessionId> Service::OpenUploadSession(
   }
   util::MutexLock lock(state_mu_);
   const SessionId id = next_session_id_++;
-  sessions_.emplace(id, std::make_shared<Session>(participant_id));
+  auto session = std::make_shared<Session>(participant_id);
+  session->id = id;
+  sessions_.emplace(id, std::move(session));
   return id;
 }
 
 std::future<Result<UploadReceipt>> Service::SubmitUpload(
     SessionId session, std::vector<data::EncryptedRecord> records) {
+  auto prom = std::make_shared<std::promise<Result<UploadReceipt>>>();
+  std::future<Result<UploadReceipt>> fut = prom->get_future();
+  SubmitUploadAsync(session, std::move(records),
+                    [prom](Result<UploadReceipt> result) {
+                      prom->set_value(std::move(result));
+                    });
+  return fut;
+}
+
+void Service::SubmitUploadAsync(
+    SessionId session, std::vector<data::EncryptedRecord> records,
+    std::function<void(Result<UploadReceipt>)> done,
+    std::optional<util::BackpressurePolicy> backpressure) {
   auto sub = std::make_shared<Submission>();
-  std::future<Result<UploadReceipt>> fut = sub->promise.get_future();
+  sub->done_cb = std::move(done);
   const auto fail = [&sub](ServeErrorKind kind, std::string message) {
     sub->done = true;
-    sub->promise.set_value(
-        Result<UploadReceipt>(ServeError{kind, std::move(message)}));
+    sub->done_cb(Result<UploadReceipt>(ServeError{kind, std::move(message)}));
   };
   sub->submitted = records.size();
 
+  // The per-submission override only changes how THIS producer meets a
+  // full queue; the queue itself keeps its configured policy.
+  const util::BackpressurePolicy policy =
+      backpressure.value_or(config_.backpressure);
   const std::size_t batch = config_.ingest_batch;
   const std::size_t n_batches = (records.size() + batch - 1) / batch;
   // The submission-wide deadline starts at entry, so a slow producer
   // spanning many batches cannot block past submit_timeout in total.
-  const bool use_deadline =
-      config_.submit_timeout.count() > 0 &&
-      config_.backpressure == util::BackpressurePolicy::kBlock;
+  const bool use_deadline = config_.submit_timeout.count() > 0 &&
+                            policy == util::BackpressurePolicy::kBlock;
   const std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::now() + config_.submit_timeout;
 
@@ -307,13 +324,13 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
   if (degraded()) {
     fail(ServeErrorKind::kDegraded,
          "durability journal unwritable; service is read-only");
-    return fut;
+    return;
   }
   if (phase_.load(std::memory_order_acquire) != Phase::kIngest) {
     fail(ServeErrorKind::kWrongPhase,
          std::string("uploads are not accepted in phase ") +
              ToString(phase()));
-    return fut;
+    return;
   }
   {
     util::MutexLock state_lock(state_mu_);
@@ -321,14 +338,14 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
     if (it == sessions_.end() || !it->second->open) {
       fail(ServeErrorKind::kInvalidArgument,
            "unknown or closed upload session");
-      return fut;
+      return;
     }
     if (records.empty()) {
       sub->done = true;
-      sub->promise.set_value(Result<UploadReceipt>(UploadReceipt{}));
-      return fut;
+      sub->done_cb(Result<UploadReceipt>(UploadReceipt{}));
+      return;
     }
-    if (config_.backpressure == util::BackpressurePolicy::kReject) {
+    if (policy == util::BackpressurePolicy::kReject) {
       if (n_batches > queue_.capacity()) {
         // Retrying can never help: the submission does not fit an
         // empty queue.  Tell the client to split it instead of
@@ -338,14 +355,14 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
                  " batches but the ingest queue holds " +
                  std::to_string(queue_.capacity()) +
                  "; split the submission");
-        return fut;
+        return;
       }
       if (queue_.size() + n_batches > queue_.capacity()) {
         // All-or-nothing: a submission is never partially ingested.
         fail(ServeErrorKind::kQueueSaturated,
              "ingest queue full (" + std::to_string(queue_.size()) + "/" +
                  std::to_string(queue_.capacity()) + " batches)");
-        return fut;
+        return;
       }
     }
     sub->session = it->second;
@@ -359,11 +376,12 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
   // submit_timeout deadline hit while the queue was full).  With
   // nothing enqueued this is a clean all-or-nothing rejection,
   // invisible in the session tallies; with a prefix enqueued, that
-  // prefix still commits and the future resolves with the honest
-  // partial tally (accepted+rejected < submitted tells the caller how
-  // far the stream got).
+  // prefix still commits and the receipt reports the honest partial
+  // tally (accepted+rejected < submitted tells the caller how far the
+  // stream got).
   const auto abort_push = [&](ServeErrorKind kind, std::string message) {
     std::optional<Result<UploadReceipt>> resolution;
+    std::vector<PendingClose> closers;
     {
       util::MutexLock state_lock(state_mu_);
       const std::size_t unenqueued = n_batches - pushed;
@@ -380,8 +398,9 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
         resolution.emplace(
             UploadReceipt{sub->submitted, sub->accepted, sub->rejected});
       }
-      // else: the in-flight prefix resolves the future with the partial
-      // receipt when its last batch commits.
+      // else: the in-flight prefix resolves the submission with the
+      // partial receipt when its last batch commits.
+      CollectClosedSessionLocked(*sub->session, closers);
     }
     if (resolution.has_value() && resolution->ok() && pushed > 0 &&
         log_ != nullptr && !degraded()) {
@@ -395,7 +414,10 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
       }
     }
     if (resolution.has_value()) {
-      sub->promise.set_value(std::move(*resolution));
+      sub->done_cb(std::move(*resolution));
+    }
+    for (PendingClose& close : closers) {
+      close.callback(Result<SessionStats>(std::move(close.stats)));
     }
     progress_cv_.NotifyAll();
   };
@@ -410,7 +432,15 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
                         std::make_move_iterator(records.begin() +
                                                 static_cast<std::ptrdiff_t>(
                                                     last)));
-    if (use_deadline) {
+    if (policy == util::BackpressurePolicy::kReject) {
+      // The capacity precheck above ran under ingest_mu_, which every
+      // producer holds; consumers only shrink the queue, so a failed
+      // TryPush here can only mean the queue was closed for shutdown.
+      if (!queue_.TryPush(std::move(item))) {
+        abort_push(ServeErrorKind::kWrongPhase, "service is shutting down");
+        return;
+      }
+    } else if (use_deadline) {
       // Deadline-aware wait for queue room: the producer is throttled,
       // but never for longer than submit_timeout across the whole
       // submission.
@@ -421,54 +451,104 @@ std::future<Result<UploadReceipt>> Service::SubmitUpload(
                    "ingest queue still full after " +
                        std::to_string(config_.submit_timeout.count()) +
                        "ms; nothing further was enqueued");
-        return fut;
+        return;
       }
       if (result == util::PushResult::kClosed) {
         abort_push(ServeErrorKind::kWrongPhase, "service is shutting down");
-        return fut;
+        return;
       }
-    } else if (!queue_.Push(std::move(item))) {
-      // Under kBlock this waits for queue room (backpressure throttles
-      // the producer); it only fails once the service is shutting
-      // down — a permanent condition, so not the retryable
-      // kQueueSaturated.
-      abort_push(ServeErrorKind::kWrongPhase, "service is shutting down");
-      return fut;
+    } else if (queue_.policy() == util::BackpressurePolicy::kBlock) {
+      if (!queue_.Push(std::move(item))) {
+        // Under kBlock this waits for queue room (backpressure
+        // throttles the producer); it only fails once the service is
+        // shutting down — a permanent condition, so not the retryable
+        // kQueueSaturated.
+        abort_push(ServeErrorKind::kWrongPhase, "service is shutting down");
+        return;
+      }
+    } else {
+      // kBlock override on a kReject-configured queue (whose plain
+      // Push would bounce instead of waiting): wait without a deadline.
+      const util::PushResult result = queue_.PushUntil(
+          std::move(item), std::chrono::steady_clock::time_point::max());
+      if (result == util::PushResult::kTimedOut) {
+        // Only reachable through the queue.push fault point — there is
+        // no real deadline to miss.
+        abort_push(ServeErrorKind::kTimeout,
+                   "ingest queue wait failed; nothing further was enqueued");
+        return;
+      }
+      if (result == util::PushResult::kClosed) {
+        abort_push(ServeErrorKind::kWrongPhase, "service is shutting down");
+        return;
+      }
     }
     ++next_enqueue_seq_;  // a ticket exists only for enqueued batches
     ++pushed;
     MaybeSpawnPump();
   }
-  return fut;
 }
 
 Result<SessionStats> Service::CloseUploadSession(SessionId session) {
-  std::shared_ptr<Session> state;
+  // The callback path resolves either synchronously (drained session)
+  // or from whichever ingest worker commits the last outstanding batch,
+  // so the future below never deadlocks on this thread.
+  auto prom = std::make_shared<std::promise<Result<SessionStats>>>();
+  std::future<Result<SessionStats>> fut = prom->get_future();
+  CloseUploadSessionAsync(session, [prom](Result<SessionStats> result) {
+    prom->set_value(std::move(result));
+  });
+  return fut.get();
+}
+
+void Service::CloseUploadSessionAsync(
+    SessionId session, std::function<void(Result<SessionStats>)> done) {
+  std::optional<Result<SessionStats>> immediate;
   {
     util::MutexLock lock(state_mu_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
-      return ServeError{ServeErrorKind::kInvalidArgument,
-                        "unknown upload session"};
+      immediate.emplace(ServeError{ServeErrorKind::kInvalidArgument,
+                                   "unknown upload session"});
+    } else if (!it->second->open) {
+      immediate.emplace(ServeError{ServeErrorKind::kInvalidArgument,
+                                   "upload session already closed"});
+    } else {
+      Session& sess = *it->second;
+      sess.open = false;
+      if (sess.outstanding_batches == 0) {
+        // Retire the bookkeeping — a closed session can never be used
+        // again, and a long-lived service must not accumulate dead
+        // sessions.
+        SessionStats stats;
+        stats.participant_id = sess.participant_id;
+        stats.submitted = sess.submitted;
+        stats.accepted = sess.accepted;
+        stats.rejected = sess.rejected;
+        sessions_.erase(it);
+        immediate.emplace(std::move(stats));
+      } else {
+        // The commit (or abort) that drains the last batch fires this.
+        sess.close_cb = std::move(done);
+      }
     }
-    if (!it->second->open) {
-      return ServeError{ServeErrorKind::kInvalidArgument,
-                        "upload session already closed"};
-    }
-    it->second->open = false;
-    state = it->second;
   }
-  util::MutexLock lock(state_mu_);
-  while (state->outstanding_batches != 0) progress_cv_.Wait(lock);
-  // Retire the bookkeeping — a closed session can never be used again,
-  // and a long-lived service must not accumulate dead sessions.
-  sessions_.erase(session);
-  SessionStats stats;
-  stats.participant_id = state->participant_id;
-  stats.submitted = state->submitted;
-  stats.accepted = state->accepted;
-  stats.rejected = state->rejected;
-  return stats;
+  if (immediate.has_value()) done(std::move(*immediate));
+}
+
+void Service::CollectClosedSessionLocked(Session& sess,
+                                         std::vector<PendingClose>& closers) {
+  if (sess.open || sess.outstanding_batches != 0 || !sess.close_cb) return;
+  PendingClose close;
+  close.callback = std::move(sess.close_cb);
+  close.stats.participant_id = sess.participant_id;
+  close.stats.submitted = sess.submitted;
+  close.stats.accepted = sess.accepted;
+  close.stats.rejected = sess.rejected;
+  closers.push_back(std::move(close));
+  // The Submission shared_ptrs keep the Session object alive; only the
+  // id lookup is retired here.
+  sessions_.erase(sess.id);
 }
 
 void Service::DrainIngest() {
@@ -572,6 +652,7 @@ void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
     Result<UploadReceipt> result;
   };
   std::vector<Resolution> resolutions;
+  std::vector<PendingClose> closers;
   bool ack_needs_sync = false;
   {
     util::MutexLock lock(state_mu_);
@@ -639,6 +720,7 @@ void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
              Result<UploadReceipt>(UploadReceipt{
                  sub.submitted, sub.accepted, sub.rejected})});
       }
+      CollectClosedSessionLocked(sess, closers);
       ++next_commit_seq_;  // tickets advance even for failed batches
     }
   }
@@ -664,7 +746,11 @@ void Service::Commit(std::uint64_t seq, AuthedBatch batch) {
     }
   }
   for (Resolution& r : resolutions) {
-    r.submission->promise.set_value(std::move(r.result));
+    r.submission->done_cb(std::move(r.result));
+  }
+  // Close acknowledgements fire after the receipts they waited on.
+  for (PendingClose& close : closers) {
+    close.callback(Result<SessionStats>(std::move(close.stats)));
   }
   progress_cv_.NotifyAll();
 }
@@ -835,7 +921,21 @@ std::future<Result<std::size_t>> Service::SubmitFingerprint(
 
 std::future<Result<core::TrainingServer::ReleasedModel>>
 Service::SubmitRelease(std::string participant_id) {
-  return Schedule<core::TrainingServer::ReleasedModel>(
+  auto prom = std::make_shared<
+      std::promise<Result<core::TrainingServer::ReleasedModel>>>();
+  std::future<Result<core::TrainingServer::ReleasedModel>> fut =
+      prom->get_future();
+  SubmitReleaseAsync(std::move(participant_id),
+                     [prom](Result<core::TrainingServer::ReleasedModel> r) {
+                       prom->set_value(std::move(r));
+                     });
+  return fut;
+}
+
+void Service::SubmitReleaseAsync(
+    std::string participant_id,
+    std::function<void(Result<core::TrainingServer::ReleasedModel>)> done) {
+  ScheduleAsync<core::TrainingServer::ReleasedModel>(
       [this, participant_id = std::move(participant_id)]()
           -> Result<core::TrainingServer::ReleasedModel> {
         if (degraded()) {
@@ -865,7 +965,8 @@ Service::SubmitRelease(std::string participant_id) {
           return *err;
         }
         return released;
-      });
+      },
+      std::move(done));
 }
 
 Result<Phase> Service::ReopenIngest() {
@@ -897,17 +998,28 @@ std::future<Result<core::MispredictionReport>> Service::SubmitInvestigate(
   auto prom =
       std::make_shared<std::promise<Result<core::MispredictionReport>>>();
   std::future<Result<core::MispredictionReport>> fut = prom->get_future();
+  SubmitInvestigateAsync(std::move(input), k,
+                         [prom](Result<core::MispredictionReport> r) {
+                           prom->set_value(std::move(r));
+                         });
+  return fut;
+}
+
+void Service::SubmitInvestigateAsync(
+    nn::Image input, std::size_t k,
+    std::function<void(Result<core::MispredictionReport>)> done) {
   const Phase p = phase();
   if (p != Phase::kServing) {
-    prom->set_value(Result<core::MispredictionReport>(
+    done(Result<core::MispredictionReport>(
         ServeError{ServeErrorKind::kWrongPhase,
                    std::string("cannot investigate in phase ") +
                        ToString(p)}));
-    return fut;
+    return;
   }
   inflight_pool_ops_.fetch_add(1, std::memory_order_relaxed);
-  pool_.Submit([this, prom, input = std::move(input), k] {
-    prom->set_value(Guarded<core::MispredictionReport>(
+  pool_.Submit([this, done = std::move(done), input = std::move(input),
+                k]() mutable {
+    done(Guarded<core::MispredictionReport>(
         [&]() -> Result<core::MispredictionReport> {
           std::unique_ptr<nn::LayerWorkspace> ws = AcquireQueryWorkspace();
           core::MispredictionReport report =
@@ -917,7 +1029,6 @@ std::future<Result<core::MispredictionReport>> Service::SubmitInvestigate(
         }));
     FinishPoolOp();
   });
-  return fut;
 }
 
 std::unique_ptr<nn::LayerWorkspace> Service::AcquireQueryWorkspace() {
@@ -943,12 +1054,28 @@ void Service::RecycleQueryWorkspace(std::unique_ptr<nn::LayerWorkspace> ws) {
 std::future<Result<std::vector<core::MispredictionReport>>>
 Service::SubmitInvestigateBatch(std::vector<nn::Image> inputs,
                                 std::size_t k) {
+  auto prom = std::make_shared<
+      std::promise<Result<std::vector<core::MispredictionReport>>>>();
+  std::future<Result<std::vector<core::MispredictionReport>>> fut =
+      prom->get_future();
+  SubmitInvestigateBatchAsync(
+      std::move(inputs), k,
+      [prom](Result<std::vector<core::MispredictionReport>> r) {
+        prom->set_value(std::move(r));
+      });
+  return fut;
+}
+
+void Service::SubmitInvestigateBatchAsync(
+    std::vector<nn::Image> inputs, std::size_t k,
+    std::function<void(Result<std::vector<core::MispredictionReport>>)>
+        done) {
   // Runs on the strand, NOT as a pool task: a pool task counts as a
   // parallel region, which would serialize InvestigateBatch's internal
   // per-probe fan-out.  From the strand the batch keeps full pool
   // parallelism; concurrent batch requests serialize against each
   // other (single-probe SubmitInvestigate stays fully concurrent).
-  return Schedule<std::vector<core::MispredictionReport>>(
+  ScheduleAsync<std::vector<core::MispredictionReport>>(
       [this, inputs = std::move(inputs),
        k]() -> Result<std::vector<core::MispredictionReport>> {
         const Phase p = phase();
@@ -958,7 +1085,8 @@ Service::SubmitInvestigateBatch(std::vector<nn::Image> inputs,
                                 ToString(p)};
         }
         return query_->InvestigateBatch(inputs, k);
-      });
+      },
+      std::move(done));
 }
 
 Result<nn::Network> Service::AssembleReleased(

@@ -203,9 +203,31 @@ class Service {
   [[nodiscard]] std::future<Result<UploadReceipt>> SubmitUpload(
       SessionId session, std::vector<data::EncryptedRecord> records);
 
+  /// Callback form of SubmitUpload, for event-driven front ends
+  /// (src/net) that must never block a worker or an event-loop thread
+  /// on a future.  `done` fires exactly once — possibly synchronously
+  /// from the calling thread (with internal service locks held), or
+  /// later from an ingest worker — and must not call back into the
+  /// Service.  `backpressure` overrides the configured policy for this
+  /// one submission: the TCP front end always submits with kReject and
+  /// maps a kQueueSaturated completion onto its own parked-retry loop
+  /// (the event-loop-shaped equivalent of kBlock), so the shared
+  /// ingest pumps are never blocked by a slow remote producer.
+  void SubmitUploadAsync(
+      SessionId session, std::vector<data::EncryptedRecord> records,
+      std::function<void(Result<UploadReceipt>)> done,
+      std::optional<util::BackpressurePolicy> backpressure = std::nullopt);
+
   /// Closes the session, waits for its outstanding submissions, and
   /// retires its bookkeeping (the id becomes unknown afterwards).
   [[nodiscard]] Result<SessionStats> CloseUploadSession(SessionId session);
+
+  /// Callback form of CloseUploadSession: marks the session closed
+  /// immediately and fires `done` (same callback contract as
+  /// SubmitUploadAsync) once its last outstanding batch commits —
+  /// without blocking the caller on progress_cv_.
+  void CloseUploadSessionAsync(
+      SessionId session, std::function<void(Result<SessionStats>)> done);
 
   /// Barrier: returns once every record enqueued before the call has
   /// been authenticated and committed.
@@ -229,6 +251,12 @@ class Service {
   [[nodiscard]] std::future<Result<core::TrainingServer::ReleasedModel>>
   SubmitRelease(std::string participant_id);
 
+  /// Callback form of SubmitRelease (strand-ordered like the future
+  /// version; the callback fires on the strand thread).
+  void SubmitReleaseAsync(
+      std::string participant_id,
+      std::function<void(Result<core::TrainingServer::ReleasedModel>)> done);
+
   /// Reopens ingestion after training (resume / fine-tune flows).
   [[nodiscard]] Result<Phase> ReopenIngest();
 
@@ -238,10 +266,21 @@ class Service {
   [[nodiscard]] std::future<Result<core::MispredictionReport>>
   SubmitInvestigate(nn::Image input, std::size_t k);
 
+  /// Callback form of SubmitInvestigate (fires on a pool worker).
+  void SubmitInvestigateAsync(
+      nn::Image input, std::size_t k,
+      std::function<void(Result<core::MispredictionReport>)> done);
+
   /// Batched investigate (parallel forward passes + batched kNN).
   [[nodiscard]] std::future<
       Result<std::vector<core::MispredictionReport>>>
   SubmitInvestigateBatch(std::vector<nn::Image> inputs, std::size_t k);
+
+  /// Callback form of SubmitInvestigateBatch (fires on the strand).
+  void SubmitInvestigateBatchAsync(
+      std::vector<nn::Image> inputs, std::size_t k,
+      std::function<void(Result<std::vector<core::MispredictionReport>>)>
+          done);
 
   /// Participant-side reassembly with the typed taxonomy applied: a
   /// wrong key resolves to kAuthFailure instead of an escaping
@@ -255,10 +294,15 @@ class Service {
     return query_.has_value() ? &*query_ : nullptr;
   }
 
+  /// The fronted training server — the networking layer needs its
+  /// attestation surface (handshake tunneling) and upload counters.
+  [[nodiscard]] core::TrainingServer& server() noexcept { return server_; }
+
  private:
   struct Session {
     explicit Session(std::string pid) : participant_id(std::move(pid)) {}
     std::string participant_id;
+    SessionId id = 0;
     // All tallies guarded by the owning Service's state_mu_ — the
     // capability language cannot name the outer class's mutex from a
     // nested struct, so these stay convention-documented.
@@ -267,10 +311,16 @@ class Service {
     std::size_t accepted = 0;
     std::size_t rejected = 0;
     std::size_t outstanding_batches = 0;
+    /// Set by CloseUploadSessionAsync when batches are still in
+    /// flight; fired (and the session retired) by whichever commit or
+    /// abort drains the last one.
+    std::function<void(Result<SessionStats>)> close_cb;
   };
 
   struct Submission {
-    std::promise<Result<UploadReceipt>> promise;
+    /// Completion callback (the future API wraps a promise in one).
+    /// Invoked exactly once, guarded by `done`.
+    std::function<void(Result<UploadReceipt>)> done_cb;
     std::shared_ptr<Session> session;
     std::size_t submitted = 0;
     // Guarded by the owning Service's state_mu_ (convention; see
@@ -280,6 +330,19 @@ class Service {
     std::size_t rejected = 0;
     bool done = false;
   };
+
+  /// A close callback due to fire, detached from the session under
+  /// state_mu_ and invoked after the lock (and any group commit) drops.
+  struct PendingClose {
+    std::function<void(Result<SessionStats>)> callback;
+    SessionStats stats;
+  };
+
+  /// If `sess` was closed and just drained, retires it and moves its
+  /// close callback (with final stats) onto `closers`.
+  void CollectClosedSessionLocked(Session& sess,
+                                  std::vector<PendingClose>& closers)
+      REQUIRES(state_mu_);
 
   struct IngestBatch {
     std::uint64_t seq = 0;
@@ -345,22 +408,36 @@ class Service {
 
   // Strand scheduler.
   void StrandLoop();
+
+  /// Enqueues `fn` on the strand and feeds its Guarded result to
+  /// `done` (from the strand thread; synchronously from the caller
+  /// when the strand is already stopped).
+  template <typename T, typename Fn>
+  void ScheduleAsync(Fn fn, std::function<void(Result<T>)> done) {
+    {
+      util::MutexLock lock(strand_mu_);
+      if (!strand_stop_) {
+        strand_queue_.emplace_back(
+            [fn = std::move(fn), done = std::move(done)]() mutable {
+              done(Guarded<T>(fn));
+            });
+        lock.Unlock();
+        strand_cv_.NotifyOne();
+        return;
+      }
+    }
+    done(Result<T>(
+        ServeError{ServeErrorKind::kWrongPhase, "service is shutting down"}));
+  }
+
   template <typename T, typename Fn>
   std::future<Result<T>> Schedule(Fn fn) {
     auto prom = std::make_shared<std::promise<Result<T>>>();
     std::future<Result<T>> fut = prom->get_future();
-    {
-      util::MutexLock lock(strand_mu_);
-      if (strand_stop_) {
-        prom->set_value(Result<T>(ServeError{ServeErrorKind::kWrongPhase,
-                                             "service is shutting down"}));
-        return fut;
-      }
-      strand_queue_.emplace_back([prom, fn = std::move(fn)]() mutable {
-        prom->set_value(Guarded<T>(fn));
-      });
-    }
-    strand_cv_.NotifyOne();
+    ScheduleAsync<T>(std::move(fn), std::function<void(Result<T>)>(
+                                        [prom](Result<T> result) {
+                                          prom->set_value(std::move(result));
+                                        }));
     return fut;
   }
 

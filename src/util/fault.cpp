@@ -86,12 +86,17 @@ void FaultInjector::Configure(const std::string& spec) {
     rule->action = ParseAction(action);
     rules.push_back(std::move(rule));
   }
-  rules_ = std::move(rules);
-  armed_.store(!rules_.empty(), std::memory_order_release);
+  const bool armed = !rules.empty();
+  {
+    WriterLock lock(mu_);
+    rules_ = std::move(rules);
+  }
+  armed_.store(armed, std::memory_order_release);
 }
 
 FaultAction FaultInjector::Hit(std::string_view point) noexcept {
   if (!armed()) return FaultAction::kNone;
+  ReaderLock lock(mu_);
   for (const auto& rule : rules_) {
     if (rule->point != point) continue;
     const std::uint64_t hit =
@@ -108,6 +113,7 @@ const std::vector<std::string>& RegisteredFaultPoints() {
   static const std::vector<std::string> points = {
       "persist.append", "persist.sync",  "persist.snapshot",
       "enclave.transition", "serve.auth", "queue.push",
+      "net.accept", "net.read", "net.write", "net.frame",
   };
   return points;
 }

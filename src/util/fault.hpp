@@ -39,6 +39,14 @@
 //   enclave.transition  TransitionGuard construction (batch auth path)
 //   serve.auth          serve-layer record authentication
 //   queue.push          BoundedQueue::PushUntil wait
+//   net.accept          TCP front end: accept(2) on the listen socket
+//   net.read            TCP front end: read(2) on a connection (either
+//                       side; eio kills the connection, which the
+//                       client absorbs by reconnect + idempotent
+//                       resubmit)
+//   net.write           TCP front end: write(2) on a connection
+//   net.frame           wire-frame decode; eio poisons the frame as if
+//                       its CRC failed (typed error, connection drop)
 #pragma once
 
 #include <atomic>
@@ -49,6 +57,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace caltrain::util {
 
@@ -90,9 +99,12 @@ class FaultInjector {
 
   /// Replaces every rule (and resets all hit counters) with `spec`.
   /// Throws kInvalidArgument on a malformed spec.  Tests use this to
-  /// override whatever the environment configured.  NOT safe
-  /// concurrently with Hit() — configure before the threads that reach
-  /// the fault points exist.
+  /// override whatever the environment configured.  Safe concurrently
+  /// with Hit() — the rule table swaps under a writer lock, so tests
+  /// may arm and disarm faults while the threads that reach the points
+  /// (e.g. a live net::Server event loop) are running.  A hit that
+  /// races the swap sees either the old rules or the new ones, never a
+  /// mix.
   void Configure(const std::string& spec);
 
   /// Removes all rules.
@@ -118,10 +130,13 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
-  // Rules are written only by Configure (startup / test setup, before
-  // the threads that hit the points exist) and read concurrently; the
-  // unique_ptrs keep Rule addresses stable for the atomic hit counters.
-  std::vector<std::unique_ptr<Rule>> rules_;
+  // Guards the rule table against Configure/Clear racing concurrent
+  // Hit() calls.  Hit takes the reader side only after the relaxed
+  // armed() pre-check, so the disarmed fast path stays one atomic
+  // load; the unique_ptrs keep Rule addresses stable for the atomic
+  // hit counters.
+  mutable SharedMutex mu_;
+  std::vector<std::unique_ptr<Rule>> rules_ GUARDED_BY(mu_);
 };
 
 /// The registered fault-point names, for harnesses that sweep them.

@@ -1,0 +1,50 @@
+// Owning file-descriptor handle for the event-driven layers (ISSUE 10).
+//
+// A trivially small RAII wrapper: one fd, closed exactly once, movable,
+// never copied.  The networking front end (src/net) juggles listen
+// sockets, connection sockets, epoll, eventfd and timerfd instances —
+// every early-return path must release them, which is exactly what a
+// destructor is for.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace caltrain::util {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  ~UniqueFd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Closes the held fd (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace caltrain::util

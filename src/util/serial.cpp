@@ -29,6 +29,10 @@ void ByteWriter::WriteI64(std::int64_t v) {
 
 void ByteWriter::WriteF32(float v) { WriteU32(std::bit_cast<std::uint32_t>(v)); }
 
+void ByteWriter::WriteF64(double v) {
+  WriteU64(std::bit_cast<std::uint64_t>(v));
+}
+
 void ByteWriter::WriteBytes(BytesView data) {
   CALTRAIN_REQUIRE(data.size() <= 0xffffffffULL, "byte string too long");
   WriteU32(static_cast<std::uint32_t>(data.size()));
@@ -79,11 +83,17 @@ std::int64_t ByteReader::ReadI64() {
 
 float ByteReader::ReadF32() { return std::bit_cast<float>(ReadU32()); }
 
+double ByteReader::ReadF64() { return std::bit_cast<double>(ReadU64()); }
+
 Bytes ByteReader::ReadBytes() {
+  const BytesView view = ReadBytesView();
+  return Bytes(view.begin(), view.end());
+}
+
+BytesView ByteReader::ReadBytesView() {
   const std::uint32_t len = ReadU32();
   Need(len);
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  const BytesView out = data_.subspan(pos_, len);
   pos_ += len;
   return out;
 }

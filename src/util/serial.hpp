@@ -15,11 +15,17 @@ namespace caltrain {
 /// Appends typed values to a growing byte buffer.
 class ByteWriter {
  public:
+  /// Pre-sizes the buffer for `extra` more bytes.  Callers that know
+  /// the payload size (bulk record uploads, tensor blobs) use this to
+  /// avoid repeated growth copies on multi-hundred-KB messages.
+  void Reserve(std::size_t extra) { buffer_.reserve(buffer_.size() + extra); }
+
   void WriteU8(std::uint8_t v);
   void WriteU32(std::uint32_t v);
   void WriteU64(std::uint64_t v);
   void WriteI64(std::int64_t v);
   void WriteF32(float v);
+  void WriteF64(double v);
   /// Length-prefixed byte string.
   void WriteBytes(BytesView data);
   /// Length-prefixed UTF-8 string.
@@ -44,7 +50,12 @@ class ByteReader {
   [[nodiscard]] std::uint64_t ReadU64();
   [[nodiscard]] std::int64_t ReadI64();
   [[nodiscard]] float ReadF32();
+  [[nodiscard]] double ReadF64();
   [[nodiscard]] Bytes ReadBytes();
+  /// Like ReadBytes but returns a view into the underlying buffer —
+  /// no copy.  The view is only valid while the source bytes outlive
+  /// the reader; use for large nested blobs that are parsed in place.
+  [[nodiscard]] BytesView ReadBytesView();
   [[nodiscard]] std::string ReadString();
   [[nodiscard]] std::vector<float> ReadF32Vector();
 

@@ -414,13 +414,17 @@ TEST(FaultInjectorTest, SpecParsingAndHitArithmetic) {
 
 TEST(FaultInjectorTest, RegisteredPointsAreStable) {
   const std::vector<std::string>& points = util::RegisteredFaultPoints();
-  ASSERT_EQ(points.size(), 6U);
+  ASSERT_EQ(points.size(), 10U);
   EXPECT_EQ(points[0], "persist.append");
   EXPECT_EQ(points[1], "persist.sync");
   EXPECT_EQ(points[2], "persist.snapshot");
   EXPECT_EQ(points[3], "enclave.transition");
   EXPECT_EQ(points[4], "serve.auth");
   EXPECT_EQ(points[5], "queue.push");
+  EXPECT_EQ(points[6], "net.accept");
+  EXPECT_EQ(points[7], "net.read");
+  EXPECT_EQ(points[8], "net.write");
+  EXPECT_EQ(points[9], "net.frame");
 }
 
 TEST(BackoffTest, DeterministicCappedDelays) {

@@ -188,6 +188,45 @@ def check_journal_overhead(rows, require):
     return True
 
 
+# Networked-ingest overhead gate (ISSUE 10): uploading through the
+# wire protocol + epoll front end over loopback must keep >= this
+# fraction of the in-process async API's throughput.  Framing, CRC,
+# codec, and loopback syscalls are cheap next to the crypto-bound
+# ingest pipeline; a bigger gap means the front end is serializing
+# something it shouldn't (Nagle, per-frame allocs, event-loop stalls).
+NET_BASE_OP = "BM_NetIngest/inproc_async"
+NET_GATED_OP = "BM_NetIngest/tcp"
+NET_MIN_RATIO = 0.75
+
+
+def check_net_overhead(rows, require):
+    base = find_items_per_s(rows, NET_BASE_OP)
+    gated = find_items_per_s(rows, NET_GATED_OP)
+    if base is None or gated is None:
+        # The net-ingest rows live in BENCH_net.json — skip quietly
+        # when this file has neither (unless --net-only demands them),
+        # but fail if only one half of the pair is present.
+        if base is None and gated is None and not require:
+            print("skip BM_NetIngest gate: no net-ingest rows in this "
+                  "bench JSON")
+            return True
+        missing = NET_BASE_OP if base is None else NET_GATED_OP
+        print(f"FAIL BM_NetIngest gate: {missing} row missing "
+              f"(emitter regression?)")
+        return False
+    ratio = gated / base
+    status = "ok" if ratio >= NET_MIN_RATIO else "FAIL"
+    print(f"{status:4} {NET_GATED_OP:32} {gated:12.0f} rec/s = "
+          f"{ratio:5.2f}x of {NET_BASE_OP}")
+    if ratio < NET_MIN_RATIO:
+        print(f"FAIL networked ingest runs at {ratio:.2f}x of in-process "
+              f"(floor {NET_MIN_RATIO:.2f}) — the TCP front end is costing "
+              f"more than 25% on the upload path (framing/flow-control "
+              f"regression?)")
+        return False
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json")
@@ -200,19 +239,28 @@ def main():
                              "(for BENCH_serve.json, which has no thread "
                              "sweeps or crypto rows); the journal row pair "
                              "becomes mandatory")
+    parser.add_argument("--net-only", action="store_true",
+                        help="gate only the networked-ingest overhead "
+                             "(for BENCH_net.json, which has no thread "
+                             "sweeps, crypto, or journal rows); the net "
+                             "row pair becomes mandatory")
     args = parser.parse_args()
 
     with open(args.bench_json, encoding="utf-8") as f:
         rows = json.load(f)
 
     ok = True
-    if not args.serve_only:
-        for prefix in GATED_SWEEPS:
-            ok = check(rows, prefix, args.tolerance) and ok
-        isa = parse_isa_summary(rows)
-        for prefix, family in CRYPTO_GATES.items():
-            ok = check_crypto(rows, prefix, family, isa) and ok
-    ok = check_journal_overhead(rows, require=args.serve_only) and ok
+    if args.net_only:
+        ok = check_net_overhead(rows, require=True)
+    else:
+        if not args.serve_only:
+            for prefix in GATED_SWEEPS:
+                ok = check(rows, prefix, args.tolerance) and ok
+            isa = parse_isa_summary(rows)
+            for prefix, family in CRYPTO_GATES.items():
+                ok = check_crypto(rows, prefix, family, isa) and ok
+        ok = check_journal_overhead(rows, require=args.serve_only) and ok
+        ok = check_net_overhead(rows, require=False) and ok
     if ok:
         print("bench gate: PASS")
     return 0 if ok else 1
